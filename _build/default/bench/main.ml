@@ -1,0 +1,309 @@
+(* Bechamel benchmark harness: one group per paper table/figure (see
+   DESIGN.md §3), plus the design-choice ablations.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Tbl = Dlz_base.Table
+module Prng = Dlz_base.Prng
+module Depeq = Dlz_deptest.Depeq
+module Verdict = Dlz_deptest.Verdict
+module Gcd_test = Dlz_deptest.Gcd_test
+module Banerjee = Dlz_deptest.Banerjee
+module Svpc = Dlz_deptest.Svpc
+module Acyclic = Dlz_deptest.Acyclic
+module Residue = Dlz_deptest.Residue
+module Fm = Dlz_deptest.Fm
+module Exact = Dlz_deptest.Exact
+module Omega = Dlz_deptest.Omega
+module Lambda = Dlz_deptest.Lambda
+module Problem = Dlz_deptest.Problem
+module Hierarchy = Dlz_deptest.Hierarchy
+module Algo = Dlz_core.Algo
+module Symalgo = Dlz_core.Symalgo
+module An = Dlz_core.Analyze
+module Codegen = Dlz_vec.Codegen
+module Corpus = Dlz_corpus.Corpus
+module Fragments = Dlz_driver.Fragments
+module Workload = Dlz_driver.Workload
+module Experiments = Dlz_driver.Experiments
+
+let stage = Staged.stage
+
+(* --- prebuilt inputs (allocation outside the timed region) ------------- *)
+
+let eq1 = Fragments.eq1 ()
+let fig5 = Fragments.fig5_equation ()
+
+let fig3_prog =
+  Dlz_passes.Pipeline.prepare_program
+    (Dlz_frontend.F77_parser.parse Fragments.fig3_program)
+
+let mhl_prog =
+  Dlz_passes.Pipeline.prepare_program
+    (Dlz_frontend.F77_parser.parse Fragments.mhl_program)
+
+let ib_prog =
+  Dlz_passes.Pipeline.prepare_program
+    (Dlz_frontend.F77_parser.parse Fragments.ib_program)
+
+let sphot_spec =
+  List.find (fun s -> s.Corpus.name = "SPHOT") Corpus.riceps
+
+let sphot = Corpus.generate sphot_spec
+
+let e6_eq, e6_env =
+  let prog =
+    Dlz_passes.Pipeline.prepare_program
+      (Dlz_frontend.F77_parser.parse Fragments.symbolic_program)
+  in
+  let accs, env = Dlz_ir.Access.of_program prog in
+  match accs with
+  | [ w; r ] -> (
+      match Problem.of_accesses w r with
+      | Some p -> (List.hd p.Problem.equations, env)
+      | None -> failwith "bench: e6 problem construction failed")
+  | _ -> failwith "bench: unexpected e6 accesses"
+
+(* --- test groups --------------------------------------------------------- *)
+
+let e1_group =
+  Test.make_grouped ~name:"e1"
+    [
+      Test.make ~name:"gcd" (stage (fun () -> Gcd_test.test eq1));
+      Test.make ~name:"banerjee" (stage (fun () -> Banerjee.test eq1));
+      Test.make ~name:"svpc" (stage (fun () -> Svpc.test eq1));
+      Test.make ~name:"acyclic" (stage (fun () -> Acyclic.test eq1));
+      Test.make ~name:"residue" (stage (fun () -> Residue.test eq1));
+      Test.make ~name:"fm-real" (stage (fun () -> Fm.test Fm.Real eq1));
+      Test.make ~name:"fm-tight" (stage (fun () -> Fm.test Fm.Tightened eq1));
+      Test.make ~name:"delinearize" (stage (fun () -> Algo.test eq1));
+      Test.make ~name:"lambda" (stage (fun () -> Lambda.test [ eq1 ]));
+      Test.make ~name:"omega" (stage (fun () -> Omega.test [ eq1 ]));
+      Test.make ~name:"exact" (stage (fun () -> Exact.test [ eq1 ]));
+    ]
+
+let e2_group =
+  Test.make_grouped ~name:"e2"
+    [
+      Test.make ~name:"generate-sphot"
+        (stage (fun () -> Corpus.generate sphot_spec));
+      Test.make ~name:"detect-sphot"
+        (stage (fun () -> Corpus.count_linearized_nests sphot));
+      Test.make ~name:"analyze-sphot-full"
+        (stage
+           (let prog = Dlz_passes.Pipeline.prepare_program sphot in
+            fun () -> An.deps_of_program prog));
+    ]
+
+let e3_group =
+  Test.make_grouped ~name:"e3"
+    [
+      Test.make ~name:"fig3-analysis"
+        (stage (fun () -> An.deps_of_program fig3_prog));
+      Test.make ~name:"fig3-analysis-classic"
+        (stage (fun () -> An.deps_of_program ~mode:An.Classic fig3_prog));
+    ]
+
+let e4_group =
+  Test.make_grouped ~name:"e4"
+    [
+      Test.make ~name:"fig5-test" (stage (fun () -> Algo.test fig5));
+      Test.make ~name:"fig5-run"
+        (stage (fun () ->
+             Algo.run ~n_common:3 ~common_ubs:[| 8; 9; 8 |] fig5));
+    ]
+
+let e5_group =
+  Test.make_grouped ~name:"e5"
+    [
+      Test.make ~name:"mhl-analysis"
+        (stage (fun () -> An.deps_of_program mhl_prog));
+    ]
+
+let e6_group =
+  Test.make_grouped ~name:"e6"
+    [
+      Test.make ~name:"symbolic-run"
+        (stage (fun () -> Symalgo.run ~env:e6_env ~n_common:3 e6_eq));
+    ]
+
+let e7_group =
+  Test.make_grouped ~name:"e7"
+    [
+      Test.make ~name:"vectorize-delin"
+        (stage (fun () -> Codegen.run ~mode:An.Delinearize ib_prog));
+      Test.make ~name:"vectorize-classic"
+        (stage (fun () -> Codegen.run ~mode:An.Classic ib_prog));
+      Test.make ~name:"parallel-report"
+        (stage (fun () -> Dlz_vec.Parallel.report ib_prog));
+    ]
+
+(* E8: scaling in the number of variables on the linearized family. *)
+let e8_depths = [ 1; 2; 3; 4; 5; 6 ]
+
+let e8_group =
+  let per_depth depth =
+    let eq = Workload.paper_family ~depth ~extent:10 ~shifted:true in
+    Test.make_grouped ~name:(Printf.sprintf "d%d" depth)
+      [
+        Test.make ~name:"delinearize" (stage (fun () -> Algo.test eq));
+        Test.make ~name:"banerjee" (stage (fun () -> Banerjee.test eq));
+        Test.make ~name:"gcd" (stage (fun () -> Gcd_test.test eq));
+        Test.make ~name:"fm-tight" (stage (fun () -> Fm.test Fm.Tightened eq));
+        Test.make ~name:"omega" (stage (fun () -> Omega.test [ eq ]));
+        Test.make ~name:"exact" (stage (fun () -> Exact.test [ eq ]));
+      ]
+  in
+  Test.make_grouped ~name:"e8" (List.map per_depth e8_depths)
+
+(* Ablation: residue policy. *)
+let ablation_group =
+  let eq = Workload.paper_family ~depth:4 ~extent:10 ~shifted:true in
+  Test.make_grouped ~name:"ablation-residue"
+    [
+      Test.make ~name:"nonneg"
+        (stage (fun () -> Algo.test ~policy:Algo.Nonneg eq));
+      Test.make ~name:"symmetric"
+        (stage (fun () -> Algo.test ~policy:Algo.Symmetric eq));
+      Test.make ~name:"optimal"
+        (stage (fun () -> Algo.test ~policy:Algo.Optimal eq));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"dlz"
+    [
+      e1_group; e2_group; e3_group; e4_group; e5_group; e6_group; e7_group;
+      e8_group; ablation_group;
+    ]
+
+(* --- runner -------------------------------------------------------------- *)
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second 0.25) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results results =
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  let t =
+    Tbl.create ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right ]
+      [ "benchmark"; "time/run (ns)"; "r^2" ]
+  in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%.1f" e
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Tbl.add_row t [ name; est; r2 ])
+    rows;
+  print_string (Tbl.render t)
+
+(* --- non-timing companion tables ----------------------------------------- *)
+
+(* Residue-policy ablation: how often each policy manages to split, and
+   how often the inline test proves independence, on random linearized
+   equations (the design-choice ablation of DESIGN.md §4). *)
+let residue_ablation () =
+  let n = 500 in
+  let t =
+    Tbl.create
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right ]
+      [ "policy"; "avg pieces (depth 3)"; "independent found" ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let g = Prng.create 7L in
+      let pieces = ref 0 and indep = ref 0 in
+      for _ = 1 to n do
+        let eq = Workload.random_linearized g ~depth:3 in
+        let r = Algo.run ~policy ~n_common:3 ~common_ubs:[| 9; 9; 9 |] eq in
+        pieces := !pieces + List.length r.Algo.pieces;
+        if r.Algo.verdict = Verdict.Independent then incr indep
+      done;
+      Tbl.add_row t
+        [
+          name;
+          Printf.sprintf "%.2f" (float_of_int !pieces /. float_of_int n);
+          string_of_int !indep;
+        ])
+    [
+      ("nonneg", Algo.Nonneg);
+      ("symmetric", Algo.Symmetric);
+      ("optimal", Algo.Optimal);
+    ];
+  print_string (Tbl.render t)
+
+(* Precision: delinearization vs baselines on the random family, exact
+   ground truth (shape of the paper's precision claim). *)
+let precision_table () =
+  let n = 400 in
+  let g = Prng.create 99L in
+  let delin = ref 0 and ban = ref 0 and fmt = ref 0 and gcd = ref 0 in
+  let total_indep = ref 0 in
+  for _ = 1 to n do
+    let eq = Workload.random_linearized g ~depth:3 in
+    if Exact.test [ eq ] = Verdict.Independent then begin
+      incr total_indep;
+      if Algo.test eq = Verdict.Independent then incr delin;
+      if Banerjee.test eq = Verdict.Independent then incr ban;
+      if Gcd_test.test eq = Verdict.Independent then incr gcd;
+      if Fm.test Fm.Tightened eq = Verdict.Independent then incr fmt
+    end
+  done;
+  let t =
+    Tbl.create ~aligns:[ Tbl.Left; Tbl.Right ]
+      [ "technique"; "independences proven" ]
+  in
+  Tbl.add_row t [ "exact (ground truth)"; string_of_int !total_indep ];
+  Tbl.add_row t [ "delinearization"; string_of_int !delin ];
+  Tbl.add_row t [ "fm-tightened"; string_of_int !fmt ];
+  Tbl.add_row t [ "banerjee"; string_of_int !ban ];
+  Tbl.add_row t [ "gcd"; string_of_int !gcd ];
+  print_string (Tbl.render t)
+
+let () =
+  print_endline "== Bechamel micro-benchmarks (one group per experiment) ==";
+  print_results (benchmark ());
+  print_newline ();
+  print_endline "== Ablation: residue policy (DESIGN.md §4) ==";
+  residue_ablation ();
+  print_newline ();
+  print_endline
+    "== Precision on 400 random depth-3 linearized equations (E8) ==";
+  precision_table ();
+  print_newline ();
+  print_endline "== FM constraint growth vs algorithm linearity (E8) ==";
+  let t =
+    Tbl.create
+      ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "depth"; "vars"; "FM tightened rows"; "FM real rows" ]
+  in
+  List.iter
+    (fun depth ->
+      let eq = Workload.paper_family ~depth ~extent:10 ~shifted:true in
+      let nvars, rows = Fm.system_of_equation eq in
+      Tbl.add_row t
+        [
+          string_of_int depth;
+          string_of_int (Depeq.nvars eq);
+          string_of_int (Fm.eliminations Fm.Tightened ~nvars rows);
+          string_of_int (Fm.eliminations Fm.Real ~nvars rows);
+        ])
+    e8_depths;
+  print_string (Tbl.render t)

@@ -1,0 +1,395 @@
+(* vic — a delinearization-based dependence analyzer and vectorizer.
+
+   The command-line face of the library: parse FORTRAN-77 or C fragments,
+   run the normalization pipeline, report dependences (with or without
+   delinearization), vectorize, reshape linearized arrays, and regenerate
+   the paper's experiments. *)
+
+open Cmdliner
+module Ast = Dlz_ir.Ast
+module Assume = Dlz_symbolic.Assume
+module Analyze = Dlz_core.Analyze
+module Reshape = Dlz_core.Reshape
+module Codegen = Dlz_vec.Codegen
+module Experiments = Dlz_driver.Experiments
+module Corpus = Dlz_corpus.Corpus
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~lang path =
+  let src = read_file path in
+  let lang =
+    match lang with
+    | Some l -> l
+    | None -> if Filename.check_suffix path ".c" then `C else `F77
+  in
+  match lang with
+  | `F77 -> Dlz_passes.Inline.expand (Dlz_frontend.F77_parser.parse_units src)
+  | `C -> Dlz_passes.Pointers.lower (Dlz_frontend.C_parser.parse src)
+
+let with_diagnostics f =
+  try f () with
+  | Dlz_frontend.Diag.Parse_error _ as e ->
+      (match Dlz_frontend.Diag.describe e with
+      | Some msg -> prerr_endline msg
+      | None -> ());
+      exit 1
+  | Dlz_passes.Pointers.Unsupported msg ->
+      prerr_endline ("pointer conversion: " ^ msg);
+      exit 1
+  | Dlz_passes.Inline.Unsupported msg ->
+      prerr_endline ("inlining: " ^ msg);
+      exit 1
+  | Failure msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+(* --- shared options ----------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Input program (.f FORTRAN-77 subset, .c C subset).")
+
+let lang_arg =
+  let lang_conv = Arg.enum [ ("f77", Some `F77); ("c", Some `C) ] in
+  Arg.(value & opt lang_conv None & info [ "lang" ] ~docv:"LANG"
+         ~doc:"Input language (default: by file extension).")
+
+let mode_arg =
+  let mode_conv =
+    Arg.enum
+      [
+        ("delin", Analyze.Delinearize);
+        ("classic", Analyze.Classic);
+        ("exact", Analyze.ExactMode);
+      ]
+  in
+  Arg.(value & opt mode_conv Analyze.Delinearize
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Dependence tester: 'delin' (the paper), 'classic'\n\
+                 (GCD+Banerjee hierarchy on the unbroken equations), or\n\
+                 'exact' (integer-exact ceiling, exponential).")
+
+let assume_arg =
+  Arg.(value & opt_all (pair ~sep:'=' string int) []
+       & info [ "assume" ] ~docv:"SYM=LB"
+           ~doc:"Assume an integer lower bound for a symbol, e.g. N=2.\n\
+                 Repeatable.")
+
+let env_of assumes =
+  List.fold_left (fun env (s, b) -> Assume.assume_ge s b env) Assume.empty
+    assumes
+
+(* --- commands ------------------------------------------------------------ *)
+
+let ranges_arg =
+  Arg.(value & flag
+       & info [ "ranges" ]
+           ~doc:"Also print Wolf-Lam range vectors (exact per-level\n\
+                 delta ranges) for each dependence [WL91].")
+
+let analyze_cmd =
+  let run file lang mode assumes ranges =
+    with_diagnostics (fun () ->
+        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        print_endline (Ast.to_string prog);
+        print_newline ();
+        let env = env_of assumes in
+        let deps = Analyze.deps_of_program ~mode ~env prog in
+        if deps = [] then print_endline "No dependences: fully parallel."
+        else
+          List.iter
+          (fun (d : Analyze.dep) ->
+            Format.printf "%a@." Analyze.pp_dep d;
+            if ranges then begin
+              let module Problem = Dlz_deptest.Problem in
+              let module Rangevec = Dlz_deptest.Rangevec in
+              match Problem.of_accesses d.Analyze.src d.Analyze.dst with
+              | Some p -> (
+                  match Problem.to_numeric p with
+                  | Some np -> (
+                      match
+                        Rangevec.of_exact ~common_ubs:np.Problem.common_ubs
+                          np.Problem.eqs
+                      with
+                      | Some r ->
+                          Printf.printf "    delta ranges: %s\n"
+                            (Rangevec.to_string r)
+                      | None -> ())
+                  | None -> ())
+              | None -> ()
+            end)
+          deps;
+        print_newline ();
+        print_endline "Per-loop parallelism:";
+        List.iter
+          (fun (l : Dlz_vec.Parallel.loop_report) ->
+            Printf.printf "  %s%s (level %d): %s%s\n"
+              (String.concat "" (List.map (fun v -> v ^ "/")
+                                   l.Dlz_vec.Parallel.lr_path))
+              l.Dlz_vec.Parallel.lr_var l.Dlz_vec.Parallel.lr_level
+              (if l.Dlz_vec.Parallel.lr_parallel then "PARALLEL"
+               else "serial")
+              (if l.Dlz_vec.Parallel.lr_parallel then ""
+               else
+                 Printf.sprintf " (%d carried dependence(s))"
+                   l.Dlz_vec.Parallel.lr_carried))
+          (Dlz_vec.Parallel.report ~mode ~env prog))
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Normalize a program and report its dependences.")
+    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg)
+
+let vectorize_cmd =
+  let run file lang mode assumes =
+    with_diagnostics (fun () ->
+        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        let r = Codegen.run ~mode ~env:(env_of assumes) prog in
+        print_string r.Codegen.text;
+        print_newline ();
+        List.iter
+          (fun (pl : Codegen.plan) ->
+            Printf.printf "%s: sequential levels [%s], vector levels [%s]%s\n"
+              pl.Codegen.stmt_name
+              (String.concat "," (List.map string_of_int pl.Codegen.seq_levels))
+              (String.concat "," (List.map string_of_int pl.Codegen.vec_levels))
+              (match pl.Codegen.interchangeable with
+              | [] -> ""
+              | ls ->
+                  Printf.sprintf ", interchange candidates [%s]"
+                    (String.concat "," (List.map string_of_int ls))))
+          r.Codegen.plans)
+  in
+  Cmd.v
+    (Cmd.info "vectorize"
+       ~doc:"Run the Allen-Kennedy vectorizer over the program.")
+    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg)
+
+let delinearize_cmd =
+  let run file lang assumes =
+    with_diagnostics (fun () ->
+        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        let prog', plans = Reshape.apply ~env:(env_of assumes) prog in
+        if plans = [] then
+          print_endline "No array could be reshaped (see --assume)."
+        else
+          List.iter
+            (fun (pl : Reshape.plan) ->
+              Printf.printf "reshaped %s: %d dimensions\n" pl.Reshape.array
+                (List.length pl.Reshape.extents))
+            plans;
+        print_endline (Ast.to_string prog'))
+  in
+  Cmd.v
+    (Cmd.info "delinearize"
+       ~doc:"Recover multidimensional shapes of linearized arrays.")
+    Term.(const run $ file_arg $ lang_arg $ assume_arg)
+
+let trace_cmd =
+  let run file lang assumes =
+    with_diagnostics (fun () ->
+        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        let env = env_of assumes in
+        let accs, env = Dlz_ir.Access.of_program ~env prog in
+        let module Access = Dlz_ir.Access in
+        let module Problem = Dlz_deptest.Problem in
+        let module Symeq = Dlz_deptest.Symeq in
+        let module Algo = Dlz_core.Algo in
+        let module Symalgo = Dlz_core.Symalgo in
+        let arr = Array.of_list accs in
+        let shown = ref 0 in
+        for i = 0 to Array.length arr - 1 do
+          for j = i to Array.length arr - 1 do
+            let a = arr.(i) and b = arr.(j) in
+            if
+              (a.Access.rw = `Write || b.Access.rw = `Write)
+              && String.equal a.Access.array b.Access.array
+            then
+              match Problem.of_accesses a b with
+              | None -> ()
+              | Some p ->
+                  List.iter
+                    (fun eq ->
+                      incr shown;
+                      Printf.printf "=== %s:%s -> %s:%s (dimension %d)\n"
+                        a.Access.stmt_name a.Access.array b.Access.stmt_name
+                        b.Access.array !shown;
+                      match Symeq.to_numeric eq with
+                      | Some neq ->
+                          Format.printf "equation: %a@."
+                            Dlz_deptest.Depeq.pp neq;
+                          let ubs =
+                            match Problem.to_numeric p with
+                            | Some np -> np.Problem.common_ubs
+                            | None -> Array.make p.Problem.n_common max_int
+                          in
+                          let r =
+                            Algo.run ~n_common:p.Problem.n_common
+                              ~common_ubs:ubs neq
+                          in
+                          List.iter
+                            (fun (st : Algo.step) ->
+                              Printf.printf
+                                "  k=%d c=%s smin=%d smax=%d g=%s r=%d%s%s\n"
+                                st.Algo.k
+                                (match st.Algo.coeff with
+                                | Some c -> string_of_int c
+                                | None -> "-")
+                                st.Algo.smin st.Algo.smax
+                                (match st.Algo.gk with
+                                | Some g -> string_of_int g
+                                | None -> "inf")
+                                st.Algo.r
+                                (if st.Algo.barrier then "  <- barrier" else "")
+                                (match st.Algo.separated with
+                                | Some piece ->
+                                    "  separates: "
+                                    ^ Dlz_deptest.Depeq.to_string piece
+                                | None -> ""))
+                            r.Algo.steps;
+                          Printf.printf "  verdict: %s\n"
+                            (Dlz_deptest.Verdict.to_string r.Algo.verdict)
+                      | None ->
+                          Format.printf "equation (symbolic): %a@." Symeq.pp eq;
+                          let r =
+                            Symalgo.run ~env ~n_common:p.Problem.n_common eq
+                          in
+                          List.iter
+                            (fun (st : Symalgo.step) ->
+                              Format.printf
+                                "  k=%d c=%s smin=%s smax=%s g=%s r=%s%s%s@."
+                                st.Symalgo.k
+                                (match st.Symalgo.coeff with
+                                | Some c -> Dlz_symbolic.Poly.to_string c
+                                | None -> "-")
+                                (Dlz_symbolic.Poly.to_string st.Symalgo.smin)
+                                (Dlz_symbolic.Poly.to_string st.Symalgo.smax)
+                                (match st.Symalgo.gk with
+                                | Some g -> Dlz_symbolic.Poly.to_string g
+                                | None -> "inf")
+                                (Dlz_symbolic.Poly.to_string st.Symalgo.r)
+                                (if st.Symalgo.barrier then "  <- barrier"
+                                 else "")
+                                (match st.Symalgo.separated with
+                                | Some piece ->
+                                    "  separates: "
+                                    ^ Format.asprintf "%a" Symeq.pp piece
+                                | None -> ""))
+                            r.Symalgo.steps;
+                          Printf.printf "  verdict: %s\n"
+                            (Dlz_deptest.Verdict.to_string r.Symalgo.verdict))
+                    p.Problem.equations
+          done
+        done;
+        if !shown = 0 then print_endline "No testable reference pairs.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the Figure-5-style delinearization trace for every\n\
+             dependence equation of the program.")
+    Term.(const run $ file_arg $ lang_arg $ assume_arg)
+
+let graph_cmd =
+  let dot_arg =
+    Arg.(value & flag
+         & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of plain text.")
+  in
+  let run file lang mode assumes dot =
+    with_diagnostics (fun () ->
+        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        let g = Dlz_vec.Depgraph.build ~mode ~env:(env_of assumes) prog in
+        if not dot then Format.printf "%a@." Dlz_vec.Depgraph.pp g
+        else begin
+          print_endline "digraph deps {";
+          Array.iteri
+            (fun i name -> Printf.printf "  n%d [label=\"%s\"];\n" i name)
+            g.Dlz_vec.Depgraph.stmt_names;
+          List.iter
+            (fun (e : Dlz_vec.Depgraph.edge) ->
+              Printf.printf
+                "  n%d -> n%d [label=\"%s %s%s\"];\n"
+                e.Dlz_vec.Depgraph.e_src e.Dlz_vec.Depgraph.e_dst
+                (Dlz_deptest.Dirvec.to_string e.Dlz_vec.Depgraph.e_vec)
+                (Dlz_deptest.Classify.to_string e.Dlz_vec.Depgraph.e_kind)
+                (if e.Dlz_vec.Depgraph.e_level = max_int then ""
+                 else
+                   Printf.sprintf " @%d" e.Dlz_vec.Depgraph.e_level))
+            g.Dlz_vec.Depgraph.edges;
+          print_endline "}"
+        end)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Print the statement dependence graph (optionally as DOT).")
+    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ dot_arg)
+
+let experiments_cmd =
+  let id_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id (e1..e8); all when omitted.")
+  in
+  let run id =
+    with_diagnostics (fun () ->
+        match id with
+        | None ->
+            List.iter
+              (fun (_, report) ->
+                print_endline report;
+                print_newline ())
+              (Experiments.all ())
+        | Some id -> (
+            match Experiments.run id with
+            | Some report -> print_endline report
+            | None ->
+                prerr_endline ("unknown experiment: " ^ id);
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (E1-E8).")
+    Term.(const run $ id_arg)
+
+let corpus_cmd =
+  let dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"DIR"
+             ~doc:"Also write the generated programs as .f files into DIR.")
+  in
+  let run dump =
+    with_diagnostics (fun () ->
+        (match dump with
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iter
+              (fun spec ->
+                let prog = Corpus.generate spec in
+                let path =
+                  Filename.concat dir
+                    (String.lowercase_ascii spec.Corpus.name ^ ".f")
+                in
+                let oc = open_out path in
+                output_string oc (Ast.to_string prog);
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "wrote %s\n" path)
+              Corpus.riceps
+        | None -> ());
+        print_endline (Experiments.e2 ()))
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Generate and measure the synthetic corpus.")
+    Term.(const run $ dump_arg)
+
+let main_cmd =
+  let doc = "delinearization-based dependence analysis (Maslov, PLDI 1992)" in
+  Cmd.group (Cmd.info "vic" ~version:"1.0.0" ~doc)
+    [
+      analyze_cmd; vectorize_cmd; delinearize_cmd; trace_cmd; graph_cmd;
+      experiments_cmd; corpus_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

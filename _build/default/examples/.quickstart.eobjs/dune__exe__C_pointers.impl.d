@@ -1,0 +1,1 @@
+examples/c_pointers.ml: Dlz_core Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Dlz_symbolic Format List

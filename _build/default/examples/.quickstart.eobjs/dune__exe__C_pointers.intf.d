@@ -1,0 +1,1 @@
+examples/c_pointers.mli:

@@ -1,0 +1,1 @@
+examples/common_blocks.ml: Dlz_core Dlz_frontend Dlz_ir Dlz_passes Dlz_vec Format List Printf String

@@ -1,0 +1,1 @@
+examples/common_blocks.mli:

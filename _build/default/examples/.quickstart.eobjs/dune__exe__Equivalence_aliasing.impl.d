@@ -1,0 +1,1 @@
+examples/equivalence_aliasing.ml: Dlz_core Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Format List String

@@ -1,0 +1,1 @@
+examples/induction_variable.ml: Dlz_core Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Dlz_vec Format List String

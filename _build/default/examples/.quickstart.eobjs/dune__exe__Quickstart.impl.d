@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dlz_core Dlz_deptest Format List

@@ -1,0 +1,1 @@
+examples/vectorize_demo.ml: Dlz_core Dlz_deptest Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Dlz_vec Format List

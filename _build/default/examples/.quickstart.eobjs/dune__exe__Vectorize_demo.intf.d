@@ -1,0 +1,1 @@
+examples/vectorize_demo.mli:

@@ -1,0 +1,33 @@
+(* C pointers as linearized indices (paper section 1, "C array
+   references").
+
+   The pointer-traversal loop is converted to integer indexing into the
+   base array, normalized, and proven independent by delinearization —
+   the chain the paper sketches ending at float d[10][10].
+
+   Run with: dune exec examples/c_pointers.exe *)
+
+module Fragments = Dlz_driver.Fragments
+module Analyze = Dlz_core.Analyze
+module Assume = Dlz_symbolic.Assume
+module Ast = Dlz_ir.Ast
+
+let () =
+  Format.printf "C source:@.%s@." Fragments.c_pointers;
+  let cprog = Dlz_frontend.C_parser.parse Fragments.c_pointers in
+  let lowered = Dlz_passes.Pointers.lower cprog in
+  Format.printf "After pointer conversion:@.%s@.@." (Ast.to_string lowered);
+  let prog = Dlz_passes.Pipeline.prepare_program lowered in
+  Format.printf "Normalized:@.%s@.@." (Ast.to_string prog);
+  let deps = Analyze.deps_of_program prog in
+  Format.printf "Dependences: %d (independent => both loops parallel)@.@."
+    (List.length deps);
+  (* The literal delinearization the paper ends with: d[10][10]. *)
+  let reshaped, plans = Dlz_core.Reshape.apply ~env:Assume.empty prog in
+  List.iter
+    (fun (pl : Dlz_core.Reshape.plan) ->
+      Format.printf "Recovered %d-D shape for %s@."
+        (List.length pl.Dlz_core.Reshape.extents)
+        pl.Dlz_core.Reshape.array)
+    plans;
+  Format.printf "%s@." (Ast.to_string reshaped)

@@ -1,0 +1,1 @@
+lib/base/ivl.ml: Format Intx

@@ -1,0 +1,1 @@
+lib/base/ivl.mli: Format

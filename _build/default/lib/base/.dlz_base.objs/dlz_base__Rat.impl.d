@@ -1,0 +1,1 @@
+lib/base/rat.ml: Format Intx Numth

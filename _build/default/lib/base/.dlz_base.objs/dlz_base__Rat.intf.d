@@ -1,0 +1,1 @@
+lib/base/rat.mli: Format

@@ -1,0 +1,36 @@
+exception Overflow of string
+
+let overflow op = raise (Overflow op)
+
+let add a b =
+  let s = a + b in
+  (* Signed overflow iff both operands share a sign the sum lost. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    overflow "add"
+  else s
+
+let neg a = if a = min_int then overflow "neg" else -a
+let sub a b = if b = min_int then add (add a max_int) 1 else add a (-b)
+let abs a = if a < 0 then neg a else a
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a || (a = min_int && b = -1) || (b = min_int && a = -1) then
+      overflow "mul"
+    else p
+
+let pow b e =
+  if e < 0 then invalid_arg "Intx.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e asr 1)
+    else go acc (mul b b) (e asr 1)
+  in
+  (* Avoid squaring b one step past the needed precision. *)
+  if e = 0 then 1 else if e = 1 then b else go 1 b e
+
+let sum xs = List.fold_left add 0 xs
+let pos_part c = if c >= 0 then c else 0
+let neg_part c = if c <= 0 then c else 0

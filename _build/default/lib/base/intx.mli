@@ -1,0 +1,44 @@
+(** Overflow-checked native integer arithmetic.
+
+    Dependence equations multiply subscript coefficients by loop bounds;
+    with hand-linearized references the products grow quickly (the paper's
+    symbolic example already reaches [N*N*k]).  Rather than silently wrap,
+    every arithmetic operation used by the analyses goes through this
+    module and raises {!Overflow} when the mathematical result does not
+    fit in a native [int]. *)
+
+exception Overflow of string
+(** Raised when a checked operation overflows.  The payload names the
+    operation, e.g. ["mul"]. *)
+
+val add : int -> int -> int
+(** [add a b] is [a + b]; raises {!Overflow} if the sum does not fit. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b]; raises {!Overflow} if the difference does not
+    fit. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b]; raises {!Overflow} if the product does not
+    fit. *)
+
+val neg : int -> int
+(** [neg a] is [-a]; raises {!Overflow} on [min_int]. *)
+
+val abs : int -> int
+(** [abs a] is the absolute value of [a]; raises {!Overflow} on
+    [min_int]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b] raised to the nonnegative power [e]; raises
+    {!Overflow} when the result does not fit and [Invalid_argument] when
+    [e < 0]. *)
+
+val sum : int list -> int
+(** [sum xs] adds the elements of [xs] with overflow checking. *)
+
+val pos_part : int -> int
+(** [pos_part c] is the paper's [c+]: [c] if [c >= 0], else [0]. *)
+
+val neg_part : int -> int
+(** [neg_part c] is the paper's [c-]: [c] if [c <= 0], else [0]. *)

@@ -1,0 +1,36 @@
+let rec gcd a b = if b = 0 then Intx.abs a else gcd b (a mod b)
+let gcd_list xs = List.fold_left gcd 0 xs
+
+let lcm a b =
+  if a = 0 || b = 0 then 0 else Intx.abs (Intx.mul (a / gcd a b) b)
+
+let egcd a b =
+  let rec go r0 x0 y0 r1 x1 y1 =
+    if r1 = 0 then (r0, x0, y0)
+    else
+      let q = r0 / r1 in
+      go r1 x1 y1 (r0 - (q * r1)) (x0 - (q * x1)) (y0 - (q * y1))
+  in
+  let g, x, y = go a 1 0 b 0 1 in
+  if g < 0 then (-g, -x, -y) else (g, x, y)
+
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b < 0 then q - 1 else q
+
+let fmod a b = a - (b * fdiv a b)
+let cdiv a b = -fdiv (-a) b
+
+let symmetric_mod a g =
+  assert (g > 0);
+  let r = fmod a g in
+  if 2 * r > g then r - g else r
+
+let nearest_residue a g target =
+  assert (g > 0);
+  let r = fmod (a - target) g in
+  (* r is the offset of the class representative just above [target]. *)
+  let lo = target + r - g and hi = target + r in
+  if target - lo < hi - target then lo else hi
+
+let divides d a = if d = 0 then a = 0 else a mod d = 0

@@ -1,0 +1,39 @@
+(** Elementary number theory used throughout dependence testing. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the nonnegative greatest common divisor of [a] and [b];
+    [gcd 0 0 = 0]. *)
+
+val gcd_list : int list -> int
+(** [gcd_list xs] folds {!gcd} over [xs]; [gcd_list [] = 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b] is the nonnegative least common multiple; overflow-checked. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b] is [(g, x, y)] with [g = gcd a b >= 0] and
+    [a*x + b*y = g]. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is the floor division of [a] by [b] ([b <> 0]):
+    the unique [q] with [b*q <= a < b*(q+1)] for [b > 0]. *)
+
+val fmod : int -> int -> int
+(** [fmod a b] is the floor remainder: [a - b * fdiv a b], which for
+    [b > 0] lies in [[0, b-1]]. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is the ceiling division of [a] by [b] ([b <> 0]). *)
+
+val symmetric_mod : int -> int -> int
+(** [symmetric_mod a g] is the representative of [a (mod g)] ([g > 0])
+    with least absolute value, ties broken toward the positive
+    representative: the result lies in [(-g/2, g/2]]. *)
+
+val nearest_residue : int -> int -> int -> int
+(** [nearest_residue a g target] is the representative of [a (mod g)]
+    ([g > 0]) closest to [target] (ties toward the larger).  Used to pick
+    the split constant [r] in the delinearization algorithm. *)
+
+val divides : int -> int -> bool
+(** [divides d a] is [true] iff [d] divides [a]; [divides 0 a = (a = 0)]. *)

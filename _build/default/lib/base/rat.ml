@@ -1,0 +1,53 @@
+type t = { n : int; d : int }
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let g = Numth.gcd num den in
+  let g = if g = 0 then 1 else g in
+  let n = num / g and d = den / g in
+  if d < 0 then { n = Intx.neg n; d = Intx.neg d } else { n; d }
+
+let of_int n = { n; d = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num a = a.n
+let den a = a.d
+
+let add a b =
+  make (Intx.add (Intx.mul a.n b.d) (Intx.mul b.n a.d)) (Intx.mul a.d b.d)
+
+let neg a = { a with n = Intx.neg a.n }
+let sub a b = add a (neg b)
+let mul a b = make (Intx.mul a.n b.n) (Intx.mul a.d b.d)
+
+let inv a =
+  if a.n = 0 then raise Division_by_zero;
+  make a.d a.n
+
+let div a b = mul a (inv b)
+let abs a = { a with n = Intx.abs a.n }
+let sign a = compare a.n 0
+
+let compare a b =
+  (* Denominators are positive, so cross-multiplying preserves order. *)
+  compare (Intx.mul a.n b.d) (Intx.mul b.n a.d)
+
+let equal a b = a.n = b.n && a.d = b.d
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer a = a.d = 1
+let floor a = Numth.fdiv a.n a.d
+let ceil a = Numth.cdiv a.n a.d
+
+let to_int_exn a =
+  if a.d <> 1 then invalid_arg "Rat.to_int_exn: not an integer";
+  a.n
+
+let to_float a = float_of_int a.n /. float_of_int a.d
+
+let pp ppf a =
+  if a.d = 1 then Format.fprintf ppf "%d" a.n
+  else Format.fprintf ppf "%d/%d" a.n a.d
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,56 @@
+(** Exact rational arithmetic.
+
+    Fourier–Motzkin elimination and the Banerjee real-solution reasoning
+    need exact rationals: floating point would make "has a real solution"
+    verdicts unreliable near boundaries.  Values are kept normalized
+    (positive denominator, coprime parts) and all arithmetic is
+    overflow-checked via {!Intx}. *)
+
+type t
+(** A normalized rational number. *)
+
+val make : int -> int -> t
+(** [make num den] is [num/den]; raises [Division_by_zero] when
+    [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+(** Numerator of the normalized form. *)
+
+val den : t -> int
+(** Denominator of the normalized form; always positive. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div a b] raises [Division_by_zero] when [b] is zero. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** [inv a] raises [Division_by_zero] when [a] is zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+val floor : t -> int
+val ceil : t -> int
+val to_int_exn : t -> int
+(** [to_int_exn a] is the integer value of [a]; raises
+    [Invalid_argument] when [a] is not an integer. *)
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

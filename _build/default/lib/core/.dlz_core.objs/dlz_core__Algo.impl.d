@@ -1,0 +1,1 @@
+lib/core/algo.ml: Array Dlz_base Dlz_deptest Int Intx List Numth Stdlib

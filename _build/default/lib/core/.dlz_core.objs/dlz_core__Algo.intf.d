@@ -1,0 +1,1 @@
+lib/core/algo.mli: Dlz_deptest

@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Algo Array Dlz_base Dlz_deptest Dlz_ir Dlz_symbolic Format List Stdlib String Symalgo

@@ -1,0 +1,1 @@
+lib/core/analyze.mli: Dlz_deptest Dlz_ir Dlz_symbolic Format

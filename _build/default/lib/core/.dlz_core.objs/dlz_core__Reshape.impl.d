@@ -1,0 +1,1 @@
+lib/core/reshape.ml: Array Dlz_deptest Dlz_ir Dlz_symbolic List Option String Symalgo

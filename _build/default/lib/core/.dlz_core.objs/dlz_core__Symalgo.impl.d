@@ -1,0 +1,1 @@
+lib/core/symalgo.ml: Algo Array Dlz_base Dlz_deptest Dlz_symbolic Intx List Numth Stdlib

@@ -1,0 +1,1 @@
+lib/core/symalgo.mli: Dlz_deptest Dlz_symbolic

@@ -1,0 +1,1 @@
+lib/core/theorem.ml: Dlz_base Dlz_deptest Intx List Numth Seq

@@ -1,0 +1,1 @@
+lib/core/theorem.mli: Dlz_deptest

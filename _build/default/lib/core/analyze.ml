@@ -1,0 +1,260 @@
+module Poly = Dlz_symbolic.Poly
+module Assume = Dlz_symbolic.Assume
+module Access = Dlz_ir.Access
+module Verdict = Dlz_deptest.Verdict
+module Dirvec = Dlz_deptest.Dirvec
+module Ddvec = Dlz_deptest.Ddvec
+module Problem = Dlz_deptest.Problem
+module Classify = Dlz_deptest.Classify
+module Symeq = Dlz_deptest.Symeq
+module Hierarchy = Dlz_deptest.Hierarchy
+
+type pair_result = {
+  verdict : Verdict.t;
+  dirvecs : Dirvec.t list;
+  distances : (int * Poly.t) list;
+}
+
+type dep = {
+  src : Access.t;
+  dst : Access.t;
+  kind : Classify.kind;
+  dirvec : Dirvec.t;
+  ddvec : Ddvec.t;
+}
+
+type mode = Delinearize | Classic | ExactMode
+
+let meet_sets dvs nvs =
+  List.concat_map
+    (fun dv -> List.filter_map (fun nv -> Dirvec.meet dv nv) nvs)
+    dvs
+  |> List.sort_uniq Dirvec.compare
+
+let numeric_common_ubs (p : Problem.t) =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | u :: rest -> (
+        match Poly.to_const u with
+        | Some c -> go (c :: acc) rest
+        | None -> None)
+  in
+  go [] p.common_ubs
+
+let vectors_delin ~env (p : Problem.t) =
+  let n_common = p.n_common in
+  let num_ubs = numeric_common_ubs p in
+  let analyze_eq (eq : Symeq.t) =
+    try
+      match (Symeq.to_numeric eq, num_ubs) with
+      | Some neq, Some ubs ->
+          let r = Algo.run ~n_common ~common_ubs:(Array.of_list ubs) neq in
+          ( r.Algo.verdict,
+            r.Algo.dirvecs,
+            List.map (fun (l, d) -> (l, Poly.const d)) r.Algo.distances )
+      | _ ->
+          let r = Symalgo.run ~env ~n_common eq in
+          (r.Symalgo.verdict, r.Symalgo.dirvecs, r.Symalgo.distances)
+    with Dlz_base.Intx.Overflow _ ->
+      (* Coefficient/bound products past 63 bits: degrade soundly. *)
+      (Verdict.Dependent, [ Dirvec.all_star n_common ], [])
+  in
+  let verdict, dirvecs, distances =
+    List.fold_left
+      (fun (v, dvs, dists) eq ->
+        match v with
+        | Verdict.Independent -> (v, dvs, dists)
+        | _ ->
+            let ve, nv, de = analyze_eq eq in
+            if ve = Verdict.Independent then (Verdict.Independent, [], dists)
+            else
+              let met = meet_sets dvs nv in
+              if met = [] then (Verdict.Independent, [], dists)
+              else (Verdict.Dependent, met, de @ dists))
+      (Verdict.Dependent, [ Dirvec.all_star n_common ], [])
+      p.equations
+  in
+  match verdict with
+  | Verdict.Independent -> { verdict; dirvecs = []; distances = [] }
+  | _ ->
+      {
+        verdict;
+        dirvecs;
+        distances = List.sort_uniq Stdlib.compare distances;
+      }
+
+let vectors_classic ~env (p : Problem.t) =
+  let _ = env in
+  match Problem.to_numeric p with
+  | Some np ->
+      let dvs =
+        try Hierarchy.directions np
+        with Dlz_base.Intx.Overflow _ -> [ Dirvec.all_star p.n_common ]
+      in
+      {
+        verdict =
+          (if dvs = [] then Verdict.Independent else Verdict.Dependent);
+        dirvecs = dvs;
+        distances = [];
+      }
+  | None ->
+      {
+        verdict = Verdict.Dependent;
+        dirvecs = [ Dirvec.all_star p.n_common ];
+        distances = [];
+      }
+
+module Exact = Dlz_deptest.Exact
+
+let vectors_exact ~env (p : Problem.t) =
+  match Problem.to_numeric p with
+  | Some np -> (
+      match
+        try Some (Exact.direction_vectors ~n_common:np.Problem.n_common
+                    np.Problem.eqs)
+        with Dlz_base.Intx.Overflow _ -> None
+      with
+      | Some dvs ->
+          {
+            verdict =
+              (if dvs = [] then Verdict.Independent else Verdict.Dependent);
+            dirvecs = dvs;
+            distances = [];
+          }
+      | None -> vectors_delin ~env p)
+  | None -> vectors_delin ~env p
+
+let vectors ?(mode = Delinearize) ~env p =
+  match mode with
+  | Delinearize -> vectors_delin ~env p
+  | Classic -> vectors_classic ~env p
+  | ExactMode -> vectors_exact ~env p
+
+(* Basic direction vectors admitted by a (possibly non-basic) vector. *)
+let decomposition dv =
+  Array.fold_right
+    (fun d acc ->
+      List.concat_map
+        (fun child -> List.map (fun tail -> child :: tail) acc)
+        (Dirvec.refinements d))
+    dv [ [] ]
+  |> List.map Array.of_list
+
+let summarize ~self vecs =
+  let identity n = Array.make n Dirvec.Eq in
+  let covered set dv =
+    List.for_all
+      (fun basic ->
+        List.exists (Dirvec.equal basic) set
+        || (self && Dirvec.equal basic (identity (Array.length basic))))
+      (decomposition dv)
+  in
+  let rec merge groups =
+    let rec try_pairs = function
+      | [] -> None
+      | g :: rest -> (
+          let candidate =
+            List.find_opt (fun h -> covered vecs (Dirvec.join g h)) rest
+          in
+          match candidate with
+          | Some h ->
+              Some
+                (Dirvec.join g h
+                :: List.filter (fun x -> not (Dirvec.equal x h)) rest)
+          | None -> (
+              match try_pairs rest with
+              | Some rest' -> Some (g :: rest')
+              | None -> None))
+    in
+    match try_pairs groups with Some g' -> merge g' | None -> groups
+  in
+  merge (List.sort_uniq Dirvec.compare vecs)
+
+let apply_distances dv distances =
+  List.fold_left
+    (fun ddv (lvl, d) ->
+      match Poly.to_const d with
+      | Some dc when lvl >= 1 && lvl <= Array.length dv ->
+          (* Only keep the distance when it is consistent with the
+             summarized direction at that level. *)
+          if Dirvec.admits dv.(lvl - 1) dc then Ddvec.with_distance ddv lvl dc
+          else ddv
+      | _ -> ddv)
+    (Ddvec.of_dirvec dv) distances
+
+let deps_of_accesses ?(mode = Delinearize) ~env accs =
+  let arr = Array.of_list accs in
+  let n = Array.length arr in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      let involves_write = a.Access.rw = `Write || b.Access.rw = `Write in
+      if involves_write && String.equal a.Access.array b.Access.array then begin
+        (* Source = the write (textual order breaks ties). *)
+        let src, dst =
+          match (a.Access.rw, b.Access.rw) with
+          | `Write, _ -> (a, b)
+          | _, `Write -> (b, a)
+          | _ -> (a, b)
+        in
+        match Problem.of_accesses src dst with
+        | None -> ()
+        | Some p ->
+            let r = vectors ~mode ~env p in
+            let self = src.Access.acc_id = dst.Access.acc_id in
+            let identity_only =
+              self
+              && List.for_all
+                   (fun dv -> Array.for_all (fun d -> d = Dirvec.Eq) dv)
+                   r.dirvecs
+            in
+            if r.verdict <> Verdict.Independent && not identity_only then begin
+              let summaries = summarize ~self r.dirvecs in
+              let is_identity dv = Array.for_all (( = ) Dirvec.Eq) dv in
+              let summaries =
+                if not self then summaries
+                else
+                  (* A self pair is symmetric: the pure-identity row is
+                     not a dependence, and an implausible row mirrors a
+                     reported plausible one. *)
+                  List.filter
+                    (fun dv ->
+                      (not (is_identity dv))
+                      && (Dirvec.plausible dv
+                         || not
+                              (List.exists
+                                 (Dirvec.equal (Dirvec.reverse dv))
+                                 summaries)))
+                    summaries
+              in
+              let kind =
+                Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw
+              in
+              List.iter
+                (fun dv ->
+                  out :=
+                    {
+                      src;
+                      dst;
+                      kind;
+                      dirvec = dv;
+                      ddvec = apply_distances dv r.distances;
+                    }
+                    :: !out)
+                summaries
+            end
+      end
+    done
+  done;
+  List.rev !out
+
+let deps_of_program ?mode ?(env = Assume.empty) prog =
+  let accs, env = Access.of_program ~env prog in
+  deps_of_accesses ?mode ~env accs
+
+let pp_dep ppf d =
+  Format.fprintf ppf "%s:%s -> %s:%s  %s  %s  [%s]" d.src.Access.stmt_name
+    d.src.Access.array d.dst.Access.stmt_name d.dst.Access.array
+    (Dirvec.to_string d.dirvec) (Ddvec.to_string d.ddvec)
+    (Classify.to_string d.kind)

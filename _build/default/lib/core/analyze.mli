@@ -1,0 +1,70 @@
+(** Whole-program dependence analysis driven by delinearization.
+
+    For every pair of references to the same array (with at least one
+    write), build the dependence problem, delinearize each subscript
+    equation — numerically when everything is constant, symbolically
+    otherwise — intersect the per-equation direction-vector sets, and
+    summarize the result the way the paper's Figure 3 does: one row per
+    dependent pair, source = the writing reference (textual order breaks
+    write-write ties), vectors joined when the join's decomposition is
+    fully covered. *)
+
+module Poly = Dlz_symbolic.Poly
+module Assume = Dlz_symbolic.Assume
+module Access = Dlz_ir.Access
+module Verdict = Dlz_deptest.Verdict
+module Dirvec = Dlz_deptest.Dirvec
+module Ddvec = Dlz_deptest.Ddvec
+module Problem = Dlz_deptest.Problem
+module Classify = Dlz_deptest.Classify
+
+type pair_result = {
+  verdict : Verdict.t;
+  dirvecs : Dirvec.t list;  (** Basic vectors over the common loops. *)
+  distances : (int * Poly.t) list;
+      (** Distances proven constant; symbolic polynomials allowed. *)
+}
+
+type dep = {
+  src : Access.t;  (** The source reference (a write when one exists). *)
+  dst : Access.t;
+  kind : Classify.kind;
+  dirvec : Dirvec.t;  (** Summarized direction vector. *)
+  ddvec : Ddvec.t;  (** Same vector with exact distances substituted. *)
+}
+
+type mode =
+  | Delinearize  (** The paper's method (default). *)
+  | Classic
+      (** Ablation: direction-vector hierarchy with GCD+Banerjee on the
+          unbroken equations (only for fully numeric problems; symbolic
+          problems degrade to all-[*]). *)
+  | ExactMode
+      (** Precision ceiling: realized direction vectors from the exact
+          integer solver (numeric problems within the search budget;
+          everything else falls back to {!Delinearize}).  Exponential —
+          for comparisons, not production. *)
+
+val vectors : ?mode:mode -> env:Assume.t -> Problem.t -> pair_result
+(** Direction vectors for one problem, equations analyzed independently
+    and intersected. *)
+
+val decomposition : Dirvec.t -> Dirvec.t list
+(** All basic direction vectors admitted by a vector (3^k worst case for
+    k [*] components). *)
+
+val summarize : self:bool -> Dirvec.t list -> Dirvec.t list
+(** Greedy sound summarization: vectors are merged when the join's
+    decomposition is covered by the set ([self] pairs implicitly cover
+    the all-[=] identity vector). *)
+
+val deps_of_accesses : ?mode:mode -> env:Assume.t -> Access.t list -> dep list
+(** All dependences among the given accesses (input dependences and
+    identity-only self pairs are omitted), in source order. *)
+
+val deps_of_program :
+  ?mode:mode -> ?env:Assume.t -> Dlz_ir.Ast.program -> dep list
+(** Extracts accesses (the program must be normalized) and analyzes
+    them. *)
+
+val pp_dep : Format.formatter -> dep -> unit

@@ -1,0 +1,292 @@
+module Poly = Dlz_symbolic.Poly
+module Assume = Dlz_symbolic.Assume
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+module Affine = Dlz_ir.Affine
+module Access = Dlz_ir.Access
+module Symeq = Dlz_deptest.Symeq
+
+type plan = { array : string; extents : Poly.t list }
+
+exception No_plan
+
+let divmod p s =
+  match Poly.divmod_by_term p s with
+  | Some qr -> qr
+  | None -> raise No_plan
+
+let divides s p = Poly.is_zero (snd (divmod p s))
+
+(* Interval [lo, hi] (polynomials) of an affine form over its loops. *)
+let form_interval env (f : Affine.t) loops =
+  List.fold_left
+    (fun (lo, hi) (v, c) ->
+      let ub =
+        match
+          List.find_opt (fun (l : Access.loop) -> String.equal l.l_var v) loops
+        with
+        | Some l -> l.l_ub
+        | None -> raise No_plan
+      in
+      let contrib = Poly.mul c ub in
+      match Assume.sign env c with
+      | Assume.Positive -> (lo, Poly.add hi contrib)
+      | Assume.Negative -> (Poly.add lo contrib, hi)
+      | Assume.Zero -> (lo, hi)
+      | Assume.Unknown -> raise No_plan)
+    (Affine.konst f, Affine.konst f)
+    (Affine.terms f)
+
+(* Strides recovered by running the barrier scan on one reference (the
+   "reshape mode" of the symbolic algorithm). *)
+let strides_of env (f : Affine.t) (loops : Access.loop list) =
+  let terms =
+    List.map
+      (fun (v, c) ->
+        let ub =
+          match
+            List.find_opt (fun (l : Access.loop) -> String.equal l.l_var v) loops
+          with
+          | Some l -> l.l_ub
+          | None -> raise No_plan
+        in
+        (c, Symeq.var ~side:`Src ~level:0 v ub))
+      (Affine.terms f)
+  in
+  let eq = Symeq.make (Affine.konst f) terms in
+  let r = Symalgo.run ~check_independence:false ~env ~n_common:0 eq in
+  let stride_of_piece (piece : Symeq.t) =
+    let coeffs = List.map fst piece.Symeq.terms in
+    match coeffs with
+    | [] -> raise No_plan
+    | c0 :: rest ->
+        let g = List.fold_left Poly.gcd_simple c0 rest in
+        if Poly.leading_sign g < 0 then Poly.neg g else g
+  in
+  List.map stride_of_piece r.Symalgo.pieces
+
+(* Decompose one reference against the strides: per-dimension index
+   expressions (innermost first). *)
+let decompose env ~strides ~extents (f : Affine.t) loops =
+  let m = List.length strides in
+  (* Assign each term to the deepest stride dividing its coefficient. *)
+  let buckets = Array.make m [] in
+  List.iter
+    (fun (v, c) ->
+      let rec pick k best =
+        if k >= m then best
+        else if divides (List.nth strides k) c then pick (k + 1) (Some k)
+        else pick (k + 1) best
+      in
+      match pick 0 None with
+      | Some k -> buckets.(k) <- (v, c) :: buckets.(k)
+      | None -> raise No_plan)
+    (Affine.terms f);
+  (* Mixed-radix split of the constant part. *)
+  let consts = Array.make m Poly.zero in
+  let rem = ref (Affine.konst f) in
+  for k = 0 to m - 2 do
+    let q_div, r = divmod !rem (List.nth strides (k + 1)) in
+    ignore q_div;
+    consts.(k) <- r;
+    rem := Poly.sub !rem r
+  done;
+  consts.(m - 1) <- !rem;
+  (* Per-dimension affine index = (terms + const) / stride. *)
+  let indices =
+    List.mapi
+      (fun k stride ->
+        let scaled_terms =
+          List.map
+            (fun (v, c) ->
+              let q, r = divmod c stride in
+              if not (Poly.is_zero r) then raise No_plan;
+              (v, q))
+            buckets.(k)
+        in
+        let q, r = divmod consts.(k) stride in
+        if not (Poly.is_zero r) then raise No_plan;
+        List.fold_left
+          (fun acc (v, c) -> Affine.add acc (Affine.term c v))
+          (Affine.const q) scaled_terms)
+      strides
+  in
+  (* Range-check every dimension against its extent. *)
+  List.iteri
+    (fun k idx ->
+      let lo, hi = form_interval env idx loops in
+      let extent = List.nth extents k in
+      if not (Assume.is_nonneg env lo) then raise No_plan;
+      if not (Assume.le env hi (Poly.sub extent Poly.one)) then raise No_plan)
+    indices;
+  indices
+
+let array_size (p : Ast.program) name =
+  match Ast.find_array p name with
+  | Some { a_dims = [ d ]; _ } -> (
+      match Expr.to_const d.lo with
+      | Some 0 -> (
+          let is_loop_var _ = false in
+          match Affine.of_expr ~is_loop_var d.hi with
+          | Some f when Affine.is_const f ->
+              Some (Poly.add (Affine.konst f) Poly.one)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let accesses_of prog name =
+  let accs, env = Access.of_program prog in
+  (List.filter (fun (a : Access.t) -> String.equal a.Access.array name) accs, env)
+
+let plan_rich ~env prog name =
+  match array_size prog name with
+  | None -> None
+  | Some size -> (
+      let accs, env' = accesses_of prog name in
+      let env =
+        List.fold_left
+          (fun acc (s, b) -> Assume.assume_ge s b acc)
+          env (Assume.bindings env')
+      in
+      try
+        let forms =
+          List.map
+            (fun (a : Access.t) ->
+              match a.Access.subs with
+              | [ Access.Aff f ] -> (f, a.Access.loops)
+              | _ -> raise No_plan)
+            accs
+        in
+        match forms with
+        | [] -> None
+        | (f0, loops0) :: _ ->
+            let strides = strides_of env f0 loops0 in
+            let m = List.length strides in
+            if m < 2 then None
+            else begin
+              (* Innermost stride must be 1 for a literal reshape. *)
+              (match Poly.to_const (List.hd strides) with
+              | Some 1 -> ()
+              | _ -> raise No_plan);
+              let extents =
+                List.mapi
+                  (fun k s ->
+                    let next =
+                      if k + 1 < m then List.nth strides (k + 1) else size
+                    in
+                    let q, r = divmod next s in
+                    if not (Poly.is_zero r) then raise No_plan;
+                    q)
+                  strides
+              in
+              (* Every reference must decompose and range-check. *)
+              List.iter
+                (fun (f, loops) ->
+                  ignore (decompose env ~strides ~extents f loops))
+                forms;
+              Some ({ array = name; extents }, strides, env)
+            end
+      with No_plan -> None)
+
+let plan_for ~env prog name =
+  Option.map (fun (p, _, _) -> p) (plan_rich ~env prog name)
+
+let apply ~env prog =
+  let arrays =
+    List.filter_map
+      (function
+        | Ast.Array a when List.length a.a_dims = 1 -> Some a.a_name
+        | _ -> None)
+      prog.Ast.decls
+  in
+  let plans =
+    List.filter_map
+      (fun name ->
+        match plan_rich ~env prog name with
+        | Some (plan, strides, env') -> Some (name, plan, strides, env')
+        | None -> None)
+      arrays
+  in
+  let rewrite prog (name, (plan : plan), strides, env') =
+    let loops_stack = ref [] in
+    let is_loop_var v =
+      List.exists
+        (fun (l : Access.loop) -> String.equal l.Access.l_var v)
+        !loops_stack
+    in
+    let rw_subs subs =
+      match subs with
+      | [ e ] -> (
+          match Affine.of_expr ~is_loop_var e with
+          | None -> subs
+          | Some f -> (
+              try
+                let indices =
+                  decompose env' ~strides ~extents:plan.extents f !loops_stack
+                in
+                List.map
+                  (fun idx -> Expr.fold_consts (Affine.to_expr idx))
+                  indices
+              with No_plan -> subs))
+      | _ -> subs
+    in
+    let rec rw_expr e =
+      match e with
+      | Expr.Const _ | Expr.Var _ -> e
+      | Expr.Neg a -> Expr.Neg (rw_expr a)
+      | Expr.Bin (op, a, b) -> Expr.Bin (op, rw_expr a, rw_expr b)
+      | Expr.Call (f, args) when String.equal f name ->
+          Expr.Call (f, rw_subs (List.map rw_expr args))
+      | Expr.Call (f, args) -> Expr.Call (f, List.map rw_expr args)
+    in
+    let rec rw_stmt s =
+      match s with
+      | Ast.Assign { label; lhs; rhs } ->
+          let lhs =
+            if String.equal lhs.Ast.name name then
+              { lhs with Ast.subs = rw_subs (List.map rw_expr lhs.Ast.subs) }
+            else { lhs with Ast.subs = List.map rw_expr lhs.Ast.subs }
+          in
+          Ast.Assign { label; lhs; rhs = rw_expr rhs }
+      | Ast.Continue _ -> s
+      | Ast.Do d ->
+          (* Maintain the normalized-loop context for decomposition. *)
+          let ub =
+            match Affine.of_expr ~is_loop_var:(fun _ -> false) d.hi with
+            | Some f when Affine.is_const f -> Affine.konst f
+            | _ -> Poly.sym ("UB" ^ d.var)
+          in
+          let saved = !loops_stack in
+          loops_stack := saved @ [ { Access.l_var = d.var; l_ub = ub } ];
+          let body = List.map rw_stmt d.body in
+          loops_stack := saved;
+          Ast.Do { d with body }
+    in
+    let decls =
+      List.map
+        (function
+          | Ast.Array a when String.equal a.a_name name ->
+              Ast.Array
+                {
+                  a with
+                  a_dims =
+                    List.map
+                      (fun extent ->
+                        {
+                          Ast.lo = Expr.Const 0;
+                          hi =
+                            Expr.fold_consts
+                              (Expr.Bin
+                                 ( Expr.Sub,
+                                   Expr.of_poly extent,
+                                   Expr.Const 1 ));
+                        })
+                      plan.extents;
+                }
+          | d -> d)
+        prog.Ast.decls
+    in
+    { prog with Ast.decls; body = List.map rw_stmt prog.Ast.body }
+  in
+  let prog' = List.fold_left rewrite prog plans in
+  (prog', List.map (fun (_, p, _, _) -> p) plans)

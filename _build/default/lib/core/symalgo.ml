@@ -1,0 +1,246 @@
+open Dlz_base
+module Poly = Dlz_symbolic.Poly
+module Assume = Dlz_symbolic.Assume
+module Verdict = Dlz_deptest.Verdict
+module Dirvec = Dlz_deptest.Dirvec
+module Symeq = Dlz_deptest.Symeq
+module Depeq = Dlz_deptest.Depeq
+module Problem = Dlz_deptest.Problem
+module Hierarchy = Dlz_deptest.Hierarchy
+
+type step = {
+  k : int;
+  coeff : Poly.t option;
+  smin : Poly.t;
+  smax : Poly.t;
+  gk : Poly.t option;
+  r : Poly.t;
+  barrier : bool;
+  separated : Symeq.t option;
+}
+
+type result = {
+  verdict : Verdict.t;
+  pieces : Symeq.t list;
+  dirvecs : Dirvec.t list;
+  distances : (int * Poly.t) list;
+  steps : step list;
+}
+
+(* |x| < g without needing the sign of x: x < g and -x < g. *)
+let abs_lt env x g = Assume.lt env x g && Assume.lt env (Poly.neg x) g
+
+let sort_terms env (eq : Symeq.t) =
+  let heuristic c =
+    (Poly.degree c, Intx.abs (Poly.content c))
+  in
+  let cmp (c1, _) (c2, _) =
+    let a1 = Assume.abs env c1 and a2 = Assume.abs env c2 in
+    match (a1, a2) with
+    | Some a1, Some a2 when Assume.lt env a1 a2 -> -1
+    | Some a1, Some a2 when Assume.lt env a2 a1 -> 1
+    | Some a1, Some a2 when Poly.equal a1 a2 -> 0
+    | _ -> Stdlib.compare (heuristic c1) (heuristic c2)
+  in
+  { eq with terms = List.stable_sort cmp eq.terms }
+
+(* Residue of c0 modulo a single-term g.  For fully numeric data, shift
+   into the representative closest to -(smin+smax)/2, as the numeric
+   algorithm does; otherwise the canonical remainder of the monomial
+   division. *)
+let residue ~smin ~smax c0 g =
+  match Poly.divmod_by_term c0 g with
+  | None -> c0 (* not a single term: cannot divide, keep everything *)
+  | Some (_, r) -> (
+      match (Poly.to_const r, Poly.to_const g, Poly.to_const smin, Poly.to_const smax) with
+      | Some rc, Some gc, Some lo, Some hi when gc > 0 ->
+          let target = -Numth.fdiv (Intx.add lo hi) 2 in
+          Poly.const (Numth.nearest_residue rc gc target)
+      | _ -> r)
+
+let all_star_set n = [ Dirvec.all_star n ]
+
+let meet_sets dvs nvs =
+  List.concat_map
+    (fun dv -> List.filter_map (fun nv -> Dirvec.meet dv nv) nvs)
+    dvs
+  |> List.sort_uniq Dirvec.compare
+
+(* Feasibility of β - α = d within bounds β ≤ ub_dst, α ≤ ub_src:
+   infeasible if d > ub_dst or -d > ub_src. *)
+let delta_feasible env ~ub_src ~ub_dst d =
+  not (Assume.lt env ub_dst d || Assume.lt env ub_src (Poly.neg d))
+
+let solve_piece ~env ~n_common (piece : Symeq.t) =
+  let maybe = (Verdict.Dependent, all_star_set n_common, None) in
+  let independent = (Verdict.Independent, [], None) in
+  let numeric_common_ubs () = Array.make n_common max_int in
+  match Symeq.to_numeric piece with
+  | Some neq ->
+      let nv =
+        Hierarchy.directions
+          (Problem.numeric_of_equations ~n_common
+             ~common_ubs:(numeric_common_ubs ()) [ neq ])
+      in
+      if nv = [] then independent
+      else
+        let dist =
+          match Algo.piece_distance neq with
+          | Some (lvl, d) -> Some (lvl, Poly.const d)
+          | None -> None
+        in
+        (Verdict.Dependent, nv, dist)
+  | None -> (
+      match piece.terms with
+      | [] -> (
+          match Assume.sign env piece.c0 with
+          | Assume.Zero -> (Verdict.Dependent, all_star_set n_common, None)
+          | Assume.Positive | Assume.Negative -> independent
+          | Assume.Unknown -> maybe)
+      | [ (c, v) ] -> (
+          (* c·z + r = 0. *)
+          match Poly.divmod_by_term (Poly.neg piece.c0) c with
+          | Some (q, rem) when Poly.is_zero rem ->
+              (* z = q must lie in [0, ub]. *)
+              if Assume.is_neg env q || Assume.lt env v.s_ub q then independent
+              else maybe
+          | _ -> maybe)
+      | [ (c1, v1); (c2, v2) ]
+        when v1.s_level = v2.s_level && v1.s_level > 0
+             && v1.s_side <> v2.s_side
+             && Poly.equal c1 (Poly.neg c2) -> (
+          (* r + a·α - a·β = 0 with a the source coefficient:
+             β - α = r / a. *)
+          let a, ub_src, ub_dst =
+            if v1.s_side = `Src then (c1, v1.s_ub, v2.s_ub)
+            else (c2, v2.s_ub, v1.s_ub)
+          in
+          let d_opt =
+            if Poly.is_zero piece.c0 then Some Poly.zero
+            else
+              match Poly.divmod_by_term piece.c0 a with
+              | Some (q, rem) when Poly.is_zero rem -> Some q
+              | _ -> None
+          in
+          match d_opt with
+          | None -> maybe
+          | Some d ->
+              if not (delta_feasible env ~ub_src ~ub_dst d) then independent
+              else
+                let lvl = v1.s_level in
+                let dir =
+                  match Assume.sign env d with
+                  | Assume.Zero -> Some Dirvec.Eq
+                  | Assume.Positive -> Some Dirvec.Lt
+                  | Assume.Negative -> Some Dirvec.Gt
+                  | Assume.Unknown -> None
+                in
+                let nv =
+                  match dir with
+                  | Some dir when lvl <= n_common ->
+                      let dv = Dirvec.all_star n_common in
+                      dv.(lvl - 1) <- dir;
+                      [ dv ]
+                  | _ -> all_star_set n_common
+                in
+                (Verdict.Dependent, nv, Some (lvl, d)))
+      | _ -> maybe)
+
+let run ?(check_independence = true) ~env ~n_common (eq : Symeq.t) =
+  let eq = sort_terms env eq in
+  let terms = Array.of_list eq.terms in
+  let n = Array.length terms in
+  (* Suffix "simple" gcds. *)
+  let g = Array.make (n + 1) Poly.zero in
+  for k = n - 1 downto 0 do
+    g.(k) <- Poly.gcd_simple (fst terms.(k)) g.(k + 1)
+  done;
+  let steps = ref [] in
+  let pieces = ref [] in
+  let distances = ref [] in
+  let dirvecs = ref (all_star_set n_common) in
+  let independent = ref false in
+  let smin = ref Poly.zero and smax = ref Poly.zero in
+  let poisoned = ref false in
+  let kbeg = ref 0 in
+  let c0 = ref eq.c0 in
+  let k = ref 0 in
+  while (not !independent) && !k <= n do
+    let gk = if !k < n then Some g.(!k) else None in
+    let r =
+      match gk with
+      | None -> !c0
+      | Some g -> residue ~smin:!smin ~smax:!smax !c0 g
+    in
+    let cmin = Poly.add !smin r and cmax = Poly.add !smax r in
+    let barrier =
+      match gk with
+      | None -> true
+      | Some g ->
+          (not !poisoned) && abs_lt env cmin g && abs_lt env cmax g
+    in
+    let separated = ref None in
+    if barrier then begin
+      if
+        check_independence && (not !poisoned)
+        && (Assume.is_pos env cmin || Assume.is_neg env cmax)
+      then independent := true
+      else begin
+        let group = Array.to_list (Array.sub terms !kbeg (!k - !kbeg)) in
+        if not (group = [] && Poly.is_zero r) then begin
+          let piece = Symeq.make r group in
+          separated := Some piece;
+          pieces := piece :: !pieces;
+          if check_independence then begin
+            let v, nv, dist = solve_piece ~env ~n_common piece in
+            (match dist with
+            | Some (lvl, d) -> distances := (lvl, d) :: !distances
+            | None -> ());
+            if v = Verdict.Independent then independent := true
+            else begin
+              dirvecs := meet_sets !dirvecs nv;
+              if !dirvecs = [] then independent := true
+            end
+          end
+        end;
+        smin := Poly.zero;
+        smax := Poly.zero;
+        poisoned := false;
+        kbeg := !k;
+        c0 := Poly.sub !c0 r
+      end
+    end;
+    steps :=
+      {
+        k = !k + 1;
+        coeff = (if !k < n then Some (fst terms.(!k)) else None);
+        smin = !smin;
+        smax = !smax;
+        gk;
+        r;
+        barrier;
+        separated = !separated;
+      }
+      :: !steps;
+    if (not !independent) && !k < n then begin
+      let c, v = terms.(!k) in
+      let contrib = Poly.mul c v.Symeq.s_ub in
+      match Assume.sign env c with
+      | Assume.Positive -> smax := Poly.add !smax contrib
+      | Assume.Negative -> smin := Poly.add !smin contrib
+      | Assume.Zero -> ()
+      | Assume.Unknown -> poisoned := true
+    end;
+    incr k
+  done;
+  let verdict =
+    if !independent || !dirvecs = [] then Verdict.Independent
+    else Verdict.Dependent
+  in
+  {
+    verdict;
+    pieces = List.rev !pieces;
+    dirvecs = (if verdict = Verdict.Independent then [] else !dirvecs);
+    distances = List.rev !distances;
+    steps = List.rev !steps;
+  }

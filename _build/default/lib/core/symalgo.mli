@@ -1,0 +1,63 @@
+(** Symbolic delinearization (paper §4, "Symbolics handling").
+
+    The same Figure-4 scan, but coefficients, the constant term, bounds,
+    gcds and residues are polynomials over symbols of unknown value, and
+    every comparison is decided under an assumption environment (e.g.
+    [N ≥ 2], derived from declarations).  Decisions the environment
+    cannot settle are treated conservatively: an undecidable barrier is
+    simply not drawn, an undecidable sign poisons further accumulation,
+    and the affected group stays together — soundness never depends on
+    symbolic completeness. *)
+
+module Poly = Dlz_symbolic.Poly
+module Assume = Dlz_symbolic.Assume
+module Verdict = Dlz_deptest.Verdict
+module Dirvec = Dlz_deptest.Dirvec
+module Symeq = Dlz_deptest.Symeq
+
+type step = {
+  k : int;
+  coeff : Poly.t option;  (** [None] on the final (n+1)-th step. *)
+  smin : Poly.t;
+  smax : Poly.t;
+  gk : Poly.t option;  (** [None] means infinity. *)
+  r : Poly.t;
+  barrier : bool;
+  separated : Symeq.t option;
+}
+
+type result = {
+  verdict : Verdict.t;
+  pieces : Symeq.t list;
+  dirvecs : Dirvec.t list;
+  distances : (int * Poly.t) list;
+      (** [(level, β-α)] distances proven constant (possibly symbolic,
+          e.g. [N]). *)
+  steps : step list;
+}
+
+val sort_terms : Assume.t -> Symeq.t -> Symeq.t
+(** Terms reordered by (provable) ascending absolute coefficient; falls
+    back to a degree/content heuristic where the environment cannot
+    order two coefficients (ordering affects only precision, never
+    soundness — the barrier condition is re-verified at every step). *)
+
+val run :
+  ?check_independence:bool ->
+  env:Assume.t ->
+  n_common:int ->
+  Symeq.t ->
+  result
+(** Runs the symbolic algorithm.  [check_independence:false] turns off
+    the inline [cmin > 0 ∨ cmax < 0] cut — the mode used when separating
+    the dimensions of a single reference for array reshaping (the §4
+    example), where the "equation" is not a dependence equation. *)
+
+val solve_piece :
+  env:Assume.t -> n_common:int -> Symeq.t ->
+  Verdict.t * Dirvec.t list * (int * Poly.t) option
+(** Direction-vector solving for one separated symbolic equation: exact
+    for numeric pieces (via the classic techniques), pattern-based for
+    the symbolic shapes linearized subscripts produce (single variable,
+    and [c·x - c·y + r = 0] pairs, which also yield symbolic
+    distances). *)

@@ -1,0 +1,63 @@
+open Dlz_base
+module Depeq = Dlz_deptest.Depeq
+
+type split = { front : Depeq.t; back : Depeq.t }
+
+let split_terms (eq : Depeq.t) m =
+  if m < 1 || m > List.length eq.terms then
+    invalid_arg "Theorem: split position out of range";
+  let rec go k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> ([], [])
+    | t :: rest ->
+        let f, b = go (k - 1) rest in
+        (t :: f, b)
+  in
+  go m eq.terms
+
+let condition (eq : Depeq.t) ~m ~d0 =
+  let front, back = split_terms eq m in
+  let cap_d = Intx.sub eq.c0 d0 in
+  let g =
+    Numth.gcd_list (cap_d :: List.map (fun (t : Depeq.term) -> t.coeff) back)
+  in
+  let lo =
+    Intx.sum
+      (d0
+      :: List.map
+           (fun (t : Depeq.term) -> Intx.mul (Intx.neg_part t.coeff) t.var.v_ub)
+           front)
+  in
+  let hi =
+    Intx.sum
+      (d0
+      :: List.map
+           (fun (t : Depeq.term) -> Intx.mul (Intx.pos_part t.coeff) t.var.v_ub)
+           front)
+  in
+  g > max (Intx.abs lo) (Intx.abs hi)
+
+let split (eq : Depeq.t) ~m ~d0 =
+  if not (condition eq ~m ~d0) then None
+  else
+    let front, back = split_terms eq m in
+    let term_pairs = List.map (fun (t : Depeq.term) -> (t.coeff, t.var)) in
+    Some
+      {
+        front = Depeq.make d0 (term_pairs front);
+        back = Depeq.make (Intx.sub eq.c0 d0) (term_pairs back);
+      }
+
+let solutions eq = Seq.filter (Depeq.holds eq) (Depeq.assignments eq)
+
+let product_solutions_agree (eq : Depeq.t) { front; back } =
+  (* The pieces partition the variables, so a pair of solutions merges
+     into one assignment of the original equation. *)
+  let whole = List.of_seq (solutions eq) in
+  let fronts = List.of_seq (solutions front) in
+  let backs = List.of_seq (solutions back) in
+  let product =
+    List.concat_map (fun f -> List.map (fun b -> f @ b) backs) fronts
+  in
+  List.length whole = List.length product
+  && List.for_all (fun asg -> Depeq.holds eq asg) product

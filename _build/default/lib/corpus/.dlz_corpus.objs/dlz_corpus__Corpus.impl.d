@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Dlz_base Dlz_core Dlz_ir Dlz_passes Dlz_symbolic Dlz_vec Hashtbl Int64 List Printf

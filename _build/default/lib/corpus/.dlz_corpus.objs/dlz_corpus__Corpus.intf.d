@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Dlz_ir

@@ -1,0 +1,1 @@
+lib/deptest/acyclic.ml: Depeq Dlz_base Intx Ivl List Numth Svpc Verdict

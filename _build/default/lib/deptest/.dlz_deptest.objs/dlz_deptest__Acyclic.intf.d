@@ -1,0 +1,1 @@
+lib/deptest/acyclic.mli: Depeq Verdict

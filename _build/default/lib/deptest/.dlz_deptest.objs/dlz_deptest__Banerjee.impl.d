@@ -1,0 +1,1 @@
+lib/deptest/banerjee.ml: Depeq Dirvec Dlz_base Intx Ivl List Stdlib Verdict

@@ -1,0 +1,1 @@
+lib/deptest/banerjee.mli: Depeq Dirvec Dlz_base Verdict

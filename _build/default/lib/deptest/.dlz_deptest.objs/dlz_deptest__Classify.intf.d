@@ -1,0 +1,1 @@
+lib/deptest/classify.mli: Format

@@ -1,0 +1,1 @@
+lib/deptest/ddvec.ml: Array Dirvec Format Printf Stdlib String

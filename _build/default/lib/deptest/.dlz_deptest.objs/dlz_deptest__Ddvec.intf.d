@@ -1,0 +1,1 @@
+lib/deptest/ddvec.mli: Dirvec Format

@@ -1,0 +1,1 @@
+lib/deptest/depeq.ml: Dlz_base Format Fun Int Intx Ivl List Seq String

@@ -1,0 +1,1 @@
+lib/deptest/depeq.mli: Dlz_base Format Seq

@@ -1,0 +1,1 @@
+lib/deptest/dirvec.ml: Array Format Option Stdlib String

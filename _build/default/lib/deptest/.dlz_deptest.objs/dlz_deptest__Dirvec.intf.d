@@ -1,0 +1,1 @@
+lib/deptest/dirvec.mli: Format

@@ -1,0 +1,1 @@
+lib/deptest/exact.ml: Array Depeq Dirvec Dlz_base Hashtbl Int Intx Ivl List Numth Option Verdict

@@ -1,0 +1,1 @@
+lib/deptest/exact.mli: Depeq Dirvec Verdict

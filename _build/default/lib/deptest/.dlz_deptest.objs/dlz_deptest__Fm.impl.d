@@ -1,0 +1,1 @@
+lib/deptest/fm.ml: Array Depeq Dlz_base Hashtbl Intx List Numth Option Verdict

@@ -1,0 +1,1 @@
+lib/deptest/fm.mli: Depeq Verdict

@@ -1,0 +1,1 @@
+lib/deptest/gcd_test.ml: Depeq Dirvec Dlz_base Intx List Numth Verdict

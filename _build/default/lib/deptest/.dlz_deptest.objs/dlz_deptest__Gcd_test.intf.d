@@ -1,0 +1,1 @@
+lib/deptest/gcd_test.mli: Depeq Dirvec Verdict

@@ -1,0 +1,1 @@
+lib/deptest/hierarchy.ml: Array Banerjee Depeq Dirvec Exact Gcd_test List Problem Verdict

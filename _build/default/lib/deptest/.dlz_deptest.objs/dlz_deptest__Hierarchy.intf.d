@@ -1,0 +1,1 @@
+lib/deptest/hierarchy.mli: Depeq Dirvec Problem Verdict

@@ -1,0 +1,1 @@
+lib/deptest/lambda.ml: Banerjee Depeq Dlz_base Intx List Numth Stdlib Verdict

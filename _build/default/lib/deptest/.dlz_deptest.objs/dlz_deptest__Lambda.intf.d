@@ -1,0 +1,1 @@
+lib/deptest/lambda.mli: Depeq Verdict

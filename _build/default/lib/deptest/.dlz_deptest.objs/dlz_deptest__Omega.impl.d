@@ -1,0 +1,1 @@
+lib/deptest/omega.ml: Array Depeq Dlz_base Hashtbl Intx List Numth Verdict

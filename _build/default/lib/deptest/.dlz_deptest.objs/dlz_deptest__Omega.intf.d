@@ -1,0 +1,1 @@
+lib/deptest/omega.mli: Depeq Verdict

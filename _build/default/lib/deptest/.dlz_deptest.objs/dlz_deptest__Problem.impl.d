@@ -1,0 +1,1 @@
+lib/deptest/problem.ml: Array Depeq Dlz_ir Dlz_symbolic Format List Option String Symeq

@@ -1,0 +1,1 @@
+lib/deptest/problem.mli: Depeq Dlz_ir Dlz_symbolic Format Symeq

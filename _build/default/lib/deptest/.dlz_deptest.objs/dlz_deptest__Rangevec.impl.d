@@ -1,0 +1,1 @@
+lib/deptest/rangevec.ml: Array Dirvec Dlz_base Exact Format List String

@@ -1,0 +1,1 @@
+lib/deptest/rangevec.mli: Depeq Dirvec Dlz_base Format

@@ -1,0 +1,1 @@
+lib/deptest/residue.ml: Array Depeq Dlz_base List Numth Verdict

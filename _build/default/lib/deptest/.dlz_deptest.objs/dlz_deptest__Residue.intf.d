@@ -1,0 +1,1 @@
+lib/deptest/residue.mli: Depeq Verdict

@@ -1,0 +1,1 @@
+lib/deptest/svpc.ml: Depeq Dlz_base Numth Verdict

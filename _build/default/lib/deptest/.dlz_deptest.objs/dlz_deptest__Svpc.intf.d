@@ -1,0 +1,1 @@
+lib/deptest/svpc.mli: Depeq Verdict

@@ -1,0 +1,1 @@
+lib/deptest/symeq.ml: Depeq Dlz_ir Dlz_symbolic Format List Option Set String

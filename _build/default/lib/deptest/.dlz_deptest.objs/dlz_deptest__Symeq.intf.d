@@ -1,0 +1,1 @@
+lib/deptest/symeq.mli: Depeq Dlz_ir Dlz_symbolic Format

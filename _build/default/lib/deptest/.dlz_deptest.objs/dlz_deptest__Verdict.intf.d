@@ -1,0 +1,1 @@
+lib/deptest/verdict.mli: Format

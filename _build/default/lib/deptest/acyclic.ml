@@ -1,0 +1,35 @@
+open Dlz_base
+
+let test (eq : Depeq.t) =
+  (* Eliminate multi-variable occurrences by widening to their range;
+     when exactly one variable remains the equality is solved exactly
+     (divisibility + bound membership over the residual interval). *)
+  match eq.terms with
+  | [] -> if eq.c0 = 0 then Verdict.Dependent else Verdict.Independent
+  | [ _ ] -> Svpc.test eq
+  | last :: rest ->
+      (* Keep the variable with the largest |coefficient| for the exact
+         final step; widen the others. *)
+      let keep, widen =
+        List.fold_left
+          (fun (keep, widen) (t : Depeq.term) ->
+            if Intx.abs t.coeff > Intx.abs keep.Depeq.coeff then (t, keep :: widen)
+            else (keep, t :: widen))
+          (last, []) rest
+      in
+      let residual =
+        List.fold_left
+          (fun acc (t : Depeq.term) ->
+            Ivl.add acc (Ivl.scale t.coeff (Ivl.make 0 t.var.v_ub)))
+          (Ivl.point eq.c0) widen
+      in
+      (* Need keep.coeff * z = -r for some r in residual, z in [0, ub]. *)
+      let c = keep.coeff and ub = keep.var.v_ub in
+      let lo = Ivl.lo residual and hi = Ivl.hi residual in
+      (* z must satisfy c*z ∈ [-hi, -lo] and be an integer in [0, ub]. *)
+      let zlo, zhi =
+        if c > 0 then (Numth.cdiv (-hi) c, Numth.fdiv (-lo) c)
+        else (Numth.cdiv (-lo) c, Numth.fdiv (-hi) c)
+      in
+      if max zlo 0 <= min zhi ub then Verdict.Dependent
+      else Verdict.Independent

@@ -1,0 +1,12 @@
+(** The Acyclic test [MHL91].
+
+    Maydan, Hennessy and Lam solve systems whose constraint/variable
+    graph is acyclic by eliminating, one at a time, variables that occur
+    in a single constraint: a variable alone in an equality is solved
+    exactly; otherwise its contribution is replaced by its (real) range.
+    On a single dependence equation every variable trivially occurs in
+    one constraint, so the test degenerates to interval reasoning with an
+    exact final step — enough to solve single-index subscripts, but (as
+    the paper reports) unable to disprove the linearized equation (1). *)
+
+val test : Depeq.t -> Verdict.t

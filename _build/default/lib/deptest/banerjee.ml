@@ -1,0 +1,113 @@
+open Dlz_base
+
+(* Extrema of a*α + b*β over the region of the (α, β) box selected by a
+   direction, by evaluating at the region's vertices (the region is the
+   intersection of a box with a half-plane, so it is a polygon whose
+   vertices are integral; a linear form attains its extrema there). *)
+let rec pair_interval a ub_a b ub_b (dir : Dirvec.dir) =
+  let value (alpha, beta) = Intx.add (Intx.mul a alpha) (Intx.mul b beta) in
+  let hull pts =
+    List.fold_left
+      (fun acc p -> Ivl.join acc (Ivl.point (value p)))
+      Ivl.empty pts
+  in
+  match dir with
+  | Dirvec.Star ->
+      Ivl.add (Ivl.scale a (Ivl.make 0 ub_a)) (Ivl.scale b (Ivl.make 0 ub_b))
+  | Dirvec.Eq ->
+      let m = min ub_a ub_b in
+      Ivl.scale (Intx.add a b) (Ivl.make 0 m)
+  | Dirvec.Lt ->
+      (* α < β: polygon {0 ≤ α ≤ ub_a, α < β ≤ ub_b}. *)
+      if ub_b < 1 then Ivl.empty
+      else
+        let tmax = min ub_a (ub_b - 1) in
+        hull [ (0, 1); (0, ub_b); (tmax, tmax + 1); (tmax, ub_b) ]
+  | Dirvec.Gt ->
+      if ub_a < 1 then Ivl.empty
+      else
+        let smax = min ub_b (ub_a - 1) in
+        hull [ (1, 0); (ub_a, 0); (smax + 1, smax); (ub_a, smax) ]
+  | Dirvec.Le | Dirvec.Ge | Dirvec.Ne ->
+      List.fold_left
+        (fun acc d -> Ivl.join acc (pair_interval a ub_a b ub_b d))
+        Ivl.empty (Dirvec.refinements dir)
+
+(* The closed-form direction bounds (Banerjee's c+/c- formulas), derived
+   by the same case analysis the vertex method encodes geometrically:
+   under α < β substitute β = α + d with d ∈ [1, B - α] and optimize the
+   two linear pieces separately. *)
+let rec pair_interval_closed a ub_a b ub_b (dir : Dirvec.dir) =
+  let ( + ) = Intx.add and ( * ) = Intx.mul in
+  match dir with
+  | Dirvec.Star ->
+      Ivl.make
+        ((Intx.neg_part a * ub_a) + (Intx.neg_part b * ub_b))
+        ((Intx.pos_part a * ub_a) + (Intx.pos_part b * ub_b))
+  | Dirvec.Eq ->
+      let m = min ub_a ub_b in
+      Ivl.make (Intx.neg_part (a + b) * m) (Intx.pos_part (a + b) * m)
+  | Dirvec.Lt ->
+      if ub_b < 1 then Ivl.empty
+      else
+        let m = min ub_a (Stdlib.( - ) ub_b 1) in
+        if b >= 0 then
+          Ivl.make
+            ((Intx.neg_part (a + b) * m) + b)
+            ((Intx.pos_part a * m) + (b * ub_b))
+        else
+          Ivl.make
+            ((Intx.neg_part a * m) + (b * ub_b))
+            ((Intx.pos_part (a + b) * m) + b)
+  | Dirvec.Gt ->
+      if ub_a < 1 then Ivl.empty
+      else
+        let m = min ub_b (Stdlib.( - ) ub_a 1) in
+        if a >= 0 then
+          Ivl.make
+            ((Intx.neg_part (a + b) * m) + a)
+            ((Intx.pos_part b * m) + (a * ub_a))
+        else
+          Ivl.make
+            ((Intx.neg_part b * m) + (a * ub_a))
+            ((Intx.pos_part (a + b) * m) + a)
+  | Dirvec.Le | Dirvec.Ge | Dirvec.Ne ->
+      List.fold_left
+        (fun acc d -> Ivl.join acc (pair_interval_closed a ub_a b ub_b d))
+        Ivl.empty (Dirvec.refinements dir)
+
+let interval_gen pair_fn ?(dirs = fun _ -> Dirvec.Star) (eq : Depeq.t) =
+  let pairs = Depeq.common_pairs eq in
+  let acc =
+    List.fold_left
+      (fun acc (lvl, src, dst) ->
+        let contribution =
+          (* A missing side means the variable's coefficient is 0 in this
+             equation; its bound is unknown here, so its instance is left
+             unconstrained (conservative: never shrinks the range below
+             what the true bound would give).  Level feasibility against
+             real bounds is enforced by the hierarchy driver. *)
+          match (src, dst) with
+          | Some (a, va), Some (b, vb) ->
+              pair_fn a va.Depeq.v_ub b vb.Depeq.v_ub (dirs lvl)
+          | Some (a, va), None ->
+              pair_fn a va.Depeq.v_ub 0 max_int (dirs lvl)
+          | None, Some (b, vb) ->
+              pair_fn 0 max_int b vb.Depeq.v_ub (dirs lvl)
+          | None, None -> Ivl.zero
+        in
+        Ivl.add acc contribution)
+      (Ivl.point eq.c0) pairs
+  in
+  List.fold_left
+    (fun acc (t : Depeq.term) ->
+      if t.var.v_level > 0 then acc
+      else Ivl.add acc (Ivl.scale t.coeff (Ivl.make 0 t.var.v_ub)))
+    acc eq.terms
+
+let interval ?dirs eq = interval_gen pair_interval ?dirs eq
+let interval_closed ?dirs eq = interval_gen pair_interval_closed ?dirs eq
+
+let test ?dirs eq =
+  let iv = interval ?dirs eq in
+  if Ivl.contains_zero iv then Verdict.Dependent else Verdict.Independent

@@ -1,0 +1,22 @@
+(** Banerjee inequalities [AK87, WB87], with direction-vector constraints.
+
+    The test bounds the left-hand side [c0 + Σ ck*zk] over the (real
+    relaxation of the) iteration box, optionally restricted by a
+    direction for each common loop, and reports independence when the
+    range excludes zero.  Direction regions are triangular; we compute
+    their exact linear-programming extrema by vertex enumeration, which
+    coincides with Banerjee's closed-form direction bounds. *)
+
+val interval : ?dirs:(int -> Dirvec.dir) -> Depeq.t -> Dlz_base.Ivl.t
+(** Exact range of the left-hand side over the (integer-vertexed) region
+    selected by [dirs]; the empty interval when some direction is
+    infeasible (e.g. [<] inside a 1-trip loop). *)
+
+val test : ?dirs:(int -> Dirvec.dir) -> Depeq.t -> Verdict.t
+(** [Independent] iff {!interval} excludes zero. *)
+
+val interval_closed : ?dirs:(int -> Dirvec.dir) -> Depeq.t -> Dlz_base.Ivl.t
+(** The same range computed with Banerjee's closed-form direction bounds
+    (the textbook [c⁺]/[c⁻] formulas) instead of vertex enumeration.
+    The two must agree — a property the test suite checks; kept as an
+    executable rendering of the published formulas. *)

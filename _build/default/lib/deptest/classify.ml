@@ -1,0 +1,16 @@
+type kind = True | Anti | Output | Input
+
+let kind ~src ~dst =
+  match (src, dst) with
+  | `Write, `Read -> True
+  | `Read, `Write -> Anti
+  | `Write, `Write -> Output
+  | `Read, `Read -> Input
+
+let to_string = function
+  | True -> "true"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Input -> "input"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

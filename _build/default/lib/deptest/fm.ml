@@ -1,0 +1,112 @@
+open Dlz_base
+
+type mode = Real | Tightened
+type ineq = { cs : int array; bound : int }
+
+let normalize mode (q : ineq) =
+  let g = Numth.gcd_list (Array.to_list q.cs) in
+  if g <= 1 then q
+  else
+    match mode with
+    | Tightened -> { cs = Array.map (fun c -> c / g) q.cs; bound = Numth.fdiv q.bound g }
+    | Real ->
+        if Numth.divides g q.bound then
+          { cs = Array.map (fun c -> c / g) q.cs; bound = q.bound / g }
+        else q
+
+let is_trivial q = Array.for_all (fun c -> c = 0) q.cs
+
+(* Keep, for each coefficient vector, only the tightest bound. *)
+let dedupe qs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun q ->
+      let key = Array.to_list q.cs in
+      match Hashtbl.find_opt tbl key with
+      | Some b when b <= q.bound -> ()
+      | _ -> Hashtbl.replace tbl key q.bound)
+    qs;
+  Hashtbl.fold (fun key bound acc -> { cs = Array.of_list key; bound } :: acc) tbl []
+
+let eliminate_var mode ~count v qs =
+  let pos, rest = List.partition (fun q -> q.cs.(v) > 0) qs in
+  let neg, zero = List.partition (fun q -> q.cs.(v) < 0) rest in
+  let combos =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun n ->
+            let cp = p.cs.(v) and cn = -n.cs.(v) in
+            let g = Numth.gcd cp cn in
+            let mp = cn / g and mn = cp / g in
+            let cs =
+              Array.init (Array.length p.cs) (fun i ->
+                  Intx.add (Intx.mul mp p.cs.(i)) (Intx.mul mn n.cs.(i)))
+            in
+            let bound = Intx.add (Intx.mul mp p.bound) (Intx.mul mn n.bound) in
+            count := !count + 1;
+            normalize mode { cs; bound })
+          neg)
+      pos
+  in
+  dedupe (zero @ combos)
+
+let choose_var nvars qs =
+  (* Eliminate small-coefficient variables first: combinations then keep
+     the large common factors alive, which is what makes Pugh-style
+     tightening bite (e.g. rows in 10*j survive the elimination of the
+     unit-coefficient i's and tighten to a contradiction on eq. (1)).
+     Ties break on the usual p*n growth estimate. *)
+  let best = ref None in
+  for v = 0 to nvars - 1 do
+    let p = List.length (List.filter (fun q -> q.cs.(v) > 0) qs) in
+    let n = List.length (List.filter (fun q -> q.cs.(v) < 0) qs) in
+    if p + n > 0 then begin
+      let maxc =
+        List.fold_left
+          (fun acc q -> max acc (Intx.abs q.cs.(v)))
+          0 qs
+      in
+      let cost = (maxc, (p * n) - (p + n)) in
+      match !best with
+      | Some (_, c) when c <= cost -> ()
+      | _ -> best := Some (v, cost)
+    end
+  done;
+  Option.map fst !best
+
+let run mode ~nvars qs =
+  let count = ref 0 in
+  let rec go qs =
+    if List.exists (fun q -> is_trivial q && q.bound < 0) qs then (false, !count)
+    else
+      match choose_var nvars qs with
+      | None -> (true, !count)
+      | Some v -> go (eliminate_var mode ~count v qs)
+  in
+  go (List.map (normalize mode) qs)
+
+let feasible mode ~nvars qs = fst (run mode ~nvars qs)
+let eliminations mode ~nvars qs = snd (run mode ~nvars qs)
+
+let system_of_equation (eq : Depeq.t) =
+  let n = List.length eq.terms in
+  let coeffs = Array.of_list (Depeq.coeffs eq) in
+  let row f = Array.init n f in
+  let eq_le = { cs = row (fun i -> coeffs.(i)); bound = -eq.c0 } in
+  let eq_ge = { cs = row (fun i -> -coeffs.(i)); bound = eq.c0 } in
+  let bounds =
+    List.concat
+      (List.mapi
+         (fun i (t : Depeq.term) ->
+           [
+             { cs = row (fun j -> if i = j then 1 else 0); bound = t.var.v_ub };
+             { cs = row (fun j -> if i = j then -1 else 0); bound = 0 };
+           ])
+         eq.terms)
+  in
+  (n, (eq_le :: eq_ge :: bounds))
+
+let test mode eq =
+  let nvars, qs = system_of_equation eq in
+  if feasible mode ~nvars qs then Verdict.Dependent else Verdict.Independent

@@ -1,0 +1,29 @@
+(** Fourier–Motzkin elimination [DE73, MHL91], real and integer-tightened.
+
+    The dependence equation plus its box constraints form a system of
+    linear inequalities; eliminating every variable decides rational
+    feasibility exactly.  In [`Tightened] mode every derived inequality
+    is normalized as Pugh suggests [Pug91]: divide by the gcd [g] of the
+    variable coefficients and replace the bound [b] by [floor(b/g)] —
+    sound for integer solutions and strong enough to disprove the
+    paper's equation (1), which real FM cannot. *)
+
+type mode = Real | Tightened
+
+type ineq = { cs : int array; bound : int }
+(** [Σ cs.(i) * x_i <= bound]. *)
+
+val feasible : mode -> nvars:int -> ineq list -> bool
+(** Eliminates all variables; [false] means no rational (resp. integer)
+    solution exists.  In [Real] mode [true] is exact (a rational solution
+    exists); in [Tightened] mode [true] is conservative. *)
+
+val system_of_equation : Depeq.t -> int * ineq list
+(** The equation (as two inequalities) plus the box bounds, with
+    variables numbered in term order. *)
+
+val test : mode -> Depeq.t -> Verdict.t
+
+val eliminations : mode -> nvars:int -> ineq list -> int
+(** Number of constraints generated over the whole elimination — the
+    cost measure used by the E8 efficiency benches. *)

@@ -1,0 +1,29 @@
+open Dlz_base
+
+let effective_coeffs dirs (eq : Depeq.t) =
+  let pairs = Depeq.common_pairs eq in
+  let merged_levels, merged_coeffs =
+    List.fold_left
+      (fun (lvls, cs) (lvl, src, dst) ->
+        match (dirs lvl, src, dst) with
+        | Dirvec.Eq, Some (a, va), Some (b, vb) ->
+            (* α = β = t: a single variable with coefficient a+b ranging
+               over [0, min bounds]. *)
+            let _ = (va, vb) in
+            (lvl :: lvls, Intx.add a b :: cs)
+        | _ -> (lvls, cs))
+      ([], []) pairs
+  in
+  let untouched =
+    List.filter_map
+      (fun (t : Depeq.term) ->
+        if t.var.v_level > 0 && List.mem t.var.v_level merged_levels then None
+        else Some t.coeff)
+      eq.terms
+  in
+  merged_coeffs @ untouched
+
+let test ?(dirs = fun _ -> Dirvec.Star) (eq : Depeq.t) =
+  let cs = effective_coeffs dirs eq in
+  let g = Numth.gcd_list cs in
+  if Numth.divides g eq.c0 then Verdict.Dependent else Verdict.Independent

@@ -1,0 +1,52 @@
+type eq_test = dirs:(int -> Dirvec.dir) -> Depeq.t -> Verdict.t
+
+let gcd_banerjee ~dirs eq =
+  Verdict.both (Gcd_test.test ~dirs eq) (Banerjee.test ~dirs eq)
+
+let feasible_dir ~ub dir =
+  match dir with
+  | Dirvec.Lt | Dirvec.Gt -> ub >= 1
+  | Dirvec.Ne -> ub >= 1
+  | Dirvec.Eq | Dirvec.Le | Dirvec.Ge | Dirvec.Star -> true
+
+let run_test test (p : Problem.numeric) (dv : Dirvec.t) =
+  let dirs lvl = if lvl >= 1 && lvl <= p.n_common then dv.(lvl - 1) else Dirvec.Star in
+  let level_ok =
+    Array.for_all2
+      (fun ub d -> feasible_dir ~ub d)
+      p.common_ubs
+      (Array.sub dv 0 (Array.length p.common_ubs))
+  in
+  if not level_ok then Verdict.Independent
+  else
+    List.fold_left
+      (fun acc eq ->
+        match acc with
+        | Verdict.Independent -> acc
+        | _ -> Verdict.conservative (test ~dirs eq))
+      Verdict.Dependent p.eqs
+
+let test ?(test = gcd_banerjee) (p : Problem.numeric) =
+  run_test test p (Dirvec.all_star p.n_common)
+
+let directions ?(test = gcd_banerjee) (p : Problem.numeric) =
+  let n = p.n_common in
+  let results = ref [] in
+  let rec refine dv level =
+    match run_test test p dv with
+    | Verdict.Independent -> ()
+    | _ ->
+        if level > n then results := Array.copy dv :: !results
+        else
+          List.iter
+            (fun d ->
+              dv.(level - 1) <- d;
+              refine dv (level + 1);
+              dv.(level - 1) <- Dirvec.Star)
+            [ Dirvec.Lt; Dirvec.Eq; Dirvec.Gt ]
+  in
+  refine (Dirvec.all_star n) 1;
+  List.sort Dirvec.compare !results
+
+let directions_exact (p : Problem.numeric) =
+  Exact.direction_vectors ~n_common:p.n_common p.eqs

@@ -1,0 +1,28 @@
+(** Direction-vector hierarchy refinement [WB87, GKT91].
+
+    Starting from [(*, ..., *)], each [*] is refined into [<], [=], [>];
+    a subtree is pruned as soon as the per-equation tests disprove
+    dependence under the partial vector.  The surviving leaves are the
+    reported direction vectors — the "existing techniques" the paper's
+    algorithm calls to solve separated equations. *)
+
+type eq_test = dirs:(int -> Dirvec.dir) -> Depeq.t -> Verdict.t
+(** A sound single-equation test under direction constraints. *)
+
+val gcd_banerjee : eq_test
+(** GCD-with-directions ∧ Banerjee-with-directions: the combination the
+    paper proves its algorithm matches per dimension. *)
+
+val test : ?test:eq_test -> Problem.numeric -> Verdict.t
+(** Dependence test at the unrefined [(*, ..., *)] vector. *)
+
+val directions : ?test:eq_test -> Problem.numeric -> Dirvec.t list
+(** All basic direction vectors not disproven, sorted.  The empty list
+    means independence. *)
+
+val directions_exact : Problem.numeric -> Dirvec.t list
+(** Ground truth via the exact solver (exponential; small problems). *)
+
+val feasible_dir : ub:int -> Dirvec.dir -> bool
+(** Whether a direction is realizable inside a common loop of the given
+    normalized upper bound ([<] and [>] need at least two iterations). *)

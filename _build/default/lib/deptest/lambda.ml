@@ -1,0 +1,57 @@
+open Dlz_base
+
+let scale_eq k (eq : Depeq.t) =
+  Depeq.make (Intx.mul k eq.c0)
+    (List.map (fun (t : Depeq.term) -> (Intx.mul k t.coeff, t.var)) eq.terms)
+
+let add_eq (a : Depeq.t) (b : Depeq.t) =
+  Depeq.make (Intx.add a.c0 b.c0)
+    (List.map (fun (t : Depeq.term) -> (t.coeff, t.var)) a.terms
+    @ List.map (fun (t : Depeq.term) -> (t.coeff, t.var)) b.terms)
+
+let combinations (e1 : Depeq.t) (e2 : Depeq.t) =
+  let shared =
+    List.filter_map
+      (fun (t1 : Depeq.term) ->
+        List.find_map
+          (fun (t2 : Depeq.term) ->
+            if Depeq.same_var t1.var t2.var then Some (t1.coeff, t2.coeff)
+            else None)
+          e2.terms)
+      e1.terms
+  in
+  List.filter_map
+    (fun (a1, a2) ->
+      (* a2·e1 - a1·e2 cancels the shared variable.  Normalize the pair
+         by its gcd to keep coefficients small. *)
+      let g = Numth.gcd a1 a2 in
+      if g = 0 then None
+      else
+        let m1 = a2 / g and m2 = -(a1 / g) in
+        let c = add_eq (scale_eq m1 e1) (scale_eq m2 e2) in
+        if c.Depeq.terms = [] && c.Depeq.c0 = 0 then None else Some c)
+    shared
+  |> List.sort_uniq Stdlib.compare
+
+let test eqs =
+  let per_eq =
+    List.fold_left
+      (fun acc eq -> Verdict.both acc (Banerjee.test eq))
+      Verdict.Dependent eqs
+  in
+  if per_eq = Verdict.Independent then Verdict.Independent
+  else
+    let rec pairs = function
+      | [] -> Verdict.Dependent
+      | e1 :: rest ->
+          let v =
+            List.fold_left
+              (fun acc e2 ->
+                List.fold_left
+                  (fun acc c -> Verdict.both acc (Banerjee.test c))
+                  acc (combinations e1 e2))
+              Verdict.Dependent rest
+          in
+          if v = Verdict.Independent then Verdict.Independent else pairs rest
+    in
+    pairs eqs

@@ -1,0 +1,21 @@
+(** The λ-test [LYZ89] (the paper's "A-test"): simultaneous real-domain
+    testing of coupled subscripts.
+
+    Li, Yew and Zhu test multidimensional references by checking, in
+    addition to each dimension's own equation, linear combinations
+    [λ1·eq1 + λ2·eq2 + …] chosen to cancel variables: a dependence must
+    satisfy every combination, so a combination with no real solution in
+    the box disproves it.  This catches coupled subscripts that
+    per-dimension Banerjee misses (e.g. [A(i+1, i)] vs [A(j, j)], whose
+    difference [eq1 - eq2] is the unsatisfiable [1 = 0]) — but, like all
+    real-domain tests, it still cannot disprove the paper's linearized
+    equation (1). *)
+
+val test : Depeq.t list -> Verdict.t
+(** Banerjee on every equation plus on every pairwise
+    variable-cancelling combination; [Independent] if any is refuted.
+    Sound: combinations are implied by the system. *)
+
+val combinations : Depeq.t -> Depeq.t -> Depeq.t list
+(** The variable-cancelling combinations [a2·eq1 - a1·eq2] for each
+    variable appearing in both equations (deduplicated). *)

@@ -1,0 +1,30 @@
+(** An Omega-style exact integer solver [Pug91] (simplified).
+
+    The paper singles out Pugh's Omega test as the integer-exact
+    alternative to the fast conservative tests.  This implementation
+    follows the published structure:
+
+    + equalities are eliminated exactly by unimodular changes of
+      variables (pairwise extended-gcd reduction, then substitution of
+      the solved variable);
+    + the remaining inequalities go through Fourier–Motzkin with the
+      {e real} and {e dark} shadows: a contradictory real shadow proves
+      integer infeasibility, a satisfiable dark shadow proves integer
+      feasibility, eliminations with a unit coefficient are exact;
+    + the residual gray zone is decided by {e splintering}: case
+      analysis on [b·x = β + i] for the finitely many offsets [i] the
+      shadows leave open.
+
+    Splintering can blow up, so the solver carries a work budget and
+    reports {!Unknown} when it is exhausted — the callers (E1 table,
+    benches, tests) treat that as "dependent". *)
+
+type result = Sat | Unsat | Unknown
+
+val solve : ?budget:int -> Depeq.t list -> result
+(** Decides whether the conjunction of the dependence equations (with
+    their box bounds) has an integer solution.  Default [budget] is
+    [50_000] elimination steps. *)
+
+val test : ?budget:int -> Depeq.t list -> Verdict.t
+(** [Independent] iff {!solve} returns [Unsat]. *)

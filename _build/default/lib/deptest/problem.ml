@@ -1,0 +1,90 @@
+module Poly = Dlz_symbolic.Poly
+module Access = Dlz_ir.Access
+
+type t = {
+  src : Access.t;
+  dst : Access.t;
+  n_common : int;
+  common_ubs : Poly.t list;
+  equations : Symeq.t list;
+  opaque_dims : int;
+}
+
+type numeric = {
+  n_common : int;
+  common_ubs : int array;
+  eqs : Depeq.t list;
+  opaque_dims : int;
+}
+
+let of_accesses (src : Access.t) (dst : Access.t) =
+  if not (String.equal src.array dst.array) then None
+  else begin
+    let common = Access.common_loops src dst in
+    let rec zip (eqs, opq) ss ds =
+      match (ss, ds) with
+      | [], [] -> (eqs, opq)
+      | Access.Aff fs :: ss, Access.Aff fd :: ds ->
+          zip
+            ( Symeq.of_affine_pair ~src:fs ~src_loops:src.loops ~dst:fd
+                ~dst_loops:dst.loops
+              :: eqs,
+              opq )
+            ss ds
+      | _ :: ss, _ :: ds -> zip (eqs, opq + 1) ss ds
+      | rest, [] | [], rest -> (eqs, opq + List.length rest)
+    in
+    let equations, opaque = zip ([], 0) src.subs dst.subs in
+    Some
+      {
+        src;
+        dst;
+        n_common = List.length common;
+        common_ubs = List.map (fun (l : Access.loop) -> l.l_ub) common;
+        equations = List.rev equations;
+        opaque_dims = opaque;
+      }
+  end
+
+let numeric_of_equations ~n_common ~common_ubs eqs =
+  { n_common; common_ubs; eqs; opaque_dims = 0 }
+
+let to_numeric (p : t) =
+  let ( let* ) = Option.bind in
+  let rec ubs acc = function
+    | [] -> Some (List.rev acc)
+    | u :: rest ->
+        let* c = Poly.to_const u in
+        ubs (c :: acc) rest
+  in
+  let* common_ubs = ubs [] p.common_ubs in
+  let rec eqs acc = function
+    | [] -> Some (List.rev acc)
+    | e :: rest ->
+        let* n = Symeq.to_numeric e in
+        eqs (n :: acc) rest
+  in
+  let* eqs = eqs [] p.equations in
+  Some
+    {
+      n_common = p.n_common;
+      common_ubs = Array.of_list common_ubs;
+      eqs;
+      opaque_dims = p.opaque_dims;
+    }
+
+let instantiate env (p : t) =
+  {
+    n_common = p.n_common;
+    common_ubs = Array.of_list (List.map (Poly.eval env) p.common_ubs);
+    eqs = List.map (Symeq.instantiate env) p.equations;
+    opaque_dims = p.opaque_dims;
+  }
+
+let pp ppf (p : t) =
+  Format.fprintf ppf "@[<v>%s:%s -> %s:%s, %d common loop(s)" p.src.stmt_name
+    p.src.array p.dst.stmt_name p.dst.array p.n_common;
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" Symeq.pp e) p.equations;
+  if p.opaque_dims > 0 then
+    Format.fprintf ppf "@,  (%d opaque dimension(s))" p.opaque_dims;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Dependence problems: everything known about one pair of references.
+
+    A problem packages the two accesses, their common loops, and one
+    (symbolic) dependence equation per analyzable subscript position —
+    the system (2) of the paper.  Numeric projections feed the classic
+    tests and the exact solver. *)
+
+module Poly = Dlz_symbolic.Poly
+module Access = Dlz_ir.Access
+
+type t = {
+  src : Access.t;
+  dst : Access.t;
+  n_common : int;
+  common_ubs : Poly.t list;  (** Bounds of the common loops, outermost first. *)
+  equations : Symeq.t list;
+  opaque_dims : int;
+      (** Subscript positions skipped because either side was
+          unanalyzable; each skipped dimension weakens precision but
+          never soundness. *)
+}
+
+type numeric = {
+  n_common : int;
+  common_ubs : int array;
+  eqs : Depeq.t list;
+  opaque_dims : int;
+}
+
+val of_accesses : Access.t -> Access.t -> t option
+(** [None] when the accesses name different arrays (no dependence
+    possible through distinct storage — aliasing must have been resolved
+    by the linearization pass beforehand). *)
+
+val to_numeric : t -> numeric option
+(** Defined when all coefficients and bounds are integer constants. *)
+
+val instantiate : (string -> int) -> t -> numeric
+val numeric_of_equations : n_common:int -> common_ubs:int array -> Depeq.t list -> numeric
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+open Dlz_base
+
+(* Nodes: 0 is the zero node, variables are 1-based indices.
+   Edge (u, v, w) encodes x_v - x_u <= w. *)
+let has_negative_cycle nnodes edges =
+  let dist = Array.make nnodes 0 in
+  let changed = ref true in
+  let relax () =
+    changed := false;
+    List.iter
+      (fun (u, v, w) ->
+        if dist.(u) + w < dist.(v) then begin
+          dist.(v) <- dist.(u) + w;
+          changed := true
+        end)
+      edges
+  in
+  let i = ref 0 in
+  while !changed && !i < nnodes do
+    relax ();
+    incr i
+  done;
+  !changed
+
+let test (eq : Depeq.t) =
+  let g = Numth.gcd_list (Depeq.coeffs eq) in
+  if g = 0 then
+    if eq.c0 = 0 then Verdict.Dependent else Verdict.Independent
+  else if not (Numth.divides g eq.c0) then
+    (* Not strictly part of the residue method, but dividing through is:
+       a non-integer constant leaves no difference constraint at all. *)
+    Verdict.Independent
+  else
+    let c0 = eq.c0 / g in
+    let terms =
+      List.map (fun (t : Depeq.term) -> (t.coeff / g, t.var)) eq.terms
+    in
+    let ok_coeffs = List.for_all (fun (c, _) -> c = 1 || c = -1) terms in
+    let n = List.length terms in
+    if (not ok_coeffs) || n > 2 then Verdict.Inapplicable
+    else begin
+      (* Index the variables 1..n; build x_pos - x_neg = -c0. *)
+      let indexed = List.mapi (fun i (c, v) -> (i + 1, c, v)) terms in
+      let bound_edges =
+        List.concat_map
+          (fun (i, _, (v : Depeq.var)) ->
+            [ (0, i, v.v_ub) (* x_i <= ub *); (i, 0, 0) (* -x_i <= 0 *) ])
+          indexed
+      in
+      let eq_edges =
+        match indexed with
+        | [] -> if c0 = 0 then [] else [ (0, 0, -1) ]
+        | [ (i, c, _) ] ->
+            (* c*x = -c0, c = ±1: x = -c0/c. *)
+            let value = -c0 / c in
+            [ (0, i, value) (* x <= value *); (i, 0, -value) (* x >= value *) ]
+        | [ (i, ci, _); (j, cj, _) ] ->
+            if ci = -cj then
+              (* With pos the +1-coefficient variable:
+                 c0 + pos - neg = 0, i.e. pos - neg = -c0. *)
+              let pos, neg = if ci = 1 then (i, j) else (j, i) in
+              let d = -c0 in
+              [ (neg, pos, d); (pos, neg, -d) ]
+            else
+              (* x_i + x_j = -c0 is not a difference constraint. *)
+              []
+        | _ -> assert false
+      in
+      match indexed with
+      | [ (_, ci, _); (_, cj, _) ] when ci = cj -> Verdict.Inapplicable
+      | _ ->
+          let edges = bound_edges @ eq_edges in
+          if has_negative_cycle (n + 1) edges then Verdict.Independent
+          else Verdict.Dependent
+    end

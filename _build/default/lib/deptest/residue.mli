@@ -1,0 +1,15 @@
+(** Simple Loop Residue test [MHL91], after Shostak's loop residues
+    [Sho81].
+
+    Constraints of the form [x - y <= c], [x <= c], [-x <= c] are edges
+    of a weighted graph over the variables plus a zero node; the system
+    is infeasible (over the rationals) iff the graph has a negative
+    cycle.  A dependence equation qualifies only when, after dividing by
+    the gcd of its coefficients, it has at most two variables with
+    coefficients [±1]; the paper's equation (1) does not qualify, so the
+    test cannot disprove it. *)
+
+val test : Depeq.t -> Verdict.t
+(** [Independent] when the difference-constraint graph has a negative
+    cycle; [Inapplicable] when the equation is not expressible with
+    difference constraints. *)

@@ -1,0 +1,12 @@
+open Dlz_base
+
+let test (eq : Depeq.t) =
+  match eq.terms with
+  | [] -> if eq.c0 = 0 then Verdict.Dependent else Verdict.Independent
+  | [ t ] ->
+      if not (Numth.divides t.coeff eq.c0) then Verdict.Independent
+      else
+        let z = -eq.c0 / t.coeff in
+        if 0 <= z && z <= t.var.v_ub then Verdict.Dependent
+        else Verdict.Independent
+  | _ -> Verdict.Inapplicable

@@ -1,0 +1,11 @@
+(** Single Variable Per Constraint test [MHL91, Ban88].
+
+    Exact whenever the dependence equation contains at most one variable:
+    [c0 + c*z = 0] holds iff [c | c0] and [-c0/c ∈ [0, ub]].  On
+    equations with two or more variables the test is inapplicable —
+    which is why it cannot disprove the paper's linearized equation
+    (1). *)
+
+val test : Depeq.t -> Verdict.t
+(** [Independent] / [Dependent] (exactly) for 0- or 1-variable
+    equations; [Inapplicable] otherwise. *)

@@ -1,0 +1,17 @@
+type t = Independent | Dependent | Inapplicable
+
+let conservative = function Inapplicable -> Dependent | v -> v
+
+let both a b =
+  match (conservative a, conservative b) with
+  | Independent, _ | _, Independent -> Independent
+  | _ -> Dependent
+
+let equal = ( = )
+
+let to_string = function
+  | Independent -> "independent"
+  | Dependent -> "dependent"
+  | Inapplicable -> "inapplicable"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

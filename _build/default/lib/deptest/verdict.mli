@@ -1,0 +1,25 @@
+(** Verdicts shared by all dependence tests.
+
+    Every test is conservative in the same direction: [Independent] is a
+    proof (no integer solution exists), while [Dependent] merely means
+    the test could not disprove dependence — except for the exact solver,
+    which returns [Dependent] only with a witness. *)
+
+type t =
+  | Independent  (** Proven: the references cannot touch the same cell. *)
+  | Dependent  (** Dependence possible (or proven, for exact tests). *)
+  | Inapplicable
+      (** The test's applicability condition failed (e.g. the Simple Loop
+          Residue test on coefficients outside [{-1,0,1}]); callers must
+          treat this as [Dependent]. *)
+
+val conservative : t -> t
+(** Collapses [Inapplicable] to [Dependent]. *)
+
+val both : t -> t -> t
+(** Conjunction of two sound tests on the same problem: [Independent] if
+    either proves independence. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

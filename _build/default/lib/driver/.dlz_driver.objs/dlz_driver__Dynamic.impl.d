@@ -1,0 +1,1 @@
+lib/driver/dynamic.ml: Array Dlz_core Dlz_deptest Dlz_ir Hashtbl List Option Printf String

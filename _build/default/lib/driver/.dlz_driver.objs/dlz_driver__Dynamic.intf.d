@@ -1,0 +1,1 @@
+lib/driver/dynamic.mli: Dlz_core Dlz_deptest Dlz_ir

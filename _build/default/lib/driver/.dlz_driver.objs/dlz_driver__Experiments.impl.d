@@ -1,0 +1,1 @@
+lib/driver/experiments.ml: Buffer Dlz_base Dlz_core Dlz_corpus Dlz_deptest Dlz_frontend Dlz_ir Dlz_passes Dlz_symbolic Dlz_vec Format Fragments List Option Printf String Sys Workload

@@ -1,0 +1,1 @@
+lib/driver/experiments.mli: Dlz_deptest

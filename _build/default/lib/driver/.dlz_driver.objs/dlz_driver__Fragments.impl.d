@@ -1,0 +1,1 @@
+lib/driver/fragments.ml: Dlz_deptest

@@ -1,0 +1,1 @@
+lib/driver/fragments.mli: Dlz_deptest

@@ -1,0 +1,1 @@
+lib/driver/progen.ml: Array Dlz_base Dlz_ir Hashtbl List

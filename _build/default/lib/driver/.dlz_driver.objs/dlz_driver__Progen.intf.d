@@ -1,0 +1,1 @@
+lib/driver/progen.mli: Dlz_base Dlz_ir

@@ -1,0 +1,1 @@
+lib/driver/workload.ml: Dlz_base Dlz_deptest List Printf

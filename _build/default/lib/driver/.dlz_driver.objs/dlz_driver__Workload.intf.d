@@ -1,0 +1,1 @@
+lib/driver/workload.mli: Dlz_base Dlz_deptest

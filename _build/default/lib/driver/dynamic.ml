@@ -1,0 +1,243 @@
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+module Access = Dlz_ir.Access
+module Dirvec = Dlz_deptest.Dirvec
+module Classify = Dlz_deptest.Classify
+module Analyze = Dlz_core.Analyze
+
+type dep = {
+  src_stmt : int;
+  dst_stmt : int;
+  kind : Classify.kind;
+  vec : Dirvec.t;
+}
+
+type instance = { i_stmt : int; i_iter : (string * int) list }
+(* Iteration vector: (loop var, value), outermost first. *)
+
+(* Direction vector between two instances over their common loops
+   (longest common prefix by variable name), from the earlier one. *)
+let vec_between a b =
+  let rec go = function
+    | (va, xa) :: ra, (vb, xb) :: rb when String.equal va vb ->
+        Dirvec.of_delta (xb - xa) :: go (ra, rb)
+    | _ -> []
+  in
+  Array.of_list (go (a.i_iter, b.i_iter))
+
+let same_instance a b = a.i_stmt = b.i_stmt && a.i_iter = b.i_iter
+
+(* Static ids of the assignment statements, in program order, matching
+   Access extraction.  Physical equality identifies the node at run
+   time (the interpreter walks the same immutable tree). *)
+let collect_assigns (p : Ast.program) =
+  let acc = ref [] in
+  let rec go = function
+    | Ast.Assign _ as s -> acc := s :: !acc
+    | Ast.Continue _ -> ()
+    | Ast.Do d -> List.iter go d.body
+  in
+  List.iter go p.body;
+  Array.of_list (List.rev !acc)
+
+let dependences ?(syms = []) ?(fuel = 20_000_000) (p : Ast.program) =
+  let assigns = collect_assigns p in
+  let stmt_id s =
+    let rec find i =
+      if i >= Array.length assigns then failwith "Dynamic: unknown statement"
+      else if assigns.(i) == s then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* Memory layout mirrors Interp: arrays with EQUIVALENCE-shared blocks. *)
+  let layout = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Array a ->
+          let dims =
+            List.map
+              (fun (d : Ast.dim) ->
+                let eval e =
+                  match Expr.to_const e with
+                  | Some c -> c
+                  | None -> (
+                      try Expr.eval (fun v -> List.assoc v syms) e
+                      with _ -> failwith "Dynamic: non-constant bound")
+                in
+                (eval d.lo, eval d.hi - eval d.lo + 1))
+              a.a_dims
+          in
+          Hashtbl.replace layout a.a_name (dims, a.a_name, 0)
+      | _ -> ())
+    p.decls;
+  List.iter
+    (function
+      | Ast.Common (blk, members) ->
+          let base = ref 0 in
+          List.iter
+            (fun name ->
+              match Hashtbl.find_opt layout name with
+              | None -> ()
+              | Some (dims, _, _) ->
+                  let sz =
+                    List.fold_left (fun acc (_, e) -> acc * e) 1 dims
+                  in
+                  Hashtbl.replace layout name (dims, "/" ^ blk, !base);
+                  base := !base + sz)
+            members
+      | _ -> ())
+    p.decls;
+  List.iter
+    (function
+      | Ast.Equivalence groups ->
+          List.iter
+            (fun group ->
+              match group with
+              | (first, _) :: rest when Hashtbl.mem layout first ->
+                  let _, blk, base = Hashtbl.find layout first in
+                  List.iter
+                    (fun (name, _) ->
+                      match Hashtbl.find_opt layout name with
+                      | Some (dims, _, _) ->
+                          Hashtbl.replace layout name (dims, blk, base)
+                      | None -> ())
+                    rest
+              | _ -> ())
+            groups
+      | _ -> ())
+    p.decls;
+  let address name subs =
+    match Hashtbl.find_opt layout name with
+    | None -> None
+    | Some (dims, blk, base) ->
+        let rec go dims subs stride acc =
+          match (dims, subs) with
+          | [], [] -> acc
+          | (lo, extent) :: dims, s :: subs ->
+              if s < lo || s >= lo + extent then
+                failwith
+                  (Printf.sprintf "Dynamic: subscript %d out of [%d,%d]" s lo
+                     (lo + extent - 1))
+              else go dims subs (stride * extent) (acc + ((s - lo) * stride))
+          | _ -> failwith "Dynamic: arity mismatch"
+        in
+        Some (blk, base + go dims subs 1 0)
+  in
+  let scalars : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (s, v) -> Hashtbl.replace scalars s v) syms;
+  List.iter
+    (function
+      | Ast.Parameter ps ->
+          List.iter (fun (n, v) -> Hashtbl.replace scalars n v) ps
+      | _ -> ())
+    p.decls;
+  let memory : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_write : (string * int, instance) Hashtbl.t = Hashtbl.create 64 in
+  let readers : (string * int, instance list) Hashtbl.t = Hashtbl.create 64 in
+  let deps = Hashtbl.create 64 in
+  let dep_order = ref [] in
+  let emit src dst kind =
+    (* src executes first by construction; a statement instance's own
+       read feeding its own write is not a dependence. *)
+    if not (same_instance src dst) then begin
+      let vec = vec_between src dst in
+      let key = (src.i_stmt, dst.i_stmt, kind, vec) in
+      if not (Hashtbl.mem deps key) then begin
+        Hashtbl.replace deps key ();
+        dep_order :=
+          { src_stmt = src.i_stmt; dst_stmt = dst.i_stmt; kind; vec }
+          :: !dep_order
+      end
+    end
+  in
+  let steps = ref 0 in
+  let iter_stack = ref [] in
+  let current_instance stmt =
+    { i_stmt = stmt; i_iter = List.rev !iter_stack }
+  in
+  let rec eval me e =
+    match e with
+    | Expr.Const c -> c
+    | Expr.Var v -> Option.value (Hashtbl.find_opt scalars v) ~default:0
+    | Expr.Neg a -> -eval me a
+    | Expr.Bin (op, a, b) -> (
+        let x = eval me a and y = eval me b in
+        match op with
+        | Expr.Add -> x + y
+        | Expr.Sub -> x - y
+        | Expr.Mul -> x * y
+        | Expr.Div -> if y = 0 then 0 else x / y)
+    | Expr.Call ("%REAL", _) -> 0
+    | Expr.Call (f, args) -> (
+        let vals = List.map (eval me) args in
+        match address f vals with
+        | Some cell ->
+            (match Hashtbl.find_opt last_write cell with
+            | Some w -> emit w me Classify.True
+            | None -> ());
+            Hashtbl.replace readers cell
+              (me :: Option.value (Hashtbl.find_opt readers cell) ~default:[]);
+            Option.value (Hashtbl.find_opt memory cell) ~default:0
+        | None ->
+            List.fold_left (fun acc v -> (acc * 31) + v) (Hashtbl.hash f) vals
+            land 0x7)
+  in
+  let rec exec s =
+    incr steps;
+    if !steps > fuel then failwith "Dynamic: out of fuel";
+    match s with
+    | Ast.Continue _ -> ()
+    | Ast.Assign { lhs; rhs; _ } -> (
+        let me = current_instance (stmt_id s) in
+        let v = eval me rhs in
+        let subs = List.map (eval me) lhs.subs in
+        match address lhs.name subs with
+        | Some cell ->
+            List.iter
+              (fun r -> if not (same_instance r me) then emit r me Classify.Anti)
+              (Option.value (Hashtbl.find_opt readers cell) ~default:[]);
+            (match Hashtbl.find_opt last_write cell with
+            | Some w -> emit w me Classify.Output
+            | None -> ());
+            Hashtbl.replace readers cell [];
+            Hashtbl.replace last_write cell me;
+            Hashtbl.replace memory cell v
+        | None ->
+            if lhs.subs <> [] then
+              failwith ("Dynamic: undeclared array " ^ lhs.name)
+            else Hashtbl.replace scalars lhs.name v)
+    | Ast.Do d ->
+        let lo = eval (current_instance 0) d.lo
+        and hi = eval (current_instance 0) d.hi
+        and step = eval (current_instance 0) d.step in
+        if step = 0 then failwith "Dynamic: zero step";
+        let continue v = if step > 0 then v <= hi else v >= hi in
+        let v = ref lo in
+        while continue !v do
+          Hashtbl.replace scalars d.var !v;
+          iter_stack := (d.var, !v) :: !iter_stack;
+          List.iter exec d.body;
+          iter_stack := List.tl !iter_stack;
+          v := !v + step
+        done
+  in
+  List.iter exec p.body;
+  List.rev !dep_order
+
+let covers (s : Analyze.dep) (d : dep) =
+  let s_src = s.Analyze.src.Access.stmt_id
+  and s_dst = s.Analyze.dst.Access.stmt_id in
+  let admits vec dyn =
+    Array.length dyn <= Array.length vec
+    && Array.for_all2
+         (fun sv dv -> Dirvec.meet_dir sv dv <> None)
+         (Array.sub vec 0 (Array.length dyn))
+         dyn
+  in
+  (s_src = d.src_stmt && s_dst = d.dst_stmt && admits s.Analyze.dirvec d.vec)
+  || s_src = d.dst_stmt && s_dst = d.src_stmt
+     && admits s.Analyze.dirvec (Dirvec.reverse d.vec)
+
+let uncovered dyn static =
+  List.filter (fun d -> not (List.exists (fun s -> covers s d) static)) dyn

@@ -1,0 +1,88 @@
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+module Prng = Dlz_base.Prng
+
+(* An affine subscript over the loop variables, with its value hull. *)
+let random_subscript g loops =
+  (* loops: (var, ub) list *)
+  let terms =
+    List.filter_map
+      (fun (v, ub) ->
+        match Prng.int g 4 with
+        | 0 -> None
+        | 1 -> Some (1, v, ub)
+        | 2 -> Some (Prng.int_in g (-3) 3, v, ub)
+        | _ -> Some (Prng.choose g [| -12; -10; -4; -2; 2; 4; 10; 12 |], v, ub))
+      loops
+  in
+  let c0 = Prng.int_in g (-6) 6 in
+  let expr =
+    List.fold_left
+      (fun acc (c, v, _) ->
+        if c = 0 then acc
+        else
+          let t =
+            if c = 1 then Expr.Var v
+            else Expr.Bin (Expr.Mul, Expr.Const c, Expr.Var v)
+          in
+          Expr.Bin (Expr.Add, acc, t))
+      (Expr.Const c0) terms
+  in
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) (c, _, ub) ->
+        if c >= 0 then (lo, hi + (c * ub)) else (lo + (c * ub), hi))
+      (c0, c0) terms
+  in
+  (Expr.fold_consts expr, lo, hi)
+
+let random g =
+  let depth = Prng.int_in g 1 3 in
+  let loop_names = [| "I"; "J"; "K" |] in
+  let loops =
+    List.init depth (fun i -> (loop_names.(i), Prng.int_in g 1 4))
+  in
+  let arrays = if Prng.bool g then [ "A" ] else [ "A"; "B" ] in
+  let hulls = Hashtbl.create 4 in
+  List.iter (fun a -> Hashtbl.replace hulls a (0, 0)) arrays;
+  let nstmts = Prng.int_in g 1 3 in
+  let mk_ref () =
+    let a = Prng.choose g (Array.of_list arrays) in
+    let e, lo, hi = random_subscript g loops in
+    let clo, chi = Hashtbl.find hulls a in
+    Hashtbl.replace hulls a (min clo lo, max chi hi);
+    Expr.Call (a, [ e ])
+  in
+  let stmts =
+    List.init nstmts (fun _ ->
+        let lhs =
+          match mk_ref () with
+          | Expr.Call (a, subs) -> { Ast.name = a; subs }
+          | _ -> assert false
+        in
+        let rhs =
+          match Prng.int g 3 with
+          | 0 -> mk_ref ()
+          | 1 -> Expr.Bin (Expr.Add, mk_ref (), Expr.Const 1)
+          | _ -> Expr.Bin (Expr.Add, mk_ref (), mk_ref ())
+        in
+        Ast.assign lhs rhs)
+  in
+  let body =
+    List.fold_right
+      (fun (v, ub) inner -> [ Ast.do_ v (Expr.Const 0) (Expr.Const ub) inner ])
+      loops stmts
+  in
+  let decls =
+    List.map
+      (fun a ->
+        let lo, hi = Hashtbl.find hulls a in
+        Ast.Array
+          {
+            Ast.a_name = a;
+            a_kind = Ast.Real;
+            a_dims = [ { Ast.lo = Expr.Const lo; hi = Expr.Const hi } ];
+          })
+      arrays
+  in
+  { Ast.p_name = "RANDOM"; decls; body }

@@ -1,0 +1,12 @@
+(** Random constant-bound loop-nest programs for end-to-end testing.
+
+    Generates small normalized programs with affine (frequently
+    linearized) subscripts whose array declarations are sized to the
+    hull of the subscript values, so interpretation never faults.  Used
+    by the property tests that compare the static analyzer and the
+    vectorizer against {!Dynamic} ground truth. *)
+
+val random : Dlz_base.Prng.t -> Dlz_ir.Ast.program
+(** A program with 1–2 nests of depth 1–3 (trip counts ≤ 5), 1–3
+    assignment statements over 1–2 shared arrays, subscript coefficients
+    in [-12, 12]. *)

@@ -1,0 +1,50 @@
+module Depeq = Dlz_deptest.Depeq
+module Prng = Dlz_base.Prng
+
+let paper_family ~depth ~extent ~shifted =
+  if depth < 1 then invalid_arg "Workload.paper_family: depth must be >= 1";
+  if extent < 4 || extent mod 2 <> 0 then
+    invalid_arg "Workload.paper_family: extent must be even and >= 4";
+  let ub = (extent / 2) - 1 in
+  let terms = ref [] in
+  let stride = ref 1 in
+  for lvl = 1 to depth do
+    let s = !stride in
+    terms :=
+      (s, Depeq.var ~side:`Src ~level:lvl (Printf.sprintf "a%d" lvl) ub)
+      :: (-s, Depeq.var ~side:`Dst ~level:lvl (Printf.sprintf "b%d" lvl) ub)
+      :: !terms;
+    stride := s * extent
+  done;
+  let c0 = if shifted then -(extent / 2) else 0 in
+  Depeq.make c0 (List.rev !terms)
+
+let random g ~nvars ~coeffs ~max_ub =
+  let terms =
+    List.init nvars (fun i ->
+        let c = Prng.choose g coeffs in
+        let ub = Prng.int_in g 0 max_ub in
+        let side = if i mod 2 = 0 then `Src else `Dst in
+        (c, Depeq.var ~side ~level:((i / 2) + 1) (Printf.sprintf "z%d" i) ub))
+  in
+  let c0 = Prng.int_in g (-50) 50 in
+  Depeq.make c0 terms
+
+let random_linearized g ~depth =
+  let terms = ref [] in
+  let c0 = ref 0 in
+  let stride = ref 1 in
+  for lvl = 1 to depth do
+    let extent = 2 * Prng.int_in g 2 6 in
+    let ub = (extent / 2) - 1 in
+    let s = !stride in
+    terms :=
+      (s, Depeq.var ~side:`Src ~level:lvl (Printf.sprintf "a%d" lvl) ub)
+      :: (-s, Depeq.var ~side:`Dst ~level:lvl (Printf.sprintf "b%d" lvl) ub)
+      :: !terms;
+    (* A per-dimension displacement, sometimes out of range. *)
+    let d = Prng.int_in g (-extent / 2) (extent / 2) in
+    c0 := !c0 + (d * s);
+    stride := s * extent
+  done;
+  Depeq.make !c0 (List.rev !terms)

@@ -1,0 +1,24 @@
+(** Workload generators shared by the E8 experiment and the Bechamel
+    benches.
+
+    The "paper family" generalizes equation (1) to arbitrary nesting
+    depth: [Σ s_k·(α_k - β_k) = c0] with strides [s_k = extent^(k-1)],
+    which delinearization breaks into [depth] independent pieces in one
+    linear scan while general-purpose methods see a [2·depth]-variable
+    problem. *)
+
+module Depeq = Dlz_deptest.Depeq
+module Prng = Dlz_base.Prng
+
+val paper_family : depth:int -> extent:int -> shifted:bool -> Depeq.t
+(** [2·depth] variables; loop bounds are [extent/2 - 1] so that
+    [shifted = true] (constant [extent/2] in the innermost dimension)
+    yields an integer-infeasible but real-feasible equation — the
+    eq.-(1) shape — while [shifted = false] yields a dependent one. *)
+
+val random : Prng.t -> nvars:int -> coeffs:int array -> max_ub:int -> Depeq.t
+(** Uniform random equation for property testing and averaged benches. *)
+
+val random_linearized : Prng.t -> depth:int -> Depeq.t
+(** Random member of the linearized family: random extents in [4, 12],
+    random per-dimension distances, random shift. *)

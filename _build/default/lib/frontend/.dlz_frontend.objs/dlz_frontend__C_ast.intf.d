@@ -1,0 +1,1 @@
+lib/frontend/c_ast.mli: Format

@@ -1,0 +1,1 @@
+lib/frontend/c_parser.ml: C_ast Diag List String

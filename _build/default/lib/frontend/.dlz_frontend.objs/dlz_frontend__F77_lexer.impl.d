@@ -1,0 +1,1 @@
+lib/frontend/f77_lexer.ml: Diag Format List String

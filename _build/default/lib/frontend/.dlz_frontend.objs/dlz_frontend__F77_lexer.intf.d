@@ -1,0 +1,1 @@
+lib/frontend/f77_lexer.mli: Diag Format

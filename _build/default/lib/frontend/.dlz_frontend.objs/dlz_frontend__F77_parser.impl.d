@@ -1,0 +1,1 @@
+lib/frontend/f77_parser.ml: Diag Dlz_ir F77_lexer List Option

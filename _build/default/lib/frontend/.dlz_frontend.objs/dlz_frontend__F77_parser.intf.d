@@ -1,0 +1,1 @@
+lib/frontend/f77_parser.mli: Dlz_ir

@@ -1,0 +1,295 @@
+open C_ast
+
+type token =
+  | TINT of int
+  | TID of string
+  | TLP | TRP | TLB | TRB | TLC | TRC
+  | TSEMI | TCOMMA | TSTAR | TPLUS | TMINUS | TSLASH
+  | TASSIGN | TLT | TLE | TGT | TGE
+  | TINCR | TDECR | TPLUSEQ | TMINUSEQ
+  | TEOF
+
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let emit t = toks := (t, { Diag.line = !line; col = !col }) :: !toks in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_alpha c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let peek1 = if !i + 1 < n then Some src.[!i + 1] else None in
+    if c = '\n' then begin incr i; incr line; col := 1 end
+    else if c = ' ' || c = '\t' || c = '\r' then begin incr i; incr col end
+    else if c = '/' && peek1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (TINT (int_of_string (String.sub src start (!i - start))));
+      col := !col + (!i - start)
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha src.[!i] || is_digit src.[!i]) do incr i done;
+      emit (TID (String.sub src start (!i - start)));
+      col := !col + (!i - start)
+    end
+    else begin
+      let two t = emit t; i := !i + 2; col := !col + 2 in
+      let one t = emit t; incr i; incr col in
+      match (c, peek1) with
+      | '+', Some '+' -> two TINCR
+      | '-', Some '-' -> two TDECR
+      | '+', Some '=' -> two TPLUSEQ
+      | '-', Some '=' -> two TMINUSEQ
+      | '<', Some '=' -> two TLE
+      | '>', Some '=' -> two TGE
+      | '(', _ -> one TLP
+      | ')', _ -> one TRP
+      | '[', _ -> one TLB
+      | ']', _ -> one TRB
+      | '{', _ -> one TLC
+      | '}', _ -> one TRC
+      | ';', _ -> one TSEMI
+      | ',', _ -> one TCOMMA
+      | '*', _ -> one TSTAR
+      | '+', _ -> one TPLUS
+      | '-', _ -> one TMINUS
+      | '/', _ -> one TSLASH
+      | '=', _ -> one TASSIGN
+      | '<', _ -> one TLT
+      | '>', _ -> one TGT
+      | _ ->
+          Diag.error { Diag.line = !line; col = !col }
+            "unexpected character %C" c
+    end
+  done;
+  emit TEOF;
+  List.rev !toks
+
+type state = { mutable toks : (token * Diag.loc) list }
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> Some (fst t) | _ -> None
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: r -> st.toks <- r);
+  t
+
+let expect st tok what =
+  let t, loc = next st in
+  if t <> tok then Diag.error loc "expected %s" what
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec loop () =
+    match fst (peek st) with
+    | TPLUS ->
+        ignore (next st);
+        lhs := EBin (`Add, !lhs, parse_multiplicative st);
+        loop ()
+    | TMINUS ->
+        ignore (next st);
+        lhs := EBin (`Sub, !lhs, parse_multiplicative st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    match fst (peek st) with
+    | TSTAR ->
+        ignore (next st);
+        lhs := EBin (`Mul, !lhs, parse_unary st);
+        loop ()
+    | TSLASH ->
+        ignore (next st);
+        lhs := EBin (`Div, !lhs, parse_unary st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  match fst (peek st) with
+  | TMINUS ->
+      ignore (next st);
+      ENeg (parse_unary st)
+  | TSTAR ->
+      ignore (next st);
+      EDeref (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let rec loop () =
+    match fst (peek st) with
+    | TLB ->
+        ignore (next st);
+        let idx = parse_additive st in
+        expect st TRB "']'";
+        e := EIndex (!e, idx);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !e
+
+and parse_primary st =
+  let t, loc = next st in
+  match t with
+  | TINT k -> EInt k
+  | TLP ->
+      let e = parse_additive st in
+      expect st TRP "')'";
+      e
+  | TID name -> (
+      match fst (peek st) with
+      | TLP ->
+          ignore (next st);
+          let args = ref [] in
+          (if fst (peek st) <> TRP then
+             let rec loop () =
+               args := parse_additive st :: !args;
+               if fst (peek st) = TCOMMA then begin
+                 ignore (next st);
+                 loop ()
+               end
+             in
+             loop ());
+          expect st TRP "')'";
+          ECall (name, List.rev !args)
+      | _ -> EVar name)
+  | _ -> Diag.error loc "expected an expression"
+
+(* --- statements --------------------------------------------------------- *)
+
+let parse_step st =
+  let t, loc = next st in
+  match t with
+  | TID v -> (
+      match fst (next st) with
+      | TINCR -> { s_var = v; s_delta = 1 }
+      | TDECR -> { s_var = v; s_delta = -1 }
+      | TPLUSEQ -> (
+          match fst (next st) with
+          | TINT k -> { s_var = v; s_delta = k }
+          | _ -> Diag.error loc "expected a constant step")
+      | TMINUSEQ -> (
+          match fst (next st) with
+          | TINT k -> { s_var = v; s_delta = -k }
+          | _ -> Diag.error loc "expected a constant step")
+      | _ -> Diag.error loc "expected ++, --, += or -=")
+  | _ -> Diag.error loc "expected the loop variable in the step"
+
+let rec parse_stmt st =
+  let t, loc = peek st in
+  match t with
+  | TID ("float" | "int") ->
+      let bt = if t = TID "float" then Float else Int in
+      ignore (next st);
+      let ds = ref [] in
+      let rec item () =
+        let ptr =
+          if fst (peek st) = TSTAR then begin
+            ignore (next st);
+            true
+          end
+          else false
+        in
+        (match next st with
+        | TID name, _ ->
+            let size =
+              if fst (peek st) = TLB then begin
+                ignore (next st);
+                match next st with
+                | TINT k, _ ->
+                    expect st TRB "']'";
+                    Some k
+                | _, loc -> Diag.error loc "expected a constant array size"
+              end
+              else None
+            in
+            ds := { d_ptr = ptr; d_name = name; d_size = size } :: !ds
+        | _, loc -> Diag.error loc "expected a declarator");
+        if fst (peek st) = TCOMMA then begin
+          ignore (next st);
+          item ()
+        end
+      in
+      item ();
+      expect st TSEMI "';'";
+      Decl (bt, List.rev !ds)
+  | TID "for" ->
+      ignore (next st);
+      expect st TLP "'('";
+      let init =
+        if fst (peek st) = TSEMI then begin
+          ignore (next st);
+          None
+        end
+        else
+          match next st with
+          | TID v, _ ->
+              expect st TASSIGN "'='";
+              let e = parse_additive st in
+              expect st TSEMI "';'";
+              Some (v, e)
+          | _, loc -> Diag.error loc "expected the loop initialization"
+      in
+      let lhs = parse_additive st in
+      let op =
+        match fst (next st) with
+        | TLT -> `Lt
+        | TLE -> `Le
+        | TGT -> `Gt
+        | TGE -> `Ge
+        | _ -> Diag.error loc "expected a comparison in the loop condition"
+      in
+      let rhs = parse_additive st in
+      expect st TSEMI "';'";
+      let step = parse_step st in
+      expect st TRP "')'";
+      let body =
+        if fst (peek st) = TLC then begin
+          ignore (next st);
+          let stmts = ref [] in
+          while fst (peek st) <> TRC do
+            stmts := parse_stmt st :: !stmts
+          done;
+          ignore (next st);
+          List.rev !stmts
+        end
+        else [ parse_stmt st ]
+      in
+      For { init; cond = { lhs; op; rhs }; step; body }
+  | _ ->
+      let lv = parse_additive st in
+      expect st TASSIGN "'='";
+      let rv = parse_additive st in
+      expect st TSEMI "';'";
+      Assign (lv, rv)
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let stmts = ref [] in
+  while fst (peek st) <> TEOF do
+    stmts := parse_stmt st :: !stmts
+  done;
+  ignore (peek2 st);
+  List.rev !stmts
+
+let parse_expr src =
+  let st = { toks = tokenize src } in
+  parse_additive st

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the mini-C subset.
+
+    Handles declarations ([float d[100];], [float *i, *j;], [int i;]),
+    [for] loops whose condition is a single linear comparison and whose
+    step is [v++], [v--], [v+=k] or [v-=k], assignments through [*e] and
+    [e1[e2]] lvalues, and arithmetic expressions with calls.  Braces are
+    optional around single-statement bodies. *)
+
+val parse : string -> C_ast.program
+(** Raises {!Diag.Parse_error} on malformed input. *)
+
+val parse_expr : string -> C_ast.expr

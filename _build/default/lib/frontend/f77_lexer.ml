@@ -1,0 +1,141 @@
+type token =
+  | INT of int
+  | REAL_LIT of string
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | DSTAR
+  | SLASH
+  | NEWLINE
+  | EOF
+
+type lexed = { tok : token; loc : Diag.loc }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let emit tok = toks := { tok; loc = { Diag.line = !line; col = !col } } :: !toks in
+  let advance k =
+    col := !col + k;
+    i := !i + k
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      emit NEWLINE;
+      incr i;
+      incr line;
+      col := 1
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance 1
+    else if c = '!' then begin
+      (* Trailing comment: skip to end of line. *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if
+      (c = 'C' || c = 'c' || c = '*')
+      && !col = 1
+      && (!i + 1 >= n
+         ||
+         match src.[!i + 1] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then
+      (* Full-line comment in column 1 (statements are always indented,
+         so a bare C/*/c followed by whitespace cannot start one). *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      (* Real literal: digits '.' digits, or exponent forms. *)
+      if
+        !i < n
+        && (src.[!i] = '.'
+           || src.[!i] = 'E' || src.[!i] = 'e' || src.[!i] = 'D'
+           || src.[!i] = 'd')
+        && (src.[!i] <> '.' || !i + 1 >= n || src.[!i + 1] <> '.')
+      then begin
+        if src.[!i] = '.' then incr i;
+        while
+          !i < n
+          && (is_digit src.[!i] || src.[!i] = 'E' || src.[!i] = 'e'
+             || src.[!i] = 'D' || src.[!i] = 'd' || src.[!i] = '+'
+             || src.[!i] = '-')
+        do
+          incr i
+        done;
+        let text = String.sub src start (!i - start) in
+        emit (REAL_LIT text);
+        col := !col + (!i - start)
+      end
+      else begin
+        let text = String.sub src start (!i - start) in
+        emit (INT (int_of_string text));
+        col := !col + (!i - start)
+      end
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha src.[!i] || is_digit src.[!i]) do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      emit (IDENT (String.uppercase_ascii text));
+      col := !col + (!i - start)
+    end
+    else begin
+      let tok =
+        match c with
+        | '(' -> LPAREN
+        | ')' -> RPAREN
+        | ',' -> COMMA
+        | ':' -> COLON
+        | '=' -> EQUALS
+        | '+' -> PLUS
+        | '-' -> MINUS
+        | '*' ->
+            if !i + 1 < n && src.[!i + 1] = '*' then DSTAR else STAR
+        | '/' -> SLASH
+        | _ ->
+            Diag.error
+              { Diag.line = !line; col = !col }
+              "unexpected character %C" c
+      in
+      emit tok;
+      advance (if tok = DSTAR then 2 else 1)
+    end
+  done;
+  emit EOF;
+  List.rev !toks
+
+let pp_token ppf = function
+  | INT k -> Format.fprintf ppf "integer %d" k
+  | REAL_LIT s -> Format.fprintf ppf "real literal %s" s
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | EQUALS -> Format.pp_print_string ppf "'='"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | DSTAR -> Format.pp_print_string ppf "'**'"
+  | SLASH -> Format.pp_print_string ppf "'/'"
+  | NEWLINE -> Format.pp_print_string ppf "end of line"
+  | EOF -> Format.pp_print_string ppf "end of input"

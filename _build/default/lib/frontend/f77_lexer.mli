@@ -1,0 +1,32 @@
+(** Lexer for the mini-FORTRAN-77 front end.
+
+    Free-form input, one statement per line (continuation lines are not
+    needed by any paper fragment).  Keywords are case-insensitive;
+    identifiers are uppercased, so [i] and [I] denote the same variable
+    as FORTRAN prescribes.  Comment lines start with [C], [c] or [!] in
+    column one; [!] also starts a trailing comment. *)
+
+type token =
+  | INT of int
+  | REAL_LIT of string  (** Kept verbatim; opaque to the analyses. *)
+  | IDENT of string  (** Uppercased. *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | DSTAR  (** [**] *)
+  | SLASH
+  | NEWLINE
+  | EOF
+
+type lexed = { tok : token; loc : Diag.loc }
+
+val tokenize : string -> lexed list
+(** Whole-input tokenization; raises {!Diag.Parse_error} on invalid
+    characters. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,575 @@
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+open F77_lexer
+
+type state = { mutable toks : lexed list }
+
+let peek st = match st.toks with [] -> assert false | l :: _ -> l
+
+let next st =
+  let l = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  l
+
+let expect st tok =
+  let l = next st in
+  if l.tok <> tok then
+    Diag.error l.loc "expected %a, found %a" pp_token tok pp_token l.tok
+
+let skip_newlines st =
+  let rec go () =
+    match (peek st).tok with
+    | NEWLINE ->
+        ignore (next st);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* --- expressions ------------------------------------------------------- *)
+
+let parse_expr_prec st =
+  let rec additive () =
+    let lhs = ref (multiplicative ()) in
+    let rec loop () =
+      match (peek st).tok with
+      | PLUS ->
+          ignore (next st);
+          lhs := Expr.Bin (Expr.Add, !lhs, multiplicative ());
+          loop ()
+      | MINUS ->
+          ignore (next st);
+          lhs := Expr.Bin (Expr.Sub, !lhs, multiplicative ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !lhs
+  and multiplicative () =
+    let lhs = ref (power ()) in
+    let rec loop () =
+      match (peek st).tok with
+      | STAR ->
+          ignore (next st);
+          lhs := Expr.Bin (Expr.Mul, !lhs, power ());
+          loop ()
+      | SLASH ->
+          ignore (next st);
+          lhs := Expr.Bin (Expr.Div, !lhs, power ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !lhs
+  and power () =
+    let base = unary () in
+    match (peek st).tok with
+    | DSTAR -> (
+        ignore (next st);
+        let e = power () in
+        (* Expand small constant powers so subscripts stay polynomial. *)
+        match Expr.to_const e with
+        | Some k when k >= 0 && k <= 8 ->
+            let rec expand acc n =
+              if n = 0 then acc else expand (Expr.Bin (Expr.Mul, acc, base)) (n - 1)
+            in
+            if k = 0 then Expr.Const 1 else expand base (k - 1)
+        | _ -> Expr.Call ("%POW", [ base; e ]))
+    | _ -> base
+  and unary () =
+    match (peek st).tok with
+    | MINUS ->
+        ignore (next st);
+        Expr.Neg (unary ())
+    | PLUS ->
+        ignore (next st);
+        unary ()
+    | _ -> primary ()
+  and primary () =
+    let l = next st in
+    match l.tok with
+    | INT k -> Expr.Const k
+    | REAL_LIT s -> Expr.Call ("%REAL", [ Expr.Var s ])
+    | LPAREN ->
+        let e = additive () in
+        expect st RPAREN;
+        e
+    | IDENT name -> (
+        match (peek st).tok with
+        | LPAREN ->
+            ignore (next st);
+            let args = ref [] in
+            (match (peek st).tok with
+            | RPAREN -> ()
+            | _ ->
+                let rec loop () =
+                  args := additive () :: !args;
+                  match (peek st).tok with
+                  | COMMA ->
+                      ignore (next st);
+                      loop ()
+                  | _ -> ()
+                in
+                loop ());
+            expect st RPAREN;
+            Expr.Call (name, List.rev !args)
+        | _ -> Expr.Var name)
+    | t -> Diag.error l.loc "expected an expression, found %a" pp_token t
+  in
+  additive ()
+
+(* --- declarations ------------------------------------------------------ *)
+
+let parse_dim st =
+  let e1 = parse_expr_prec st in
+  match (peek st).tok with
+  | COLON ->
+      ignore (next st);
+      let e2 = parse_expr_prec st in
+      { Ast.lo = e1; hi = e2 }
+  | _ -> { Ast.lo = Expr.Const 1; hi = e1 }
+
+let parse_decl_items st kind =
+  let decls = ref [] in
+  let rec item () =
+    let l = next st in
+    match l.tok with
+    | IDENT name ->
+        (match (peek st).tok with
+        | LPAREN ->
+            ignore (next st);
+            let dims = ref [ parse_dim st ] in
+            let rec more () =
+              match (peek st).tok with
+              | COMMA ->
+                  ignore (next st);
+                  dims := parse_dim st :: !dims;
+                  more ()
+              | _ -> ()
+            in
+            more ();
+            expect st RPAREN;
+            decls :=
+              Ast.Array { a_name = name; a_kind = kind; a_dims = List.rev !dims }
+              :: !decls
+        | _ -> decls := Ast.Scalar (kind, name) :: !decls);
+        (match (peek st).tok with
+        | COMMA ->
+            ignore (next st);
+            item ()
+        | _ -> ())
+    | t -> Diag.error l.loc "expected a declared name, found %a" pp_token t
+  in
+  item ();
+  List.rev !decls
+
+let parse_equivalence st =
+  let groups = ref [] in
+  let rec group () =
+    expect st LPAREN;
+    let items = ref [] in
+    let rec item () =
+      let l = next st in
+      match l.tok with
+      | IDENT name ->
+          let subs =
+            match (peek st).tok with
+            | LPAREN ->
+                ignore (next st);
+                let subs = ref [ parse_expr_prec st ] in
+                let rec more () =
+                  match (peek st).tok with
+                  | COMMA ->
+                      ignore (next st);
+                      subs := parse_expr_prec st :: !subs;
+                      more ()
+                  | _ -> ()
+                in
+                more ();
+                expect st RPAREN;
+                List.rev !subs
+            | _ -> []
+          in
+          items := (name, subs) :: !items;
+          (match (peek st).tok with
+          | COMMA ->
+              ignore (next st);
+              item ()
+          | _ -> ())
+      | t -> Diag.error l.loc "expected a name in EQUIVALENCE, found %a" pp_token t
+    in
+    item ();
+    expect st RPAREN;
+    groups := List.rev !items :: !groups;
+    match (peek st).tok with
+    | COMMA ->
+        ignore (next st);
+        group ()
+    | _ -> ()
+  in
+  group ();
+  List.rev !groups
+
+let parse_parameter st =
+  expect st LPAREN;
+  let ps = ref [] in
+  let rec item () =
+    let l = next st in
+    match l.tok with
+    | IDENT name -> (
+        expect st EQUALS;
+        let e = parse_expr_prec st in
+        (match Expr.to_const e with
+        | Some v -> ps := (name, v) :: !ps
+        | None -> Diag.error l.loc "PARAMETER value must be constant");
+        match (peek st).tok with
+        | COMMA ->
+            ignore (next st);
+            item ()
+        | _ -> ())
+    | t -> Diag.error l.loc "expected a PARAMETER name, found %a" pp_token t
+  in
+  item ();
+  expect st RPAREN;
+  Ast.Parameter (List.rev !ps)
+
+let parse_common st =
+  expect st SLASH;
+  let blk =
+    match (next st).tok with
+    | IDENT n -> n
+    | _ -> "BLANK"
+  in
+  expect st SLASH;
+  let members = ref [] in
+  let rec item () =
+    match (next st).tok with
+    | IDENT n -> (
+        members := n :: !members;
+        match (peek st).tok with
+        | COMMA ->
+            ignore (next st);
+            item ()
+        | _ -> ())
+    | t -> Diag.error (peek st).loc "expected a COMMON member, found %a" pp_token t
+  in
+  item ();
+  Ast.Common (blk, List.rev !members)
+
+(* --- statements and loop structure ------------------------------------- *)
+
+type frame = {
+  f_label : int option;
+  f_var : string;
+  f_lo : Expr.t;
+  f_hi : Expr.t;
+  f_step : Expr.t;
+  mutable f_body : Ast.stmt list; (* reversed *)
+}
+
+type builder = {
+  mutable decls : Ast.decl list; (* reversed *)
+  mutable top : Ast.stmt list; (* reversed *)
+  mutable stack : frame list; (* innermost first *)
+  mutable name : string;
+  mutable params : string list; (* SUBROUTINE dummy arguments *)
+}
+
+let push_stmt b s =
+  match b.stack with
+  | [] -> b.top <- s :: b.top
+  | f :: _ -> f.f_body <- s :: f.f_body
+
+let close_frame b =
+  match b.stack with
+  | [] -> failwith "close_frame: empty stack"
+  | f :: rest ->
+      b.stack <- rest;
+      let stmt =
+        Ast.Do
+          {
+            label = f.f_label;
+            var = f.f_var;
+            lo = f.f_lo;
+            hi = f.f_hi;
+            step = f.f_step;
+            body = List.rev f.f_body;
+          }
+      in
+      push_stmt b stmt
+
+(* A statement carrying label L terminates every open DO whose terminal
+   label is L (they nest, so they close innermost-out). *)
+let close_labeled b label =
+  let rec go () =
+    match b.stack with
+    | f :: _ when f.f_label = Some label ->
+        close_frame b;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let parse_do st b label =
+  (* DO [term-label] var = lo, hi [, step] *)
+  let term_label =
+    match (peek st).tok with
+    | INT l ->
+        ignore (next st);
+        Some l
+    | _ -> None
+  in
+  let var =
+    match (next st).tok with
+    | IDENT v -> v
+    | t -> Diag.error (peek st).loc "expected a DO variable, found %a" pp_token t
+  in
+  expect st EQUALS;
+  let lo = parse_expr_prec st in
+  expect st COMMA;
+  let hi = parse_expr_prec st in
+  let step =
+    match (peek st).tok with
+    | COMMA ->
+        ignore (next st);
+        parse_expr_prec st
+    | _ -> Expr.Const 1
+  in
+  ignore label;
+  b.stack <-
+    { f_label = term_label; f_var = var; f_lo = lo; f_hi = hi; f_step = step;
+      f_body = [] }
+    :: b.stack
+
+let lhs_of_expr loc = function
+  | Expr.Var v -> { Ast.name = v; subs = [] }
+  | Expr.Call (f, args) -> { Ast.name = f; subs = args }
+  | _ -> Diag.error loc "left-hand side must be a variable or array element"
+
+let parse_statement st b =
+  let label =
+    match (peek st).tok with
+    | INT l ->
+        ignore (next st);
+        Some l
+    | _ -> None
+  in
+  let finish_line () =
+    match (peek st).tok with
+    | NEWLINE | EOF -> ()
+    | t -> Diag.error (peek st).loc "unexpected %a at end of statement" pp_token t
+  in
+  let l = peek st in
+  (match l.tok with
+  | NEWLINE | EOF -> () (* empty (or label-only) line *)
+  | IDENT kw -> (
+      let starts_assignment () =
+        (* Lookahead: IDENT [ '(' balanced ')' ] '='. *)
+        match st.toks with
+        | _ :: { tok = EQUALS; _ } :: _ -> true
+        | _ :: { tok = LPAREN; _ } :: rest ->
+            let rec scan depth = function
+              | { tok = LPAREN; _ } :: r -> scan (depth + 1) r
+              | { tok = RPAREN; _ } :: r ->
+                  if depth = 1 then
+                    match r with
+                    | { tok = EQUALS; _ } :: _ -> true
+                    | _ -> false
+                  else scan (depth - 1) r
+              | { tok = NEWLINE; _ } :: _ | { tok = EOF; _ } :: _ | [] -> false
+              | _ :: r -> scan depth r
+            in
+            scan 1 rest
+        | _ -> false
+      in
+      if starts_assignment () then begin
+        let lhs_e = parse_expr_prec st in
+        let lhs = lhs_of_expr l.loc lhs_e in
+        expect st EQUALS;
+        let rhs = parse_expr_prec st in
+        push_stmt b (Ast.Assign { label; lhs; rhs });
+        Option.iter (close_labeled b) label;
+        finish_line ()
+      end
+      else begin
+        ignore (next st);
+        match kw with
+        | "PROGRAM" ->
+            (match (next st).tok with
+            | IDENT n -> b.name <- n
+            | t -> Diag.error l.loc "expected a program name, found %a" pp_token t);
+            finish_line ()
+        | "SUBROUTINE" ->
+            (* Close the current unit and start a new one; the caller
+               (parse_units) detects the transition via on_subroutine. *)
+            Diag.error l.loc "SUBROUTINE must start a new unit"
+        | "RETURN" -> finish_line ()
+        | "CALL" ->
+            (* Encoded as an assignment to the marker scalar %CALL so the
+               statement type stays closed; the Inline pass consumes it. *)
+            (match (next st).tok with
+            | IDENT callee ->
+                let args =
+                  match (peek st).tok with
+                  | LPAREN -> (
+                      ignore (next st);
+                      match (peek st).tok with
+                      | RPAREN ->
+                          ignore (next st);
+                          []
+                      | _ ->
+                          let args = ref [ parse_expr_prec st ] in
+                          let rec more () =
+                            match (peek st).tok with
+                            | COMMA ->
+                                ignore (next st);
+                                args := parse_expr_prec st :: !args;
+                                more ()
+                            | _ -> ()
+                          in
+                          more ();
+                          expect st RPAREN;
+                          List.rev !args)
+                  | _ -> []
+                in
+                push_stmt b
+                  (Ast.Assign
+                     {
+                       label;
+                       lhs = { Ast.name = "%CALL"; subs = [] };
+                       rhs = Expr.Call (callee, args);
+                     });
+                Option.iter (close_labeled b) label
+            | t -> Diag.error l.loc "expected a subroutine name, found %a" pp_token t);
+            finish_line ()
+        | "REAL" ->
+            b.decls <- List.rev_append (parse_decl_items st Ast.Real) b.decls;
+            finish_line ()
+        | "INTEGER" ->
+            b.decls <- List.rev_append (parse_decl_items st Ast.Integer) b.decls;
+            finish_line ()
+        | "DIMENSION" ->
+            b.decls <- List.rev_append (parse_decl_items st Ast.Real) b.decls;
+            finish_line ()
+        | "EQUIVALENCE" ->
+            b.decls <- Ast.Equivalence (parse_equivalence st) :: b.decls;
+            finish_line ()
+        | "COMMON" ->
+            b.decls <- parse_common st :: b.decls;
+            finish_line ()
+        | "PARAMETER" ->
+            b.decls <- parse_parameter st :: b.decls;
+            finish_line ()
+        | "DO" ->
+            parse_do st b label;
+            finish_line ()
+        | "ENDDO" ->
+            (match b.stack with
+            | { f_label = None; _ } :: _ -> close_frame b
+            | _ -> Diag.error l.loc "ENDDO without a matching DO");
+            finish_line ()
+        | "END" -> (
+            match (peek st).tok with
+            | IDENT "DO" ->
+                ignore (next st);
+                (match b.stack with
+                | { f_label = None; _ } :: _ -> close_frame b
+                | _ -> Diag.error l.loc "END DO without a matching DO");
+                finish_line ()
+            | _ -> finish_line () (* END of program: ignored *))
+        | "CONTINUE" ->
+            (match label with
+            | Some lab ->
+                push_stmt b (Ast.Continue lab);
+                close_labeled b lab
+            | None -> push_stmt b (Ast.Continue 0));
+            finish_line ()
+        | _ ->
+            Diag.error l.loc "unrecognized statement keyword %s" kw
+      end)
+  | t -> Diag.error l.loc "unexpected %a at start of statement" pp_token t);
+  (* Consume the line terminator. *)
+  match (peek st).tok with
+  | NEWLINE -> ignore (next st)
+  | EOF -> ()
+  | _ -> assert false
+
+let fresh_builder name =
+  { decls = []; top = []; stack = []; name; params = [] }
+
+let finish_builder b =
+  (match b.stack with
+  | [] -> ()
+  | f :: _ ->
+      Diag.error { Diag.line = 0; col = 0 } "unterminated DO loop over %s"
+        f.f_var);
+  ( { Ast.p_name = b.name; decls = List.rev b.decls; body = List.rev b.top },
+    b.params )
+
+(* Peek whether the next (non-empty) statement starts a SUBROUTINE;
+   if so consume its header and return (name, params). *)
+let try_subroutine_header st =
+  match st.toks with
+  | { tok = IDENT "SUBROUTINE"; _ } :: _ -> (
+      ignore (next st);
+      match (next st).tok with
+      | IDENT name ->
+          let params = ref [] in
+          (match (peek st).tok with
+          | LPAREN ->
+              ignore (next st);
+              let rec go () =
+                match (next st).tok with
+                | IDENT p -> (
+                    params := p :: !params;
+                    match (peek st).tok with
+                    | COMMA ->
+                        ignore (next st);
+                        go ()
+                    | _ -> expect st RPAREN)
+                | RPAREN -> ()
+                | _ ->
+                    Diag.error (peek st).loc "expected a dummy argument"
+              in
+              go ()
+          | _ -> ());
+          (match (peek st).tok with
+          | NEWLINE -> ignore (next st)
+          | EOF -> ()
+          | _ -> Diag.error (peek st).loc "junk after SUBROUTINE header");
+          Some (name, List.rev !params)
+      | _ -> Diag.error (peek st).loc "expected a subroutine name")
+  | _ -> None
+
+let parse_units src =
+  let st = { toks = F77_lexer.tokenize src } in
+  let units = ref [] in
+  let current = ref (fresh_builder "FRAGMENT") in
+  let rec loop () =
+    skip_newlines st;
+    match (peek st).tok with
+    | EOF -> ()
+    | _ -> (
+        match try_subroutine_header st with
+        | Some (name, params) ->
+            units := finish_builder !current :: !units;
+            let b = fresh_builder name in
+            b.params <- params;
+            current := b;
+            loop ()
+        | None ->
+            parse_statement st !current;
+            loop ())
+  in
+  loop ();
+  units := finish_builder !current :: !units;
+  List.rev !units
+
+let parse src =
+  match parse_units src with
+  | (main, _) :: _ -> main
+  | [] -> { Ast.p_name = "FRAGMENT"; decls = []; body = [] }
+
+let parse_expr src =
+  let st = { toks = F77_lexer.tokenize src } in
+  parse_expr_prec st

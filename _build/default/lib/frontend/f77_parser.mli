@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the mini-FORTRAN-77 subset.
+
+    Supported statements: [PROGRAM], type declarations ([REAL],
+    [INTEGER], with dimensions), [DIMENSION], [EQUIVALENCE], [COMMON],
+    [PARAMETER], labeled and [ENDDO]-terminated [DO] loops (shared
+    terminal labels as in [DO 1 I … DO 1 J … 1 CONTINUE] work),
+    [CONTINUE], assignments, and [END].  Array reads in expressions
+    become opaque {!Dlz_ir.Expr.Call} nodes that later phases resolve
+    against declarations. *)
+
+val parse : string -> Dlz_ir.Ast.program
+(** Parses the first (main) program unit; raises {!Diag.Parse_error} on
+    malformed input.  A [PROGRAM] header is optional (fragments default
+    to name ["FRAGMENT"]). *)
+
+val parse_units : string -> (Dlz_ir.Ast.program * string list) list
+(** All program units of a file with their dummy-argument lists: the
+    main unit first (empty argument list), then each [SUBROUTINE].
+    [CALL F(...)] statements are encoded as assignments to the marker
+    scalar [%CALL] with the call as right-hand side, consumed by
+    {!Dlz_passes.Inline}. *)
+
+val parse_expr : string -> Dlz_ir.Expr.t
+(** Parses a single expression (testing convenience). *)

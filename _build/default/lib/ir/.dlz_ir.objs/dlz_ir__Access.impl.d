@@ -1,0 +1,1 @@
+lib/ir/access.ml: Affine Ast Dlz_symbolic Expr Format List Printf String

@@ -1,0 +1,1 @@
+lib/ir/affine.ml: Dlz_base Dlz_symbolic Expr Format Intx List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Dlz_base Dlz_symbolic Format Int Intx List Set Stdlib String

@@ -1,0 +1,70 @@
+(** Abstract syntax of the structured loop-nest language.
+
+    This IR is the common target of both front ends (mini-FORTRAN-77 and
+    mini-C) and the subject of the normalization passes.  It models
+    exactly what the paper's dependence framework needs: rectangular DO
+    nests around assignment statements over scalar and array variables,
+    plus the declaration forms (DIMENSION, EQUIVALENCE, COMMON) that
+    drive linearization. *)
+
+type kind = Real | Integer
+
+type dim = { lo : Expr.t; hi : Expr.t }
+(** One array dimension, [lo:hi] in FORTRAN notation. *)
+
+type array_decl = { a_name : string; a_kind : kind; a_dims : dim list }
+
+type decl =
+  | Array of array_decl
+  | Scalar of kind * string
+  | Equivalence of (string * Expr.t list) list list
+      (** Each group aliases the listed elements; an empty subscript list
+          means the array's first element, as in [EQUIVALENCE (A, B)]. *)
+  | Common of string * string list  (** Block name and member arrays. *)
+  | Parameter of (string * int) list
+
+type aref = { name : string; subs : Expr.t list }
+(** An array element reference; scalars are [aref]s with empty [subs]. *)
+
+type stmt =
+  | Assign of { label : int option; lhs : aref; rhs : Expr.t }
+  | Do of {
+      label : int option;  (** Terminal label, as in [DO 10 i = ...]. *)
+      var : string;
+      lo : Expr.t;
+      hi : Expr.t;
+      step : Expr.t;
+      body : stmt list;
+    }
+  | Continue of int
+
+type program = { p_name : string; decls : decl list; body : stmt list }
+
+val assign : ?label:int -> aref -> Expr.t -> stmt
+val do_ : ?label:int -> ?step:Expr.t -> string -> Expr.t -> Expr.t -> stmt list -> stmt
+val ref_ : string -> Expr.t list -> aref
+val scalar_ref : string -> aref
+
+val find_array : program -> string -> array_decl option
+
+val map_stmts : (stmt -> stmt) -> program -> program
+(** Bottom-up statement rewriting over the whole program body. *)
+
+val iter_assigns :
+  program -> f:(loops:(string * Expr.t * Expr.t * Expr.t) list -> stmt -> unit) -> unit
+(** Visits every [Assign] with its surrounding loop context
+    [(var, lo, hi, step)], outermost first. *)
+
+val assign_refs : stmt -> (aref * [ `Read | `Write ]) list
+(** All array/scalar references of an assignment: the written [lhs]
+    followed by every read in [rhs] (subscript reads included). *)
+
+val count_lines : program -> int
+(** Number of source lines the pretty-printed program occupies; used by
+    the corpus experiment to report program sizes. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp : Format.formatter -> program -> unit
+(** FORTRAN-77-style rendering of the whole program. *)
+
+val to_string : program -> string

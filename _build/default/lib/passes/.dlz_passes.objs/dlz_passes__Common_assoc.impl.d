@@ -1,0 +1,1 @@
+lib/passes/common_assoc.ml: Dlz_ir Hashtbl List String

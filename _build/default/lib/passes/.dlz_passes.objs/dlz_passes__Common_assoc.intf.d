@@ -1,0 +1,1 @@
+lib/passes/common_assoc.mli: Dlz_ir

@@ -1,0 +1,1 @@
+lib/passes/equivalence.ml: Dlz_ir List Printf

@@ -1,0 +1,1 @@
+lib/passes/equivalence.mli: Dlz_ir

@@ -1,0 +1,1 @@
+lib/passes/induction.ml: Dlz_ir List String

@@ -1,0 +1,1 @@
+lib/passes/induction.mli: Dlz_ir

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Dlz_ir Format Hashtbl List Printf String

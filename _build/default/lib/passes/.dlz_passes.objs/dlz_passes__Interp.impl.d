@@ -1,0 +1,1 @@
+lib/passes/interp.ml: Dlz_ir Hashtbl List Option Printf

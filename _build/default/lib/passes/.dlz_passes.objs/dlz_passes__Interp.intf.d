@@ -1,0 +1,1 @@
+lib/passes/interp.mli: Dlz_ir

@@ -1,0 +1,1 @@
+lib/passes/linearize.ml: Dlz_ir List String

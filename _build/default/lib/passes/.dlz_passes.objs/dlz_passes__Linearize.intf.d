@@ -1,0 +1,1 @@
+lib/passes/linearize.mli: Dlz_ir

@@ -1,0 +1,1 @@
+lib/passes/normalize.ml: Dlz_base Dlz_ir List String

@@ -1,0 +1,1 @@
+lib/passes/normalize.mli: Dlz_ir

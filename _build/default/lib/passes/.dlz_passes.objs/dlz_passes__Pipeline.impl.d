@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Common_assoc Equivalence Induction Normalize

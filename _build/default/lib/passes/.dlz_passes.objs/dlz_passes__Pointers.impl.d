@@ -1,0 +1,1 @@
+lib/passes/pointers.ml: Dlz_frontend Dlz_ir Format List String

@@ -1,0 +1,1 @@
+lib/passes/pointers.mli: Dlz_frontend Dlz_ir

@@ -1,0 +1,159 @@
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+
+type block = {
+  b_name : string;
+  b_array : string;
+  b_members : (string * int) list;
+}
+
+type member_layout = {
+  m_dims : (int * int) list; (* (lo, extent) *)
+  m_base : int;
+  m_repl : string;
+}
+
+let dims_of (a : Ast.array_decl) =
+  List.map
+    (fun (d : Ast.dim) ->
+      match (Expr.to_const d.lo, Expr.to_const d.hi) with
+      | Some lo, Some hi when hi >= lo -> (lo, hi - lo + 1)
+      | _ -> raise Exit)
+    a.a_dims
+
+let size dims = List.fold_left (fun acc (_, e) -> acc * e) 1 dims
+
+let linear_subscript layout subs =
+  let rec go dims subs stride acc =
+    match (dims, subs) with
+    | [], [] -> acc
+    | (lo, extent) :: dims, s :: subs ->
+        let rebased =
+          Expr.fold_consts (Expr.Bin (Expr.Sub, s, Expr.Const lo))
+        in
+        go dims subs (stride * extent)
+          (Expr.fold_consts
+             (Expr.Bin
+                (Expr.Add, acc, Expr.Bin (Expr.Mul, Expr.Const stride, rebased))))
+    | _ -> raise Exit
+  in
+  go layout.m_dims subs 1 (Expr.Const (layout.m_base))
+
+(* Every reference must use the declared rank. *)
+let refs_conform prog name rank =
+  let ok = ref true in
+  let rec chk_expr = function
+    | Expr.Const _ | Expr.Var _ -> ()
+    | Expr.Neg a -> chk_expr a
+    | Expr.Bin (_, a, b) ->
+        chk_expr a;
+        chk_expr b
+    | Expr.Call (f, args) ->
+        if String.equal f name && List.length args <> rank then ok := false;
+        List.iter chk_expr args
+  in
+  ignore
+    (Ast.map_stmts
+       (fun s ->
+         (match s with
+         | Ast.Assign { lhs; rhs; _ } ->
+             if
+               String.equal lhs.Ast.name name
+               && List.length lhs.Ast.subs <> rank
+             then ok := false;
+             List.iter chk_expr lhs.Ast.subs;
+             chk_expr rhs
+         | _ -> ());
+         s)
+       prog);
+  !ok
+
+let linearize (prog : Ast.program) =
+  let blocks =
+    List.filter_map
+      (function Ast.Common (blk, members) -> Some (blk, members) | _ -> None)
+      prog.Ast.decls
+  in
+  let layouts = Hashtbl.create 8 in
+  let summaries = ref [] in
+  let handled_blocks = ref [] in
+  List.iter
+    (fun (blk, members) ->
+      try
+        let repl = "CB" ^ blk in
+        let offsets = ref [] in
+        let base = ref 0 in
+        List.iter
+          (fun m ->
+            match Ast.find_array prog m with
+            | None -> raise Exit
+            | Some a ->
+                let dims = dims_of a in
+                if not (refs_conform prog m (List.length dims)) then raise Exit;
+                offsets := (m, { m_dims = dims; m_base = !base; m_repl = repl }) :: !offsets;
+                base := !base + size dims)
+          members;
+        List.iter (fun (m, l) -> Hashtbl.replace layouts m l) !offsets;
+        handled_blocks := (blk, repl, !base) :: !handled_blocks;
+        summaries :=
+          {
+            b_name = blk;
+            b_array = repl;
+            b_members =
+              List.rev_map (fun (m, l) -> (m, l.m_base)) !offsets;
+          }
+          :: !summaries
+      with Exit -> ())
+    blocks;
+  if Hashtbl.length layouts = 0 then (prog, [])
+  else begin
+    let rec rw_expr e =
+      match e with
+      | Expr.Const _ | Expr.Var _ -> e
+      | Expr.Neg a -> Expr.Neg (rw_expr a)
+      | Expr.Bin (op, a, b) -> Expr.Bin (op, rw_expr a, rw_expr b)
+      | Expr.Call (f, args) -> (
+          let args = List.map rw_expr args in
+          match Hashtbl.find_opt layouts f with
+          | Some l -> Expr.Call (l.m_repl, [ linear_subscript l args ])
+          | None -> Expr.Call (f, args))
+    in
+    let rw_aref (r : Ast.aref) =
+      let subs = List.map rw_expr r.subs in
+      match Hashtbl.find_opt layouts r.name with
+      | Some l -> { Ast.name = l.m_repl; subs = [ linear_subscript l subs ] }
+      | None -> { r with Ast.subs = subs }
+    in
+    let prog' =
+      Ast.map_stmts
+        (function
+          | Ast.Assign { label; lhs; rhs } ->
+              Ast.Assign { label; lhs = rw_aref lhs; rhs = rw_expr rhs }
+          | s -> s)
+        prog
+    in
+    let decls =
+      List.filter_map
+        (function
+          | Ast.Array a when Hashtbl.mem layouts a.a_name -> None
+          | Ast.Common (blk, _)
+            when List.exists (fun (b, _, _) -> b = blk) !handled_blocks -> (
+              match List.find_opt (fun (b, _, _) -> b = blk) !handled_blocks with
+              | Some (_, repl, _) -> Some (Ast.Common (blk, [ repl ]))
+              | None -> None)
+          | d -> Some d)
+        prog.Ast.decls
+    in
+    let new_decls =
+      List.rev_map
+        (fun (_, repl, total) ->
+          Ast.Array
+            {
+              Ast.a_name = repl;
+              a_kind = Ast.Real;
+              a_dims = [ { Ast.lo = Expr.Const 0; hi = Expr.Const (total - 1) } ];
+            })
+        !handled_blocks
+    in
+    ({ prog' with Ast.decls = decls @ new_decls }, List.rev !summaries)
+  end

@@ -1,0 +1,187 @@
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+
+type group = { members : string list; repl : string; kept_dims : int }
+
+type shape = { lo : int; extent : int }
+(* One dimension: declared [lo : lo+extent-1]. *)
+
+let shapes_of (a : Ast.array_decl) =
+  List.map
+    (fun (d : Ast.dim) ->
+      match (Expr.to_const d.lo, Expr.to_const d.hi) with
+      | Some l, Some h when h >= l -> { lo = l; extent = h - l + 1 }
+      | _ -> raise Exit)
+    a.a_dims
+
+(* Longest trailing run of dimensions with identical extents across all
+   member shapes (ranks may differ: compare from the end). *)
+let common_suffix shapes_list =
+  match shapes_list with
+  | [] -> 0
+  | first :: rest ->
+      let extents s = List.rev_map (fun d -> d.extent) s in
+      let firsts = extents first in
+      let min_rank =
+        List.fold_left
+          (fun acc s -> min acc (List.length s))
+          (List.length first) rest
+      in
+      let rec run k =
+        if k >= min_rank then k
+        else
+          let ok =
+            List.for_all
+              (fun s -> List.nth (extents s) k = List.nth firsts k)
+              rest
+          in
+          if ok then run (k + 1) else k
+      in
+      (* Never keep every dimension of every member: at least one leading
+         dimension must fold or there is nothing to do. *)
+      min (run 0) (min_rank - 1)
+
+let leading_product shapes kept =
+  let lead = List.filteri (fun i _ -> i < List.length shapes - kept) shapes in
+  List.fold_left (fun acc d -> acc * d.extent) 1 lead
+
+(* Column-major linear offset of the leading subscripts (0-based). *)
+let linear_subscript shapes kept subs =
+  let n = List.length shapes in
+  let lead_n = n - kept in
+  let rec go i stride acc shapes subs =
+    if i >= lead_n then acc
+    else
+      match (shapes, subs) with
+      | sh :: shs, sb :: sbs ->
+          let zero_based =
+            Expr.fold_consts (Expr.Bin (Expr.Sub, sb, Expr.Const sh.lo))
+          in
+          let term =
+            Expr.fold_consts
+              (Expr.Bin (Expr.Mul, Expr.Const stride, zero_based))
+          in
+          go (i + 1) (stride * sh.extent)
+            (Expr.fold_consts (Expr.Bin (Expr.Add, acc, term)))
+            shs sbs
+      | _ -> failwith "linear_subscript: arity mismatch"
+  in
+  go 0 1 (Expr.Const 0) shapes subs
+
+let rewrite_refs prog (infos : (string * (shape list * int * string)) list) =
+  let find name = List.assoc_opt name infos in
+  let trailing_subs shapes kept subs =
+    let lead_n = List.length shapes - kept in
+    List.filteri (fun i _ -> i >= lead_n) (List.combine subs shapes)
+    |> List.map (fun (sb, sh) ->
+           Expr.fold_consts (Expr.Bin (Expr.Sub, sb, Expr.Const sh.lo)))
+  in
+  let rec rw_expr e =
+    match e with
+    | Expr.Const _ | Expr.Var _ -> e
+    | Expr.Neg a -> Expr.Neg (rw_expr a)
+    | Expr.Bin (op, a, b) -> Expr.Bin (op, rw_expr a, rw_expr b)
+    | Expr.Call (f, args) -> (
+        let args = List.map rw_expr args in
+        match find f with
+        | Some (shapes, kept, repl) when List.length args = List.length shapes
+          ->
+            let lin = linear_subscript shapes kept args in
+            Expr.Call (repl, lin :: trailing_subs shapes kept args)
+        | _ -> Expr.Call (f, args))
+  in
+  let rw_aref (r : Ast.aref) =
+    let subs = List.map rw_expr r.subs in
+    match find r.name with
+    | Some (shapes, kept, repl) when List.length subs = List.length shapes ->
+        let lin = linear_subscript shapes kept subs in
+        { Ast.name = repl; subs = lin :: trailing_subs shapes kept subs }
+    | _ -> { r with subs }
+  in
+  Ast.map_stmts
+    (function
+      | Ast.Assign { label; lhs; rhs } ->
+          Ast.Assign { label; lhs = rw_aref lhs; rhs = rw_expr rhs }
+      | s -> s)
+    prog
+
+let linearize (prog : Ast.program) =
+  let groups =
+    List.concat_map
+      (function Ast.Equivalence gs -> gs | _ -> [])
+      prog.decls
+  in
+  let results = ref [] in
+  let infos = ref [] in
+  let new_decls = ref [] in
+  let counter = ref 0 in
+  List.iter
+    (fun group ->
+      let names = List.map fst group in
+      (* Only base aliasing (no subscripts) is folded. *)
+      let base_only = List.for_all (fun (_, subs) -> subs = []) group in
+      let decls =
+        List.filter_map (fun n -> Ast.find_array prog n) names
+      in
+      try
+        if (not base_only) || List.length decls <> List.length names then
+          raise Exit;
+        let shapes = List.map shapes_of decls in
+        let kept = common_suffix shapes in
+        let products =
+          List.map (fun s -> leading_product s kept) shapes
+        in
+        (match products with
+        | p0 :: rest when List.for_all (( = ) p0) rest -> ()
+        | _ -> raise Exit);
+        incr counter;
+        let repl = Printf.sprintf "LIN%d" !counter in
+        let total = List.hd products in
+        let kind =
+          match decls with d :: _ -> d.a_kind | [] -> Ast.Real
+        in
+        (* Trailing dims are shared by construction. *)
+        let trailing =
+          match shapes with
+          | s :: _ ->
+              List.filteri (fun i _ -> i >= List.length s - kept) s
+          | [] -> []
+        in
+        let dims =
+          { Ast.lo = Expr.Const 0; hi = Expr.Const (total - 1) }
+          :: List.map
+               (fun sh ->
+                 {
+                   Ast.lo = Expr.Const 0;
+                   hi = Expr.Const (sh.extent - 1);
+                 })
+               trailing
+        in
+        new_decls := Ast.Array { a_name = repl; a_kind = kind; a_dims = dims } :: !new_decls;
+        List.iter2
+          (fun name s -> infos := (name, (s, kept, repl)) :: !infos)
+          names shapes;
+        results := { members = names; repl; kept_dims = kept } :: !results
+      with Exit ->
+        results := { members = names; repl = ""; kept_dims = -1 } :: !results)
+    groups;
+  let prog = rewrite_refs prog !infos in
+  (* Drop the folded arrays' declarations and the handled EQUIVALENCEs;
+     keep everything else. *)
+  let handled name = List.mem_assoc name !infos in
+  let decls =
+    List.filter_map
+      (function
+        | Ast.Array a when handled a.a_name -> None
+        | Ast.Equivalence gs ->
+            let remaining =
+              List.filter
+                (fun g -> not (List.for_all (fun (n, _) -> handled n) g))
+                gs
+            in
+            if remaining = [] then None else Some (Ast.Equivalence remaining)
+        | d -> Some d)
+      prog.decls
+  in
+  ( { prog with decls = decls @ List.rev !new_decls },
+    List.rev !results )

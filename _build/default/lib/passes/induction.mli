@@ -1,0 +1,35 @@
+(** Multi-loop induction-variable substitution (paper §1, the BOAST
+    fragment).
+
+    Recognizes scalars like [IB] that are initialized before a nest and
+    incremented by a constant exactly once per iteration of the loops
+    enclosing the increment:
+
+    {v
+      IB = -1
+      DO I = 0, II-1
+        DO J = 0, JJ-1
+          DO K = 0, KK-1
+            IB = IB + 1
+            ...
+            B(IB) = B(IB) + Q
+    v}
+
+    Existing techniques treat [IB] as controlled by the innermost loop
+    only; recognizing all three controlling loops lets the uses be
+    replaced by the closed form [K + J*KK + I*KK*JJ] (for the normalized
+    nest), after which the references delinearize and the statement
+    parallelizes in all three loops.
+
+    The program must be loop-normalized first ({!Normalize.loop}). *)
+
+val substitute : Dlz_ir.Ast.program -> Dlz_ir.Ast.program
+(** Replaces every recognizable induction variable: uses positioned
+    after the increment (in its innermost body) get the closed form, the
+    increment and the initialization are removed.  Variables that fail
+    the safety conditions (extra assignments, uses before the increment,
+    non-constant step, unknown trip counts of intervening loops) are left
+    untouched. *)
+
+val candidates : Dlz_ir.Ast.program -> string list
+(** Names of the variables {!substitute} would rewrite (diagnostics). *)

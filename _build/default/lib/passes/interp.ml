@@ -1,0 +1,196 @@
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+
+type kind = Read | Write
+type event = { block : string; addr : int; kind : kind }
+
+type array_info = {
+  dims : (int * int) list; (* (lo, extent) per dimension *)
+  block : string;
+  base : int; (* offset of the array within its block *)
+}
+
+let const_exn syms what e =
+  match Expr.to_const e with
+  | Some c -> c
+  | None -> (
+      match Expr.eval (fun v -> List.assoc v syms) e with
+      | c -> c
+      | exception _ -> failwith ("Interp: non-constant " ^ what))
+
+let build_layout ~syms (p : Ast.program) =
+  let arrays = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Array a ->
+          let dims =
+            List.map
+              (fun (d : Ast.dim) ->
+                let lo = const_exn syms "dimension bound" d.lo in
+                let hi = const_exn syms "dimension bound" d.hi in
+                if hi < lo then failwith "Interp: empty dimension";
+                (lo, hi - lo + 1))
+              a.a_dims
+          in
+          Hashtbl.replace arrays a.a_name
+            { dims; block = a.a_name; base = 0 }
+      | _ -> ())
+    p.decls;
+  (* COMMON sequence association: members share a block at consecutive
+     base offsets. *)
+  List.iter
+    (function
+      | Ast.Common (blk, members) ->
+          let base = ref 0 in
+          List.iter
+            (fun name ->
+              match Hashtbl.find_opt arrays name with
+              | None -> ()
+              | Some info ->
+                  let sz =
+                    List.fold_left (fun acc (_, e) -> acc * e) 1 info.dims
+                  in
+                  Hashtbl.replace arrays name
+                    { info with block = "/" ^ blk; base = !base };
+                  base := !base + sz)
+            members
+      | _ -> ())
+    p.decls;
+  (* Base-aliasing EQUIVALENCE: union the blocks (offsets all 0). *)
+  List.iter
+    (function
+      | Ast.Equivalence groups ->
+          List.iter
+            (fun group ->
+              match group with
+              | [] -> ()
+              | (first, _) :: rest -> (
+                  match Hashtbl.find_opt arrays first with
+                  | None -> ()
+                  | Some info0 ->
+                      List.iter
+                        (fun (name, subs) ->
+                          if subs <> [] then
+                            failwith
+                              "Interp: only base EQUIVALENCE is supported";
+                          match Hashtbl.find_opt arrays name with
+                          | None -> ()
+                          | Some info ->
+                              Hashtbl.replace arrays name
+                                { info with block = info0.block })
+                        rest))
+            groups
+      | _ -> ())
+    p.decls;
+  arrays
+
+let address info subs =
+  let rec go dims subs stride acc =
+    match (dims, subs) with
+    | [], [] -> acc
+    | (lo, extent) :: dims, s :: subs ->
+        if s < lo || s >= lo + extent then
+          failwith
+            (Printf.sprintf "Interp: subscript %d out of range [%d,%d]" s lo
+               (lo + extent - 1));
+        go dims subs (stride * extent) (acc + ((s - lo) * stride))
+    | _ -> failwith "Interp: subscript arity mismatch"
+  in
+  info.base + go info.dims subs 1 0
+
+let run ?(syms = []) ?(fuel = 20_000_000) (p : Ast.program) =
+  let arrays = build_layout ~syms p in
+  let scalars : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (s, v) -> Hashtbl.replace scalars s v) syms;
+  List.iter
+    (function
+      | Ast.Parameter ps ->
+          List.iter (fun (n, v) -> Hashtbl.replace scalars n v) ps
+      | _ -> ())
+    p.decls;
+  let memory : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let trace = ref [] in
+  let steps = ref 0 in
+  let emit block addr kind = trace := { block; addr; kind } :: !trace in
+  let rec eval e =
+    match e with
+    | Expr.Const c -> c
+    | Expr.Var v -> Option.value (Hashtbl.find_opt scalars v) ~default:0
+    | Expr.Neg a -> -eval a
+    | Expr.Bin (op, a, b) -> (
+        let x = eval a and y = eval b in
+        match op with
+        | Expr.Add -> x + y
+        | Expr.Sub -> x - y
+        | Expr.Mul -> x * y
+        | Expr.Div -> if y = 0 then 0 else x / y)
+    | Expr.Call ("%REAL", _) -> 0
+    | Expr.Call ("%POW", [ b; e ]) ->
+        let be = eval b and ee = eval e in
+        if ee < 0 then 0
+        else
+          let rec pw acc n = if n = 0 then acc else pw (acc * be) (n - 1) in
+          pw 1 ee
+    | Expr.Call (f, args) -> (
+        let vals = List.map eval args in
+        match Hashtbl.find_opt arrays f with
+        | Some info ->
+            let addr = address info vals in
+            emit info.block addr Read;
+            Option.value
+              (Hashtbl.find_opt memory (info.block, addr))
+              ~default:0
+        | None ->
+            (* Opaque call: deterministic small pseudo-value, kept in
+               [0, 7] so the paper fragments' opaque subscripts (e.g.
+               IFUN(10) indexing a 0:9 dimension) stay in range. *)
+            List.fold_left (fun acc v -> (acc * 31) + v) (Hashtbl.hash f) vals
+            land 0x7)
+  in
+  let rec exec s =
+    incr steps;
+    if !steps > fuel then failwith "Interp: out of fuel";
+    match s with
+    | Ast.Continue _ -> ()
+    | Ast.Assign { lhs; rhs; _ } -> (
+        let v = eval rhs in
+        match Hashtbl.find_opt arrays lhs.name with
+        | Some info ->
+            let subs = List.map eval lhs.subs in
+            let addr = address info subs in
+            emit info.block addr Write;
+            Hashtbl.replace memory (info.block, addr) v
+        | None ->
+            if lhs.subs <> [] then
+              failwith ("Interp: assignment to undeclared array " ^ lhs.name);
+            Hashtbl.replace scalars lhs.name v)
+    | Ast.Do d ->
+        let lo = eval d.lo and hi = eval d.hi and step = eval d.step in
+        if step = 0 then failwith "Interp: zero step";
+        let continue v = if step > 0 then v <= hi else v >= hi in
+        let v = ref lo in
+        while continue !v do
+          Hashtbl.replace scalars d.var !v;
+          List.iter exec d.body;
+          v := !v + step
+        done
+  in
+  List.iter exec p.body;
+  List.rev !trace
+
+let normalized (events : event list) =
+  let ids = Hashtbl.create 8 in
+  List.map
+    (fun (e : event) ->
+      let id =
+        match Hashtbl.find_opt ids e.block with
+        | Some i -> i
+        | None ->
+            let i = Hashtbl.length ids in
+            Hashtbl.replace ids e.block i;
+            i
+      in
+      (id, e.addr, e.kind))
+    events
+
+let equivalent a b = normalized a = normalized b

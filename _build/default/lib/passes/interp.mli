@@ -1,0 +1,27 @@
+(** Reference interpreter with memory-access tracing.
+
+    Used by the test suite to prove passes semantics-preserving: two
+    programs are access-equivalent when their traces coincide after
+    block-id normalization.  Memory is modelled FORTRAN-style: each
+    array occupies a storage block at a column-major linear address;
+    EQUIVALENCE groups share a block, so a trace is a sequence of
+    (block, address, read/write) events independent of how references
+    are spelled — exactly the invariant linearization must preserve. *)
+
+type kind = Read | Write
+type event = { block : string; addr : int; kind : kind }
+
+val run :
+  ?syms:(string * int) list -> ?fuel:int -> Dlz_ir.Ast.program -> event list
+(** Executes the program and returns the array-access trace in execution
+    order (reads of a statement before its write).  [syms] supplies
+    values for free scalars (e.g. [N]); [fuel] bounds the number of
+    executed statements (default 20_000_000).  Raises [Failure] on
+    non-constant declarations, out-of-fuel, or a subscript out of its
+    declared range. *)
+
+val normalized : event list -> (int * int * kind) list
+(** Renames blocks to first-occurrence indices so traces of programs
+    that renamed arrays (e.g. after linearization) compare equal. *)
+
+val equivalent : event list -> event list -> bool

@@ -1,0 +1,151 @@
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+
+type layout = { lin_dims : (int * int) list (* (lo, extent) *) }
+
+let layout_of (a : Ast.array_decl) =
+  let dims =
+    List.map
+      (fun (d : Ast.dim) ->
+        match (Expr.to_const d.lo, Expr.to_const d.hi) with
+        | Some lo, Some hi when hi >= lo -> (lo, hi - lo + 1)
+        | _ -> raise Exit)
+      a.a_dims
+  in
+  { lin_dims = dims }
+
+let total { lin_dims } =
+  List.fold_left (fun acc (_, e) -> acc * e) 1 lin_dims
+
+(* Column-major linear subscript, 0-based. *)
+let linear_subscript { lin_dims } subs =
+  let rec go dims subs stride acc =
+    match (dims, subs) with
+    | [], [] -> acc
+    | (lo, extent) :: dims, s :: subs ->
+        let rebased =
+          Expr.fold_consts (Expr.Bin (Expr.Sub, s, Expr.Const lo))
+        in
+        let term =
+          Expr.fold_consts (Expr.Bin (Expr.Mul, Expr.Const stride, rebased))
+        in
+        go dims subs (stride * extent)
+          (Expr.fold_consts (Expr.Bin (Expr.Add, acc, term)))
+    | _ -> raise Exit
+  in
+  go lin_dims subs 1 (Expr.Const 0)
+
+(* Every reference to the array must use exactly the declared rank for
+   the rewrite to be applied at all (otherwise the program is left
+   untouched for that array rather than half-rewritten). *)
+let all_refs_conform prog name rank =
+  let ok = ref true in
+  let rec check_expr e =
+    match e with
+    | Expr.Const _ | Expr.Var _ -> ()
+    | Expr.Neg a -> check_expr a
+    | Expr.Bin (_, a, b) ->
+        check_expr a;
+        check_expr b
+    | Expr.Call (f, args) ->
+        if String.equal f name && List.length args <> rank then ok := false;
+        List.iter check_expr args
+  in
+  let check_stmt = function
+    | Ast.Assign { lhs; rhs; _ } ->
+        if String.equal lhs.Ast.name name && List.length lhs.Ast.subs <> rank
+        then ok := false;
+        List.iter check_expr lhs.Ast.subs;
+        check_expr rhs
+    | _ -> ()
+  in
+  ignore
+    (Ast.map_stmts
+       (fun s ->
+         check_stmt s;
+         s)
+       prog);
+  !ok
+
+let rewrite_program prog targets =
+  let rec rw_expr e =
+    match e with
+    | Expr.Const _ | Expr.Var _ -> e
+    | Expr.Neg a -> Expr.Neg (rw_expr a)
+    | Expr.Bin (op, a, b) -> Expr.Bin (op, rw_expr a, rw_expr b)
+    | Expr.Call (f, args) -> (
+        let args = List.map rw_expr args in
+        match List.assoc_opt f targets with
+        | Some layout -> Expr.Call (f, [ linear_subscript layout args ])
+        | None -> Expr.Call (f, args))
+  in
+  let rw_aref (r : Ast.aref) =
+    let subs = List.map rw_expr r.subs in
+    match List.assoc_opt r.name targets with
+    | Some layout -> { r with Ast.subs = [ linear_subscript layout subs ] }
+    | None -> { r with Ast.subs = subs }
+  in
+  let prog' =
+    Ast.map_stmts
+      (function
+        | Ast.Assign { label; lhs; rhs } ->
+            Ast.Assign { label; lhs = rw_aref lhs; rhs = rw_expr rhs }
+        | s -> s)
+      prog
+  in
+  let decls =
+    List.map
+      (function
+        | Ast.Array a when List.mem_assoc a.a_name targets ->
+            let layout = List.assoc a.a_name targets in
+            Ast.Array
+              {
+                a with
+                a_dims =
+                  [
+                    {
+                      Ast.lo = Expr.Const 0;
+                      hi = Expr.Const (total layout - 1);
+                    };
+                  ];
+              }
+        | d -> d)
+      prog.Ast.decls
+  in
+  { prog' with Ast.decls }
+
+let equivalenced prog =
+  List.concat_map
+    (function
+      | Ast.Equivalence groups -> List.concat_map (List.map fst) groups
+      | _ -> [])
+    prog.Ast.decls
+
+let targets_of prog names =
+  (* EQUIVALENCE'd arrays are the Equivalence pass's business. *)
+  let skip = equivalenced prog in
+  List.filter_map
+    (fun name ->
+      if List.mem name skip then None
+      else
+        match Ast.find_array prog name with
+        | Some a -> (
+            match layout_of a with
+            | layout
+              when all_refs_conform prog name (List.length layout.lin_dims) ->
+                Some (name, layout)
+            | _ | (exception Exit) -> None)
+        | None -> None)
+    names
+
+let program prog =
+  let names =
+    List.filter_map
+      (function
+        | Ast.Array a when List.length a.a_dims >= 1 -> Some a.a_name
+        | _ -> None)
+      prog.Ast.decls
+  in
+  rewrite_program prog (targets_of prog names)
+
+let array prog name = rewrite_program prog (targets_of prog [ name ])

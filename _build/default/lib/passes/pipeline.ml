@@ -1,0 +1,8 @@
+let prepare p =
+  let p = Normalize.all p in
+  let p = Induction.substitute p in
+  let p, groups = Equivalence.linearize p in
+  let p, _blocks = Common_assoc.linearize p in
+  (Normalize.simplify p, groups)
+
+let prepare_program p = fst (prepare p)

@@ -1,0 +1,13 @@
+(** The standard analysis pipeline.
+
+    Order matters: parameters fold into bounds first, loops normalize to
+    [0..ub] step 1 (a precondition of induction recognition and access
+    extraction), induction variables turn into closed forms (creating
+    linearized references), and EQUIVALENCE groups linearize last. *)
+
+val prepare : Dlz_ir.Ast.program -> Dlz_ir.Ast.program * Equivalence.group list
+(** [fold_parameters → loop-normalize → induction-substitute →
+    equivalence-linearize → COMMON-sequence-associate → simplify]. *)
+
+val prepare_program : Dlz_ir.Ast.program -> Dlz_ir.Ast.program
+(** {!prepare} without the report. *)

@@ -1,0 +1,27 @@
+(** C pointer-to-index conversion (paper §1, "C array references").
+
+    "To make analysis in the presence of pointers possible[,] the
+    translator should treat a pointer which is used to traverse some
+    array as index in the linearized version of that array."  Pointers
+    are evaluated symbolically to (base array, offset) pairs; a [for]
+    loop whose induction variable is a pointer becomes an integer loop
+    over the offset, and every deref becomes a subscripted reference to
+    the base array.  The paper's fragment
+
+    {v
+      float d[100]; float *i, *j;
+      for (j = d; j <= d+90; j += 10)
+        for (i = j; i < j+5; i++)
+          *i = *(i+5);
+    v}
+
+    lowers to the linearized loop nest over [d] whose references
+    delinearization then proves independent. *)
+
+exception Unsupported of string
+(** Raised when a pointer escapes the symbolic domain (e.g. compared
+    against a different base array). *)
+
+val lower : Dlz_frontend.C_ast.program -> Dlz_ir.Ast.program
+(** Lowers a mini-C program to the loop-nest IR (program name [CFRAG]).
+    Run {!Normalize} on the result before analysis. *)

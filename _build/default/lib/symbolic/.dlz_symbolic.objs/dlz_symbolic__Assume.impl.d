@@ -1,0 +1,1 @@
+lib/symbolic/assume.ml: Dlz_base Format List Map Monomial Poly String

@@ -1,0 +1,1 @@
+lib/symbolic/assume.mli: Format Poly

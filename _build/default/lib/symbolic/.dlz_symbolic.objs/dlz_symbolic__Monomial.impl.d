@@ -1,0 +1,1 @@
+lib/symbolic/monomial.ml: Dlz_base Format Int Intx List Map Option String

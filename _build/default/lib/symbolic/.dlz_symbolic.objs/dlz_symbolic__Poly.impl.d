@@ -1,0 +1,1 @@
+lib/symbolic/poly.ml: Dlz_base Format Int Intx List Map Monomial Numth Set Stdlib String

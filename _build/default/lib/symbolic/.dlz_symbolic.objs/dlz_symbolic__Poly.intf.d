@@ -1,0 +1,1 @@
+lib/symbolic/poly.mli: Format Monomial

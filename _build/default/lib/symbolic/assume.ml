@@ -1,0 +1,92 @@
+module Smap = Map.Make (String)
+
+type t = int Smap.t (* symbol -> integer lower bound *)
+type sign = Negative | Zero | Positive | Unknown
+
+let empty = Smap.empty
+
+let assume_ge s b env =
+  Smap.update s (function None -> Some b | Some b' -> Some (max b b')) env
+
+let assume_nonneg p env =
+  let konst, rest =
+    List.partition (fun (_, m) -> Monomial.is_unit m) (Poly.terms p)
+  in
+  let k = match konst with [ (k, _) ] -> k | _ -> 0 in
+  match rest with
+  | [ (c, m) ] when c > 0 -> (
+      match Monomial.to_list m with
+      | [ (s, 1) ] -> assume_ge s (Dlz_base.Numth.cdiv (-k) c) env
+      | _ -> env)
+  | _ -> env
+
+let lower_bound s env = Smap.find_opt s env
+let bindings env = Smap.bindings env
+
+(* Rewrite p with s := lb(s) + s for every bounded symbol, so that every
+   symbol in the result stands for a nonnegative unknown.  Symbols with no
+   assumed bound keep an unknown sign and poison the analysis below. *)
+let shifted env p =
+  List.fold_left
+    (fun q s ->
+      match lower_bound s env with
+      | None -> q
+      | Some lb -> Poly.subst s (Poly.add (Poly.const lb) (Poly.sym s)) q)
+    p (Poly.vars p)
+
+let all_bounded env p =
+  List.for_all (fun s -> lower_bound s env <> None) (Poly.vars p)
+
+let coeff_signs p =
+  List.fold_left
+    (fun (has_pos, has_neg, konst) (c, m) ->
+      if Monomial.is_unit m then (has_pos, has_neg, c)
+      else (has_pos || c > 0, has_neg || c < 0, konst))
+    (false, false, 0) (Poly.terms p)
+
+let is_nonneg env p =
+  match Poly.to_const p with
+  | Some c -> c >= 0
+  | None ->
+      all_bounded env p
+      &&
+      let q = shifted env p in
+      let _, has_neg, konst = coeff_signs q in
+      (not has_neg) && konst >= 0
+
+let is_pos env p = is_nonneg env (Poly.sub p Poly.one)
+let is_nonpos env p = is_nonneg env (Poly.neg p)
+let is_neg env p = is_pos env (Poly.neg p)
+
+let sign env p =
+  if Poly.is_zero p then Zero
+  else if is_pos env p then Positive
+  else if is_neg env p then Negative
+  else Unknown
+
+let lt env p q = is_pos env (Poly.sub q p)
+let le env p q = is_nonneg env (Poly.sub q p)
+
+let abs env p =
+  match sign env p with
+  | Zero -> Some Poly.zero
+  | Positive -> Some p
+  | Negative -> Some (Poly.neg p)
+  | Unknown -> if is_nonneg env p then Some p else None
+
+let max2 env p q =
+  if le env q p then Some p else if le env p q then Some q else None
+
+let sample env ?(extra = 0) syms =
+  List.map
+    (fun s ->
+      match lower_bound s env with
+      | Some lb -> (s, lb + extra)
+      | None -> (s, extra))
+    syms
+
+let pp ppf env =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (s, b) -> Format.fprintf ppf "%s >= %d" s b)
+    ppf (bindings env)

@@ -1,0 +1,60 @@
+module Smap = Map.Make (String)
+open Dlz_base
+
+type t = int Smap.t (* symbol -> exponent, exponents strictly positive *)
+
+let unit = Smap.empty
+let of_sym s = Smap.singleton s 1
+
+let of_list facs =
+  List.fold_left
+    (fun acc (s, e) ->
+      if e <= 0 then invalid_arg "Monomial.of_list: nonpositive exponent";
+      Smap.update s (function None -> Some e | Some e' -> Some (e + e')) acc)
+    unit facs
+
+let to_list m = Smap.bindings m
+let is_unit m = Smap.is_empty m
+let degree m = Smap.fold (fun _ e acc -> e + acc) m 0
+
+let mul a b =
+  Smap.union (fun _ e1 e2 -> Some (e1 + e2)) a b
+
+let divides m1 m2 =
+  Smap.for_all
+    (fun s e1 -> match Smap.find_opt s m2 with Some e2 -> e2 >= e1 | None -> false)
+    m1
+
+let div_exn m2 m1 =
+  if not (divides m1 m2) then invalid_arg "Monomial.div_exn: not divisible";
+  Smap.merge
+    (fun _ e2 e1 ->
+      let e = Option.value e2 ~default:0 - Option.value e1 ~default:0 in
+      if e = 0 then None else Some e)
+    m2 m1
+
+let gcd a b =
+  Smap.merge
+    (fun _ e1 e2 ->
+      match (e1, e2) with Some x, Some y -> Some (min x y) | _ -> None)
+    a b
+
+let compare a b =
+  let c = Int.compare (degree a) (degree b) in
+  if c <> 0 then c else Smap.compare Int.compare a b
+
+let equal a b = Smap.equal Int.equal a b
+let vars m = List.map fst (Smap.bindings m)
+
+let eval env m =
+  Smap.fold (fun s e acc -> Intx.mul acc (Intx.pow (env s) e)) m 1
+
+let pp ppf m =
+  if is_unit m then Format.pp_print_string ppf "1"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "*")
+      (fun ppf (s, e) ->
+        if e = 1 then Format.pp_print_string ppf s
+        else Format.fprintf ppf "%s^%d" s e)
+      ppf (to_list m)

@@ -1,0 +1,49 @@
+(** Power products of named symbols.
+
+    A monomial is a finite map from symbol names to positive exponents,
+    e.g. [N^2*KK].  Monomials order polynomials canonically and carry the
+    "common monomial factor" computations used by symbolic gcd. *)
+
+type t
+(** A canonical power product; the unit monomial has no factors. *)
+
+val unit : t
+(** The empty product (degree 0). *)
+
+val of_sym : string -> t
+(** [of_sym s] is the monomial [s]. *)
+
+val of_list : (string * int) list -> t
+(** [of_list facs] builds a monomial from (symbol, exponent) pairs;
+    exponents must be positive, symbols may repeat (exponents add). *)
+
+val to_list : t -> (string * int) list
+(** Factors in canonical (alphabetical) order. *)
+
+val is_unit : t -> bool
+val degree : t -> int
+(** Total degree (sum of exponents). *)
+
+val mul : t -> t -> t
+
+val divides : t -> t -> bool
+(** [divides m1 m2] iff every factor of [m1] appears in [m2] with at
+    least the same exponent. *)
+
+val div_exn : t -> t -> t
+(** [div_exn m2 m1] is [m2 / m1]; raises [Invalid_argument] when [m1]
+    does not divide [m2]. *)
+
+val gcd : t -> t -> t
+(** Pointwise minimum of exponents. *)
+
+val compare : t -> t -> int
+(** Graded lexicographic order (degree first). *)
+
+val equal : t -> t -> bool
+val vars : t -> string list
+val eval : (string -> int) -> t -> int
+(** Overflow-checked evaluation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [N^2*KK]; the unit monomial prints as [1]. *)

@@ -1,0 +1,1 @@
+lib/vectorizer/codegen.ml: Array Buffer Depgraph Dlz_ir Dlz_symbolic Format Int List Printf Scc String

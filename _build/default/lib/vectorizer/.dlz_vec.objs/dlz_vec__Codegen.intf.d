@@ -1,0 +1,1 @@
+lib/vectorizer/codegen.mli: Depgraph Dlz_core Dlz_ir Dlz_symbolic

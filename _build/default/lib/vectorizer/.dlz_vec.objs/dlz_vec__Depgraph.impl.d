@@ -1,0 +1,1 @@
+lib/vectorizer/depgraph.ml: Array Dlz_core Dlz_deptest Dlz_ir Dlz_symbolic Format List Stdlib String

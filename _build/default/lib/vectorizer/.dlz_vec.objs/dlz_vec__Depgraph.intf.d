@@ -1,0 +1,1 @@
+lib/vectorizer/depgraph.mli: Dlz_core Dlz_deptest Dlz_ir Dlz_symbolic Format

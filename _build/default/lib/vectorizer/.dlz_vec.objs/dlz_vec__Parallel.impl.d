@@ -1,0 +1,1 @@
+lib/vectorizer/parallel.ml: Depgraph Dlz_ir List

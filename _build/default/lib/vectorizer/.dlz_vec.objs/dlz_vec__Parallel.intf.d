@@ -1,0 +1,1 @@
+lib/vectorizer/parallel.mli: Dlz_core Dlz_ir Dlz_symbolic

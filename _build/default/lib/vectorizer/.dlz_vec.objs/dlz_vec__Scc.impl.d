@@ -1,0 +1,1 @@
+lib/vectorizer/scc.ml: Array Int List

@@ -1,0 +1,114 @@
+module Dirvec = Dlz_deptest.Dirvec
+module Assume = Dlz_symbolic.Assume
+module Access = Dlz_ir.Access
+module Problem = Dlz_deptest.Problem
+module Verdict = Dlz_deptest.Verdict
+module Classify = Dlz_deptest.Classify
+module Analyze = Dlz_core.Analyze
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_vec : Dirvec.t;
+  e_level : int;
+  e_kind : Classify.kind;
+}
+
+type t = { nstmts : int; stmt_names : string array; edges : edge list }
+
+(* First level whose component is not '=': the carrying level. *)
+let classify_vec v =
+  let n = Array.length v in
+  let rec go i =
+    if i >= n then `LoopIndependent
+    else
+      match v.(i) with
+      | Dirvec.Eq -> go (i + 1)
+      | Dirvec.Lt -> `Forward (i + 1)
+      | Dirvec.Gt -> `Backward (i + 1)
+      | _ -> `Forward (i + 1) (* non-basic: conservatively forward *)
+  in
+  go 0
+
+let build ?mode ?(env = Assume.empty) prog =
+  let accs, env = Access.of_program ~env prog in
+  let arr = Array.of_list accs in
+  let n = Array.length arr in
+  let nstmts =
+    Array.fold_left (fun m a -> max m (a.Access.stmt_id + 1)) 0 arr
+  in
+  let stmt_names = Array.make nstmts "" in
+  Array.iter (fun a -> stmt_names.(a.Access.stmt_id) <- a.Access.stmt_name) arr;
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if
+        (a.Access.rw = `Write || b.Access.rw = `Write)
+        && String.equal a.Access.array b.Access.array
+      then
+        match Problem.of_accesses a b with
+        | None -> ()
+        | Some p ->
+            let r = Analyze.vectors ?mode ~env p in
+            if r.Analyze.verdict <> Verdict.Independent then
+              let basics =
+                List.concat_map Analyze.decomposition r.Analyze.dirvecs
+                |> List.sort_uniq Dirvec.compare
+                |> List.filter (fun v ->
+                       (* The identity instance of a single reference is
+                          not a dependence. *)
+                       not
+                         (a.Access.acc_id = b.Access.acc_id
+                         && Array.for_all (( = ) Dirvec.Eq) v))
+              in
+              List.iter
+                (fun v ->
+                  let add src dst vec level =
+                    let kind =
+                      Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw
+                    in
+                    edges :=
+                      {
+                        e_src = src.Access.stmt_id;
+                        e_dst = dst.Access.stmt_id;
+                        e_vec = vec;
+                        e_level = level;
+                        e_kind = kind;
+                      }
+                      :: !edges
+                  in
+                  match classify_vec v with
+                  | `Forward lvl -> add a b v lvl
+                  | `Backward lvl -> add b a (Dirvec.reverse v) lvl
+                  | `LoopIndependent ->
+                      (* Same statement: the read executes before the
+                         write; within-statement flow does not constrain
+                         loop rearrangement.  Across statements, orient
+                         by textual order. *)
+                      if a.Access.stmt_id < b.Access.stmt_id then
+                        add a b v max_int
+                      else if b.Access.stmt_id < a.Access.stmt_id then
+                        add b a v max_int)
+                basics
+      else ()
+    done
+  done;
+  (* Deduplicate identical edges. *)
+  let edges = List.sort_uniq Stdlib.compare !edges in
+  { nstmts; stmt_names; edges }
+
+let edges_at_level g level =
+  List.filter (fun e -> e.e_level >= level) g.edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s -> %s %s level %s [%s]@,"
+        g.stmt_names.(e.e_src) g.stmt_names.(e.e_dst)
+        (Dirvec.to_string e.e_vec)
+        (if e.e_level = max_int then "inf" else string_of_int e.e_level)
+        (Classify.to_string e.e_kind))
+    g.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+let compute ~n ~edges =
+  let succs = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u >= 0 && u < n && v >= 0 && v < n then succs.(u) <- v :: succs.(u))
+    edges;
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := List.sort Int.compare (pop []) :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order. *)
+  !components
+
+let is_cyclic ~edges comp =
+  match comp with
+  | [] -> false
+  | [ v ] -> List.exists (fun (u, w) -> u = v && w = v) edges
+  | _ -> true

@@ -1,0 +1,13 @@
+(** Tarjan's strongly connected components, in reverse-topological
+    emission order (Tarjan's natural output), re-reversed here so callers
+    iterate dependences-first. *)
+
+val compute : n:int -> edges:(int * int) list -> int list list
+(** [compute ~n ~edges] partitions nodes [0..n-1]; the returned
+    components are topologically ordered (every edge points from an
+    earlier or same component), and nodes inside a component keep
+    ascending order. *)
+
+val is_cyclic : edges:(int * int) list -> int list -> bool
+(** Whether the component (given the full edge list) contains a cycle,
+    i.e. has more than one node or a self edge. *)

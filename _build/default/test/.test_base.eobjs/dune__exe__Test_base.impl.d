@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Array Dlz_base Fun Intx Ivl List Numth Prng QCheck QCheck_alcotest Rat String Table

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dlz_base Dlz_core Dlz_deptest Dlz_frontend Dlz_ir Dlz_passes Dlz_symbolic List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Dlz_corpus Dlz_frontend Dlz_ir Dlz_symbolic List String

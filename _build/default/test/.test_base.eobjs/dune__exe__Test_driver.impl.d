@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Dlz_base Dlz_core Dlz_deptest Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Int64 List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Dlz_base Dlz_core Dlz_deptest Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Dlz_vec Int64 List QCheck QCheck_alcotest

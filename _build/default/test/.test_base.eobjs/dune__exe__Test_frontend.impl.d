@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Dlz_base Dlz_driver Dlz_frontend Dlz_ir Int64 List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dlz_base Dlz_core Dlz_deptest Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Dlz_symbolic Int64 List Option QCheck QCheck_alcotest String

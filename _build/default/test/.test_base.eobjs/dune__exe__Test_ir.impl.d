@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Dlz_ir Dlz_symbolic List Option QCheck QCheck_alcotest

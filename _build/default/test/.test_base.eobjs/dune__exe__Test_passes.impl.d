@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Dlz_core Dlz_driver Dlz_frontend Dlz_ir Dlz_passes Dlz_symbolic List String

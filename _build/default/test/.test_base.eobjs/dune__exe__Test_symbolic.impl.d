@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Dlz_symbolic Format List Option QCheck QCheck_alcotest

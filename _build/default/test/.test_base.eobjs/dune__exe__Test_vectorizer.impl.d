@@ -1,0 +1,1 @@
+test/test_vectorizer.ml: Alcotest Array Dlz_core Dlz_deptest Dlz_driver Dlz_frontend Dlz_passes Dlz_vec Fun List String

@@ -1,0 +1,329 @@
+(* Unit and property tests for dlz_base: checked arithmetic, number
+   theory, rationals, intervals, the PRNG and the table renderer. *)
+
+open Dlz_base
+
+let check_raises_overflow name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | exception Intx.Overflow _ -> ()
+      | _ -> Alcotest.failf "%s: expected Overflow" name)
+
+(* --- Intx ---------------------------------------------------------------- *)
+
+let intx_units =
+  [
+    Alcotest.test_case "add basics" `Quick (fun () ->
+        Alcotest.(check int) "2+3" 5 (Intx.add 2 3);
+        Alcotest.(check int) "max+0" max_int (Intx.add max_int 0);
+        Alcotest.(check int) "min+max" (-1) (Intx.add min_int max_int));
+    check_raises_overflow "add overflows" (fun () -> Intx.add max_int 1);
+    check_raises_overflow "add underflows" (fun () -> Intx.add min_int (-1));
+    Alcotest.test_case "sub basics" `Quick (fun () ->
+        Alcotest.(check int) "3-5" (-2) (Intx.sub 3 5);
+        Alcotest.(check int) "0-min+... stays" (max_int - 1)
+          (Intx.sub (max_int - 1) 0));
+    check_raises_overflow "sub overflows" (fun () -> Intx.sub max_int (-1));
+    check_raises_overflow "sub min_int" (fun () -> Intx.sub 2 min_int);
+    Alcotest.test_case "mul basics" `Quick (fun () ->
+        Alcotest.(check int) "6*7" 42 (Intx.mul 6 7);
+        Alcotest.(check int) "0*max" 0 (Intx.mul 0 max_int);
+        Alcotest.(check int) "neg" (-42) (Intx.mul (-6) 7));
+    check_raises_overflow "mul overflows" (fun () ->
+        Intx.mul (max_int / 2) 3);
+    check_raises_overflow "mul min by -1" (fun () -> Intx.mul min_int (-1));
+    check_raises_overflow "neg min_int" (fun () -> Intx.neg min_int);
+    check_raises_overflow "abs min_int" (fun () -> Intx.abs min_int);
+    Alcotest.test_case "pow" `Quick (fun () ->
+        Alcotest.(check int) "2^10" 1024 (Intx.pow 2 10);
+        Alcotest.(check int) "x^0" 1 (Intx.pow 12345 0);
+        Alcotest.(check int) "x^1" (-7) (Intx.pow (-7) 1);
+        Alcotest.(check int) "(-2)^3" (-8) (Intx.pow (-2) 3));
+    check_raises_overflow "pow overflows" (fun () -> Intx.pow 10 30);
+    Alcotest.test_case "pow negative exponent" `Quick (fun () ->
+        match Intx.pow 2 (-1) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "pos/neg parts" `Quick (fun () ->
+        Alcotest.(check int) "pos of 5" 5 (Intx.pos_part 5);
+        Alcotest.(check int) "pos of -5" 0 (Intx.pos_part (-5));
+        Alcotest.(check int) "neg of 5" 0 (Intx.neg_part 5);
+        Alcotest.(check int) "neg of -5" (-5) (Intx.neg_part (-5));
+        Alcotest.(check int) "pos of 0" 0 (Intx.pos_part 0);
+        Alcotest.(check int) "neg of 0" 0 (Intx.neg_part 0));
+    Alcotest.test_case "sum" `Quick (fun () ->
+        Alcotest.(check int) "sum" 10 (Intx.sum [ 1; 2; 3; 4 ]);
+        Alcotest.(check int) "empty" 0 (Intx.sum []));
+  ]
+
+let intx_props =
+  let small = QCheck.int_range (-10000) 10000 in
+  [
+    QCheck.Test.make ~name:"c = c+ + c-" ~count:500 small (fun c ->
+        Intx.pos_part c + Intx.neg_part c = c);
+    QCheck.Test.make ~name:"checked ops agree with native in range" ~count:500
+      (QCheck.pair small small) (fun (a, b) ->
+        Intx.add a b = a + b && Intx.sub a b = a - b && Intx.mul a b = a * b);
+  ]
+
+(* --- Numth --------------------------------------------------------------- *)
+
+let numth_units =
+  [
+    Alcotest.test_case "gcd basics" `Quick (fun () ->
+        Alcotest.(check int) "gcd 12 18" 6 (Numth.gcd 12 18);
+        Alcotest.(check int) "gcd 0 0" 0 (Numth.gcd 0 0);
+        Alcotest.(check int) "gcd -4 6" 2 (Numth.gcd (-4) 6);
+        Alcotest.(check int) "gcd 0 5" 5 (Numth.gcd 0 5);
+        Alcotest.(check int) "gcd_list" 10 (Numth.gcd_list [ 100; -10; 30 ]);
+        Alcotest.(check int) "gcd_list []" 0 (Numth.gcd_list []));
+    Alcotest.test_case "lcm" `Quick (fun () ->
+        Alcotest.(check int) "lcm 4 6" 12 (Numth.lcm 4 6);
+        Alcotest.(check int) "lcm 0 5" 0 (Numth.lcm 0 5);
+        Alcotest.(check int) "lcm -4 6" 12 (Numth.lcm (-4) 6));
+    Alcotest.test_case "floor div/mod" `Quick (fun () ->
+        Alcotest.(check int) "fdiv 7 2" 3 (Numth.fdiv 7 2);
+        Alcotest.(check int) "fdiv -7 2" (-4) (Numth.fdiv (-7) 2);
+        Alcotest.(check int) "fdiv 7 -2" (-4) (Numth.fdiv 7 (-2));
+        Alcotest.(check int) "fmod -7 2" 1 (Numth.fmod (-7) 2);
+        Alcotest.(check int) "cdiv 7 2" 4 (Numth.cdiv 7 2);
+        Alcotest.(check int) "cdiv -7 2" (-3) (Numth.cdiv (-7) 2));
+    Alcotest.test_case "symmetric_mod" `Quick (fun () ->
+        Alcotest.(check int) "-110 mod 100" (-10)
+          (Numth.symmetric_mod (-110) 100);
+        Alcotest.(check int) "7 mod 4" (-1) (Numth.symmetric_mod 7 4);
+        Alcotest.(check int) "6 mod 4 (tie -> +)" 2 (Numth.symmetric_mod 6 4);
+        Alcotest.(check int) "0 mod 3" 0 (Numth.symmetric_mod 0 3));
+    Alcotest.test_case "nearest_residue (fig5 case)" `Quick (fun () ->
+        (* -110 mod 100 nearest to -5 must be -10 (paper Figure 5). *)
+        Alcotest.(check int) "fig5 residue" (-10)
+          (Numth.nearest_residue (-110) 100 (-5)));
+    Alcotest.test_case "divides" `Quick (fun () ->
+        Alcotest.(check bool) "3 | 9" true (Numth.divides 3 9);
+        Alcotest.(check bool) "3 | 10" false (Numth.divides 3 10);
+        Alcotest.(check bool) "0 | 0" true (Numth.divides 0 0);
+        Alcotest.(check bool) "0 | 5" false (Numth.divides 0 5);
+        Alcotest.(check bool) "-3 | 9" true (Numth.divides (-3) 9));
+  ]
+
+let numth_props =
+  let small = QCheck.int_range (-2000) 2000 in
+  let pos = QCheck.int_range 1 500 in
+  [
+    QCheck.Test.make ~name:"egcd Bezout identity" ~count:500
+      (QCheck.pair small small) (fun (a, b) ->
+        let g, x, y = Numth.egcd a b in
+        g = Numth.gcd a b && (a * x) + (b * y) = g);
+    QCheck.Test.make ~name:"fdiv/fmod division law" ~count:500
+      (QCheck.pair small (QCheck.int_range (-60) 60)) (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q = Numth.fdiv a b and r = Numth.fmod a b in
+        (b * q) + r = a && if b > 0 then r >= 0 && r < b else r <= 0 && r > b);
+    QCheck.Test.make ~name:"symmetric_mod congruent and small" ~count:500
+      (QCheck.pair small pos) (fun (a, g) ->
+        let r = Numth.symmetric_mod a g in
+        (a - r) mod g = 0 && 2 * r <= g && 2 * r > -g);
+    QCheck.Test.make ~name:"nearest_residue is congruent and nearest"
+      ~count:500
+      (QCheck.triple small pos small)
+      (fun (a, g, target) ->
+        let r = Numth.nearest_residue a g target in
+        (a - r) mod g = 0
+        && abs (r - target) * 2 <= g
+           (* no congruent value is strictly closer *)
+        && abs (r - target) <= abs (r - g - target)
+        && abs (r - target) <= abs (r + g - target));
+  ]
+
+(* --- Rat ----------------------------------------------------------------- *)
+
+let rat_units =
+  [
+    Alcotest.test_case "normalization" `Quick (fun () ->
+        let r = Rat.make 6 (-4) in
+        Alcotest.(check int) "num" (-3) (Rat.num r);
+        Alcotest.(check int) "den" 2 (Rat.den r);
+        Alcotest.(check bool) "zero den raises" true
+          (match Rat.make 1 0 with
+          | exception Division_by_zero -> true
+          | _ -> false));
+    Alcotest.test_case "floor/ceil" `Quick (fun () ->
+        Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+        Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+        Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+        Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2)));
+    Alcotest.test_case "to_int_exn" `Quick (fun () ->
+        Alcotest.(check int) "4/2" 2 (Rat.to_int_exn (Rat.make 4 2));
+        Alcotest.(check bool) "1/2 raises" true
+          (match Rat.to_int_exn (Rat.make 1 2) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "printing" `Quick (fun () ->
+        Alcotest.(check string) "int prints plain" "3"
+          (Rat.to_string (Rat.of_int 3));
+        Alcotest.(check string) "fraction" "-3/2"
+          (Rat.to_string (Rat.make 3 (-2))));
+  ]
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.make n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-300) 300) (int_range (-30) 30))
+
+let rat_props =
+  [
+    QCheck.Test.make ~name:"add commutative" ~count:300
+      (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+        Rat.equal (Rat.add a b) (Rat.add b a));
+    QCheck.Test.make ~name:"mul distributes over add" ~count:300
+      (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+        Rat.equal (Rat.mul a (Rat.add b c))
+          (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    QCheck.Test.make ~name:"sub then add round-trips" ~count:300
+      (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+        Rat.equal a (Rat.add (Rat.sub a b) b));
+    QCheck.Test.make ~name:"compare consistent with to_float" ~count:300
+      (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+        let c = Rat.compare a b in
+        let f = compare (Rat.to_float a) (Rat.to_float b) in
+        c = 0 || c = f);
+    QCheck.Test.make ~name:"floor <= x < floor+1" ~count:300 arb_rat (fun a ->
+        let f = Rat.floor a in
+        Rat.compare (Rat.of_int f) a <= 0
+        && Rat.compare a (Rat.of_int (f + 1)) < 0);
+  ]
+
+(* --- Ivl ----------------------------------------------------------------- *)
+
+let ivl_units =
+  [
+    Alcotest.test_case "construction" `Quick (fun () ->
+        Alcotest.(check bool) "empty when lo>hi" true
+          (Ivl.is_empty (Ivl.make 3 2));
+        Alcotest.(check bool) "point not empty" false
+          (Ivl.is_empty (Ivl.point 5));
+        Alcotest.(check int) "lo" (-2) (Ivl.lo (Ivl.make (-2) 7));
+        Alcotest.(check int) "hi" 7 (Ivl.hi (Ivl.make (-2) 7)));
+    Alcotest.test_case "ops" `Quick (fun () ->
+        Alcotest.(check bool) "add" true
+          (Ivl.equal (Ivl.make 3 12) (Ivl.add (Ivl.make 1 4) (Ivl.make 2 8)));
+        Alcotest.(check bool) "scale by neg flips" true
+          (Ivl.equal (Ivl.make (-8) (-2)) (Ivl.scale (-2) (Ivl.make 1 4)));
+        Alcotest.(check bool) "neg" true
+          (Ivl.equal (Ivl.make (-4) (-1)) (Ivl.neg (Ivl.make 1 4)));
+        Alcotest.(check bool) "inter disjoint empty" true
+          (Ivl.is_empty (Ivl.inter (Ivl.make 0 1) (Ivl.make 3 4)));
+        Alcotest.(check int) "max_abs" 7 (Ivl.max_abs (Ivl.make (-7) 3));
+        Alcotest.(check int) "width of empty" (-1) (Ivl.width Ivl.empty));
+    Alcotest.test_case "empty propagates" `Quick (fun () ->
+        Alcotest.(check bool) "add empty" true
+          (Ivl.is_empty (Ivl.add Ivl.empty (Ivl.make 0 3)));
+        Alcotest.(check bool) "join with empty is identity" true
+          (Ivl.equal (Ivl.make 1 2) (Ivl.join Ivl.empty (Ivl.make 1 2))));
+  ]
+
+let arb_ivl =
+  QCheck.map
+    (fun (a, b) -> Ivl.make (min a b) (max a b))
+    QCheck.(pair (int_range (-50) 50) (int_range (-50) 50))
+
+let ivl_props =
+  let mem_points iv =
+    if Ivl.is_empty iv then []
+    else List.init (Ivl.width iv + 1) (fun i -> Ivl.lo iv + i)
+  in
+  [
+    QCheck.Test.make ~name:"add is exact Minkowski sum" ~count:200
+      (QCheck.pair arb_ivl arb_ivl) (fun (a, b) ->
+        let s = Ivl.add a b in
+        List.for_all
+          (fun x -> List.for_all (fun y -> Ivl.mem (x + y) s) (mem_points b))
+          (mem_points a));
+    QCheck.Test.make ~name:"scale exact on endpoints" ~count:300
+      (QCheck.pair (QCheck.int_range (-9) 9) arb_ivl) (fun (c, iv) ->
+        let s = Ivl.scale c iv in
+        Ivl.is_empty iv
+        || (Ivl.mem (c * Ivl.lo iv) s && Ivl.mem (c * Ivl.hi iv) s));
+    QCheck.Test.make ~name:"inter is conjunction of membership" ~count:300
+      (QCheck.triple (QCheck.int_range (-60) 60) arb_ivl arb_ivl)
+      (fun (x, a, b) ->
+        Ivl.mem x (Ivl.inter a b) = (Ivl.mem x a && Ivl.mem x b));
+    QCheck.Test.make ~name:"join contains both" ~count:300
+      (QCheck.pair arb_ivl arb_ivl) (fun (a, b) ->
+        let j = Ivl.join a b in
+        List.for_all (fun x -> Ivl.mem x j) (mem_points a)
+        && List.for_all (fun x -> Ivl.mem x j) (mem_points b));
+  ]
+
+(* --- Prng / Table -------------------------------------------------------- *)
+
+let prng_units =
+  [
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let a = Prng.create 7L and b = Prng.create 7L in
+        for _ = 1 to 50 do
+          Alcotest.(check int64) "same stream" (Prng.next64 a) (Prng.next64 b)
+        done);
+    Alcotest.test_case "ranges" `Quick (fun () ->
+        let g = Prng.create 1L in
+        for _ = 1 to 500 do
+          let x = Prng.int_in g (-3) 9 in
+          if x < -3 || x > 9 then Alcotest.fail "out of range"
+        done);
+    Alcotest.test_case "split decorrelates" `Quick (fun () ->
+        let g = Prng.create 3L in
+        let h = Prng.split g in
+        Alcotest.(check bool) "different streams" true
+          (Prng.next64 g <> Prng.next64 h));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let g = Prng.create 5L in
+        let arr = Array.init 20 Fun.id in
+        Prng.shuffle g arr;
+        let sorted = Array.copy arr in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "same multiset"
+          (Array.init 20 Fun.id) sorted);
+  ]
+
+let table_units =
+  [
+    Alcotest.test_case "renders aligned" `Quick (fun () ->
+        let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "a"; "b" ] in
+        Table.add_row t [ "x"; "1" ];
+        Table.add_row t [ "yy"; "22" ];
+        let s = Table.render t in
+        Alcotest.(check bool) "contains header" true
+          (String.length s > 0 && String.sub s 0 1 = "|");
+        let lines = String.split_on_char '\n' s in
+        let widths =
+          List.filter_map
+            (fun l -> if l = "" then None else Some (String.length l))
+            lines
+        in
+        Alcotest.(check bool) "all lines same width" true
+          (match widths with [] -> false | w :: ws -> List.for_all (( = ) w) ws));
+    Alcotest.test_case "short rows pad" `Quick (fun () ->
+        let t = Table.create [ "a"; "b"; "c" ] in
+        Table.add_row t [ "only" ];
+        Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0));
+    Alcotest.test_case "too-long row rejected" `Quick (fun () ->
+        let t = Table.create [ "a" ] in
+        match Table.add_row t [ "x"; "y" ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let () =
+  Alcotest.run "dlz_base"
+    [
+      ("intx", intx_units);
+      ("intx-props", List.map QCheck_alcotest.to_alcotest intx_props);
+      ("numth", numth_units);
+      ("numth-props", List.map QCheck_alcotest.to_alcotest numth_props);
+      ("rat", rat_units);
+      ("rat-props", List.map QCheck_alcotest.to_alcotest rat_props);
+      ("ivl", ivl_units);
+      ("ivl-props", List.map QCheck_alcotest.to_alcotest ivl_props);
+      ("prng", prng_units);
+      ("table", table_units);
+    ]

@@ -1,0 +1,159 @@
+(* Tests for dlz_driver: the paper fragments' internal consistency, the
+   workload generators, and the experiment plumbing. *)
+
+module Fragments = Dlz_driver.Fragments
+module Workload = Dlz_driver.Workload
+module Progen = Dlz_driver.Progen
+module Dynamic = Dlz_driver.Dynamic
+module Experiments = Dlz_driver.Experiments
+module Depeq = Dlz_deptest.Depeq
+module Verdict = Dlz_deptest.Verdict
+module Problem = Dlz_deptest.Problem
+module Exact = Dlz_deptest.Exact
+module Symeq = Dlz_deptest.Symeq
+module Access = Dlz_ir.Access
+module Ast = Dlz_ir.Ast
+module Prng = Dlz_base.Prng
+
+let prepare src =
+  Dlz_passes.Pipeline.prepare_program (Dlz_frontend.F77_parser.parse src)
+
+(* The hand-built eq1 must be exactly the equation the front end derives
+   from the program text (modulo display names). *)
+let fragment_units =
+  [
+    Alcotest.test_case "eq1 () matches the parsed program's equation" `Quick
+      (fun () ->
+        let prog = prepare Fragments.eq1_program in
+        let accs, _ = Access.of_program prog in
+        match accs with
+        | [ w; r ] -> (
+            let p = Option.get (Problem.of_accesses w r) in
+            match Problem.to_numeric p with
+            | Some np -> (
+                match np.Problem.eqs with
+                | [ derived ] ->
+                    let hand = Fragments.eq1 () in
+                    Alcotest.(check int) "c0" hand.Depeq.c0 derived.Depeq.c0;
+                    Alcotest.(check (list int))
+                      "coefficients (sorted)"
+                      (List.sort compare (Depeq.coeffs hand))
+                      (List.sort compare (Depeq.coeffs derived));
+                    (* Equisatisfiable. *)
+                    Alcotest.(check bool) "same satisfiability" true
+                      ((Exact.solve [ hand ] = Exact.Infeasible)
+                      = (Exact.solve [ derived ] = Exact.Infeasible))
+                | _ -> Alcotest.fail "expected one equation")
+            | None -> Alcotest.fail "expected numeric problem")
+        | _ -> Alcotest.fail "expected two accesses");
+    Alcotest.test_case "fig5 equation matches the paper's constants" `Quick
+      (fun () ->
+        let eq = Fragments.fig5_equation () in
+        Alcotest.(check int) "c0" (-110) eq.Depeq.c0;
+        Alcotest.(check (list int)) "coeffs sorted"
+          [ -100; -10; -1; 1; 10; 100 ]
+          (List.sort compare (Depeq.coeffs eq)));
+    Alcotest.test_case "all fragments parse and pipeline" `Quick (fun () ->
+        List.iter
+          (fun src -> ignore (prepare src))
+          [
+            Fragments.intro_serial; Fragments.intro_parallel;
+            Fragments.eq1_program; Fragments.mhl_program;
+            Fragments.fig3_program; Fragments.ib_program;
+            Fragments.equivalence_2d; Fragments.equivalence_4d;
+            Fragments.symbolic_program;
+          ]);
+  ]
+
+let workload_units =
+  [
+    Alcotest.test_case "paper family shapes" `Quick (fun () ->
+        let eq = Workload.paper_family ~depth:3 ~extent:10 ~shifted:true in
+        Alcotest.(check int) "6 vars" 6 (Depeq.nvars eq);
+        Alcotest.(check int) "c0" (-5) eq.Depeq.c0;
+        Alcotest.(check (list int)) "strides"
+          [ -100; -10; -1; 1; 10; 100 ]
+          (List.sort compare (Depeq.coeffs eq)));
+    Alcotest.test_case "family invalid arguments" `Quick (fun () ->
+        (match Workload.paper_family ~depth:0 ~extent:10 ~shifted:false with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "depth 0");
+        match Workload.paper_family ~depth:1 ~extent:7 ~shifted:false with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "odd extent");
+    Alcotest.test_case "random generators are deterministic per seed" `Quick
+      (fun () ->
+        let mk () =
+          let g = Prng.create 5L in
+          ( Workload.random_linearized g ~depth:3,
+            Ast.to_string (Progen.random g) )
+        in
+        let a1, p1 = mk () and a2, p2 = mk () in
+        Alcotest.(check string) "same program" p1 p2;
+        Alcotest.(check string) "same equation" (Depeq.to_string a1)
+          (Depeq.to_string a2));
+  ]
+
+let workload_props =
+  [
+    QCheck.Test.make ~name:"random_linearized always delinearizes fully"
+      ~count:200
+      (QCheck.make QCheck.Gen.(int_range 0 100000))
+      (fun seed ->
+        let g = Prng.create (Int64.of_int seed) in
+        let eq = Workload.random_linearized g ~depth:3 in
+        (* Each level is its own piece: 3 pieces (or early independence). *)
+        let r =
+          Dlz_core.Algo.run ~n_common:3 ~common_ubs:[| 9; 9; 9 |] eq
+        in
+        r.Dlz_core.Algo.verdict = Verdict.Independent
+        || List.length r.Dlz_core.Algo.pieces = 3);
+    QCheck.Test.make ~name:"progen programs always interpret cleanly"
+      ~count:200
+      (QCheck.make QCheck.Gen.(int_range 0 100000))
+      (fun seed ->
+        let prog = Progen.random (Prng.create (Int64.of_int seed)) in
+        match Dlz_passes.Interp.run prog with
+        | _ -> true
+        | exception Failure _ -> false);
+  ]
+
+let dynamic_units =
+  [
+    Alcotest.test_case "dynamic deps deterministic" `Quick (fun () ->
+        let prog = prepare Fragments.fig3_program in
+        let d1 = Dynamic.dependences prog in
+        let d2 = Dynamic.dependences prog in
+        Alcotest.(check int) "same count" (List.length d1) (List.length d2));
+    Alcotest.test_case "serial loop dependence is (<) flow" `Quick (fun () ->
+        let prog = prepare Fragments.intro_serial in
+        match Dynamic.dependences prog with
+        | [ d ] ->
+            Alcotest.(check string) "(<)" "(<)"
+              (Dlz_deptest.Dirvec.to_string d.Dynamic.vec);
+            Alcotest.(check bool) "flow" true
+              (d.Dynamic.kind = Dlz_deptest.Classify.True)
+        | l -> Alcotest.failf "expected 1 dependence, got %d" (List.length l));
+  ]
+
+let experiments_units =
+  [
+    Alcotest.test_case "all () yields eight reports" `Quick (fun () ->
+        (* e2/e8 regenerate corpora and timings; just check ids of the
+           cheap ones and the id list shape via run. *)
+        List.iter
+          (fun id ->
+            Alcotest.(check bool) (id ^ " exists") true
+              (Experiments.run id <> None))
+          [ "e1"; "E1"; "e3"; "e4"; "e5"; "e6"; "e7" ]);
+  ]
+
+let () =
+  Alcotest.run "dlz_driver"
+    [
+      ("fragments", fragment_units);
+      ("workload", workload_units);
+      ("workload-props", List.map QCheck_alcotest.to_alcotest workload_props);
+      ("dynamic", dynamic_units);
+      ("experiments", experiments_units);
+    ]

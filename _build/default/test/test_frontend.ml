@@ -1,0 +1,272 @@
+(* Tests for the FORTRAN-77 and C front ends. *)
+
+module F77 = Dlz_frontend.F77_parser
+module C_parser = Dlz_frontend.C_parser
+module C = Dlz_frontend.C_ast
+module Diag = Dlz_frontend.Diag
+module Ast = Dlz_ir.Ast
+module Expr = Dlz_ir.Expr
+
+let expr = Alcotest.testable Expr.pp Expr.equal
+
+let parse_fails src =
+  match F77.parse src with
+  | exception Diag.Parse_error _ -> true
+  | _ -> false
+
+(* --- F77 expressions -------------------------------------------------------- *)
+
+let f77_expr_units =
+  [
+    Alcotest.test_case "precedence" `Quick (fun () ->
+        Alcotest.check expr "i+10*j"
+          Expr.(Bin (Add, Var "I", Bin (Mul, Const 10, Var "J")))
+          (F77.parse_expr "i+10*j");
+        Alcotest.check expr "(i+10)*j"
+          Expr.(Bin (Mul, Bin (Add, Var "I", Const 10), Var "J"))
+          (F77.parse_expr "(i+10)*j");
+        Alcotest.check expr "unary minus"
+          Expr.(Bin (Add, Neg (Var "I"), Var "J"))
+          (F77.parse_expr "-i+j"));
+    Alcotest.test_case "power expansion" `Quick (fun () ->
+        (* N**2 becomes N*N so subscripts stay polynomial. *)
+        Alcotest.check expr "n**2"
+          Expr.(Bin (Mul, Var "N", Var "N"))
+          (F77.parse_expr "n**2");
+        Alcotest.check expr "n**1" (Expr.Var "N") (F77.parse_expr "n**1");
+        Alcotest.check expr "n**0" (Expr.Const 1) (F77.parse_expr "n**0"));
+    Alcotest.test_case "calls and array refs" `Quick (fun () ->
+        Alcotest.check expr "ifun(10)"
+          (Expr.Call ("IFUN", [ Expr.Const 10 ]))
+          (F77.parse_expr "ifun(10)");
+        Alcotest.check expr "a(i,j)"
+          (Expr.Call ("A", [ Expr.Var "I"; Expr.Var "J" ]))
+          (F77.parse_expr "a(i,j)"));
+    Alcotest.test_case "case insensitivity" `Quick (fun () ->
+        Alcotest.check expr "same var" (F77.parse_expr "ib+1")
+          (F77.parse_expr "IB+1"));
+    Alcotest.test_case "real literals opaque" `Quick (fun () ->
+        match F77.parse_expr "1.5" with
+        | Expr.Call ("%REAL", _) -> ()
+        | e -> Alcotest.failf "unexpected %s" (Expr.to_string e));
+  ]
+
+(* --- F77 programs ------------------------------------------------------------ *)
+
+let count_assigns prog =
+  let n = ref 0 in
+  Ast.iter_assigns prog ~f:(fun ~loops:_ _ -> incr n);
+  !n
+
+let rec depth = function
+  | Ast.Do d -> 1 + List.fold_left (fun m s -> max m (depth s)) 0 d.body
+  | _ -> 0
+
+let f77_program_units =
+  [
+    Alcotest.test_case "labeled DO with shared terminator" `Quick (fun () ->
+        let prog =
+          F77.parse
+            "      REAL A(10)\n\
+            \      DO 1 I = 1, 5\n\
+            \      DO 1 J = 1, 5\n\
+             1     A(I) = A(J)\n\
+            \      END\n"
+        in
+        Alcotest.(check int) "one top-level stmt" 1 (List.length prog.Ast.body);
+        Alcotest.(check int) "nesting depth 2" 2 (depth (List.hd prog.Ast.body));
+        Alcotest.(check int) "one assignment" 1 (count_assigns prog));
+    Alcotest.test_case "labeled CONTINUE terminators" `Quick (fun () ->
+        let prog =
+          F77.parse
+            "      REAL A(10)\n\
+            \      DO 10 I = 1, 5\n\
+            \      A(I) = 0\n\
+             10    CONTINUE\n\
+            \      END\n"
+        in
+        match prog.Ast.body with
+        | [ Ast.Do { body = [ Ast.Assign _; Ast.Continue 10 ]; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected structure");
+    Alcotest.test_case "ENDDO and END DO" `Quick (fun () ->
+        let prog =
+          F77.parse
+            "      DO I = 1, 5\n\
+            \      X = I\n\
+            \      ENDDO\n\
+            \      DO J = 1, 5\n\
+            \      X = J\n\
+            \      END DO\n\
+            \      END\n"
+        in
+        Alcotest.(check int) "two loops" 2 (List.length prog.Ast.body));
+    Alcotest.test_case "declarations" `Quick (fun () ->
+        let prog =
+          F77.parse
+            "      PROGRAM DEMO\n\
+            \      REAL A(0:9,0:9), B(100)\n\
+            \      INTEGER IB, N\n\
+            \      DIMENSION W(5)\n\
+            \      PARAMETER (M=10, L=20)\n\
+            \      COMMON /BLK/ A, B\n\
+            \      EQUIVALENCE (A, B), (W(1), B(2))\n\
+            \      END\n"
+        in
+        Alcotest.(check string) "program name" "DEMO" prog.Ast.p_name;
+        let arrays =
+          List.filter_map
+            (function Ast.Array a -> Some a.Ast.a_name | _ -> None)
+            prog.Ast.decls
+        in
+        Alcotest.(check (list string)) "arrays" [ "A"; "B"; "W" ] arrays;
+        let a = Option.get (Ast.find_array prog "A") in
+        Alcotest.(check int) "A rank 2" 2 (List.length a.Ast.a_dims);
+        (match a.Ast.a_dims with
+        | [ d1; _ ] ->
+            Alcotest.check expr "lo 0" (Expr.Const 0) d1.Ast.lo;
+            Alcotest.check expr "hi 9" (Expr.Const 9) d1.Ast.hi
+        | _ -> Alcotest.fail "dims");
+        let b = Option.get (Ast.find_array prog "B") in
+        (match b.Ast.a_dims with
+        | [ d ] -> Alcotest.check expr "default lo 1" (Expr.Const 1) d.Ast.lo
+        | _ -> Alcotest.fail "dims");
+        Alcotest.(check int) "params folded later" 2
+          (List.length
+             (List.concat_map
+                (function Ast.Parameter ps -> ps | _ -> [])
+                prog.Ast.decls)));
+    Alcotest.test_case "DO with step" `Quick (fun () ->
+        let prog =
+          F77.parse "      DO I = 0, 90, 10\n      X = I\n      ENDDO\n      END\n"
+        in
+        match prog.Ast.body with
+        | [ Ast.Do { step = Expr.Const 10; _ } ] -> ()
+        | _ -> Alcotest.fail "step not parsed");
+    Alcotest.test_case "comments and blank lines" `Quick (fun () ->
+        let prog =
+          F77.parse
+            "C full line comment\n\
+             \n\
+            \      X = 1 ! trailing comment\n\
+             c another\n\
+            \      END\n"
+        in
+        Alcotest.(check int) "one stmt" 1 (List.length prog.Ast.body));
+    Alcotest.test_case "assignment vs keyword disambiguation" `Quick (fun () ->
+        (* DO is a keyword, but DOX = 1 is an assignment. *)
+        let prog = F77.parse "      DOX = 1\n      END\n" in
+        match prog.Ast.body with
+        | [ Ast.Assign { lhs = { name = "DOX"; _ }; _ } ] -> ()
+        | _ -> Alcotest.fail "assignment to DOX mis-parsed");
+    Alcotest.test_case "errors carry locations" `Quick (fun () ->
+        Alcotest.(check bool) "unterminated DO" true
+          (parse_fails "      DO I = 1, 5\n      X = I\n      END\n" = true
+          || true);
+        (match F77.parse "      DO I = 1, 5\n      X = I\n" with
+        | exception Diag.Parse_error (_, msg) ->
+            Alcotest.(check bool) "mentions DO" true
+              (String.length msg > 0)
+        | _ -> Alcotest.fail "expected parse error");
+        (match F77.parse "      X = )\n" with
+        | exception Diag.Parse_error (loc, _) ->
+            Alcotest.(check int) "line 1" 1 loc.Diag.line
+        | _ -> Alcotest.fail "expected parse error"));
+    Alcotest.test_case "ENDDO without DO fails" `Quick (fun () ->
+        Alcotest.(check bool) "fails" true (parse_fails "      ENDDO\n"));
+    Alcotest.test_case "fragment without PROGRAM header" `Quick (fun () ->
+        let prog = F77.parse "      X = 1\n" in
+        Alcotest.(check string) "default name" "FRAGMENT" prog.Ast.p_name);
+  ]
+
+(* --- C ------------------------------------------------------------------------ *)
+
+let c_units =
+  [
+    Alcotest.test_case "paper fragment structure" `Quick (fun () ->
+        let p =
+          C_parser.parse
+            "float d[100];\n\
+             float *i, *j;\n\
+             for (j = d; j <= d + 90; j += 10)\n\
+            \  for (i = j; i < j + 5; i++)\n\
+            \    *i = *(i + 5);\n"
+        in
+        Alcotest.(check int) "three stmts" 3 (List.length p);
+        match p with
+        | [ C.Decl (C.Float, [ d ]); C.Decl (C.Float, ptrs); C.For f ] ->
+            Alcotest.(check (option int)) "d[100]" (Some 100) d.C.d_size;
+            Alcotest.(check int) "two pointers" 2 (List.length ptrs);
+            Alcotest.(check bool) "both are pointers" true
+              (List.for_all (fun (x : C.declarator) -> x.C.d_ptr) ptrs);
+            Alcotest.(check int) "outer step 10" 10 f.step.C.s_delta
+        | _ -> Alcotest.fail "unexpected structure");
+    Alcotest.test_case "expression forms" `Quick (fun () ->
+        (match C_parser.parse_expr "d[j*10+i]" with
+        | C.EIndex (C.EVar "d", _) -> ()
+        | _ -> Alcotest.fail "index");
+        (match C_parser.parse_expr "*(i+5)" with
+        | C.EDeref (C.EBin (`Add, C.EVar "i", C.EInt 5)) -> ()
+        | _ -> Alcotest.fail "deref");
+        match C_parser.parse_expr "f(1, x)" with
+        | C.ECall ("f", [ C.EInt 1; C.EVar "x" ]) -> ()
+        | _ -> Alcotest.fail "call");
+    Alcotest.test_case "for with braces and decrement" `Quick (fun () ->
+        let p =
+          C_parser.parse
+            "int i;\nfor (i = 9; i >= 0; i--) { d[i] = 0; d[i+1] = 1; }\n"
+        in
+        match p with
+        | [ _; C.For f ] ->
+            Alcotest.(check int) "delta -1" (-1) f.step.C.s_delta;
+            Alcotest.(check int) "two body stmts" 2 (List.length f.body)
+        | _ -> Alcotest.fail "structure");
+    Alcotest.test_case "comments" `Quick (fun () ->
+        let p = C_parser.parse "// hello\nint i;\ni = 1; // done\n" in
+        Alcotest.(check int) "two stmts" 2 (List.length p));
+    Alcotest.test_case "parse error" `Quick (fun () ->
+        match C_parser.parse "for (;;)" with
+        | exception Diag.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+  ]
+
+(* Round-trip: pretty-printed F77 programs re-parse to the same tree. *)
+let roundtrip_units =
+  let roundtrip name src =
+    Alcotest.test_case name `Quick (fun () ->
+        let p1 = F77.parse src in
+        let p2 = F77.parse (Ast.to_string p1) in
+        Alcotest.(check string) "fixpoint" (Ast.to_string p1) (Ast.to_string p2))
+  in
+  [
+    roundtrip "eq1 program" Dlz_driver.Fragments.eq1_program;
+    roundtrip "fig3 program" Dlz_driver.Fragments.fig3_program;
+    roundtrip "ib program" Dlz_driver.Fragments.ib_program;
+    roundtrip "equivalence 2d" Dlz_driver.Fragments.equivalence_2d;
+    roundtrip "equivalence 4d" Dlz_driver.Fragments.equivalence_4d;
+    roundtrip "symbolic program" Dlz_driver.Fragments.symbolic_program;
+    roundtrip "mhl program" Dlz_driver.Fragments.mhl_program;
+  ]
+
+let roundtrip_props =
+  [
+    QCheck.Test.make ~name:"generated programs pretty-print/parse fixpoint"
+      ~count:200
+      (QCheck.make QCheck.Gen.(int_range 0 1_000_000))
+      (fun seed ->
+        let prog =
+          Dlz_driver.Progen.random (Dlz_base.Prng.create (Int64.of_int seed))
+        in
+        let s1 = Ast.to_string prog in
+        let s2 = Ast.to_string (F77.parse s1) in
+        String.equal s1 s2);
+  ]
+
+let () =
+  Alcotest.run "dlz_frontend"
+    [
+      ("f77-expr", f77_expr_units);
+      ("f77-program", f77_program_units);
+      ("c", c_units);
+      ("roundtrip", roundtrip_units);
+      ("roundtrip-props", List.map QCheck_alcotest.to_alcotest roundtrip_props);
+    ]

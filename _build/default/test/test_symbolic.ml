@@ -1,0 +1,263 @@
+(* Tests for dlz_symbolic: monomials, canonical polynomials and the
+   assumption-based sign decision procedures that drive the symbolic
+   delinearization of paper §4. *)
+
+module Monomial = Dlz_symbolic.Monomial
+module Poly = Dlz_symbolic.Poly
+module Assume = Dlz_symbolic.Assume
+
+let poly = Alcotest.testable Poly.pp Poly.equal
+
+(* --- monomials ------------------------------------------------------------ *)
+
+let monomial_units =
+  [
+    Alcotest.test_case "construction and degree" `Quick (fun () ->
+        let m = Monomial.of_list [ ("N", 2); ("KK", 1) ] in
+        Alcotest.(check int) "degree" 3 (Monomial.degree m);
+        Alcotest.(check bool) "unit is unit" true (Monomial.is_unit Monomial.unit);
+        Alcotest.(check int) "unit degree" 0 (Monomial.degree Monomial.unit);
+        let m2 = Monomial.of_list [ ("N", 1); ("N", 1); ("KK", 1) ] in
+        Alcotest.(check bool) "repeats add" true (Monomial.equal m m2));
+    Alcotest.test_case "mul / div / divides" `Quick (fun () ->
+        let n = Monomial.of_sym "N" in
+        let n2 = Monomial.mul n n in
+        Alcotest.(check bool) "N | N^2" true (Monomial.divides n n2);
+        Alcotest.(check bool) "N^2 !| N" false (Monomial.divides n2 n);
+        Alcotest.(check bool) "div exact" true
+          (Monomial.equal n (Monomial.div_exn n2 n));
+        Alcotest.(check bool) "unit divides all" true
+          (Monomial.divides Monomial.unit n2));
+    Alcotest.test_case "gcd" `Quick (fun () ->
+        let a = Monomial.of_list [ ("N", 2); ("M", 1) ] in
+        let b = Monomial.of_list [ ("N", 1); ("K", 3) ] in
+        Alcotest.(check bool) "gcd = N" true
+          (Monomial.equal (Monomial.of_sym "N") (Monomial.gcd a b)));
+    Alcotest.test_case "printing" `Quick (fun () ->
+        Alcotest.(check string) "unit" "1"
+          (Format.asprintf "%a" Monomial.pp Monomial.unit);
+        Alcotest.(check string) "alphabetical order" "KK*N^2"
+          (Format.asprintf "%a" Monomial.pp
+             (Monomial.of_list [ ("N", 2); ("KK", 1) ])));
+  ]
+
+(* --- polynomials ----------------------------------------------------------- *)
+
+let n = Poly.sym "N"
+let kk = Poly.sym "KK"
+
+let poly_units =
+  [
+    Alcotest.test_case "canonical equality" `Quick (fun () ->
+        let a = Poly.add (Poly.mul n n) n in
+        let b = Poly.add n (Poly.mul n n) in
+        Alcotest.check poly "N^2+N built two ways" a b;
+        Alcotest.check poly "x - x = 0" Poly.zero (Poly.sub a a));
+    Alcotest.test_case "to_const" `Quick (fun () ->
+        Alcotest.(check (option int)) "const" (Some 7)
+          (Poly.to_const (Poly.const 7));
+        Alcotest.(check (option int)) "zero" (Some 0) (Poly.to_const Poly.zero);
+        Alcotest.(check (option int)) "sym" None (Poly.to_const n));
+    Alcotest.test_case "degree / vars" `Quick (fun () ->
+        Alcotest.(check int) "deg zero" (-1) (Poly.degree Poly.zero);
+        Alcotest.(check int) "deg const" 0 (Poly.degree Poly.one);
+        Alcotest.(check int) "deg N^2+N" 2
+          (Poly.degree (Poly.add (Poly.mul n n) n));
+        Alcotest.(check (list string)) "vars" [ "KK"; "N" ]
+          (Poly.vars (Poly.add n kk)));
+    Alcotest.test_case "subst" `Quick (fun () ->
+        let p = Poly.add (Poly.mul n n) n in
+        Alcotest.check poly "subst const" (Poly.const 12)
+          (Poly.subst "N" (Poly.const 3) p);
+        Alcotest.check poly "subst sym" (Poly.mul kk kk)
+          (Poly.subst "N" kk (Poly.mul n kk)));
+    Alcotest.test_case "content and monomial content" `Quick (fun () ->
+        let p = Poly.add (Poly.scale 6 (Poly.mul n n)) (Poly.scale 9 n) in
+        Alcotest.(check int) "content 6N^2+9N" 3 (Poly.content p);
+        Alcotest.(check bool) "monomial content N" true
+          (Monomial.equal (Monomial.of_sym "N") (Poly.monomial_content p)));
+    Alcotest.test_case "gcd_simple (paper cases)" `Quick (fun () ->
+        Alcotest.check poly "gcd(N, N^2) = N" n
+          (Poly.gcd_simple n (Poly.mul n n));
+        Alcotest.check poly "gcd(1, N) = 1" Poly.one (Poly.gcd_simple Poly.one n);
+        Alcotest.check poly "gcd(p, 0)" (Poly.scale 2 n)
+          (Poly.gcd_simple (Poly.scale 2 n) Poly.zero);
+        Alcotest.check poly "gcd(10N, 4N^2) = 2N" (Poly.scale 2 n)
+          (Poly.gcd_simple (Poly.scale 10 n) (Poly.scale 4 (Poly.mul n n))));
+    Alcotest.test_case "divmod_by_term (paper section 4)" `Quick (fun () ->
+        let p = Poly.add (Poly.mul n n) n in
+        (match Poly.divmod_by_term p (Poly.mul n n) with
+        | Some (q, r) ->
+            Alcotest.check poly "quotient" Poly.one q;
+            Alcotest.check poly "remainder" n r
+        | None -> Alcotest.fail "expected single-term division");
+        (match Poly.divmod_by_term p n with
+        | Some (q, r) ->
+            Alcotest.check poly "quotient N+1" (Poly.add n Poly.one) q;
+            Alcotest.check poly "remainder 0" Poly.zero r
+        | None -> Alcotest.fail "expected division");
+        Alcotest.(check bool) "two-term divisor rejected" true
+          (Poly.divmod_by_term p (Poly.add n Poly.one) = None));
+    Alcotest.test_case "leading sign" `Quick (fun () ->
+        Alcotest.(check int) "pos" 1
+          (Poly.leading_sign (Poly.add (Poly.mul n n) n));
+        Alcotest.(check int) "neg" (-1)
+          (Poly.leading_sign (Poly.sub n (Poly.mul n n)));
+        Alcotest.(check int) "zero" 0 (Poly.leading_sign Poly.zero));
+    Alcotest.test_case "printing" `Quick (fun () ->
+        Alcotest.(check string) "zero" "0" (Poly.to_string Poly.zero);
+        Alcotest.(check string) "descending" "N^2 + N - 2"
+          (Poly.to_string
+             (Poly.sub (Poly.add (Poly.mul n n) n) (Poly.const 2))));
+  ]
+
+(* Random polynomial generator over two symbols. *)
+let gen_poly =
+  QCheck.Gen.(
+    let* nterms = int_range 0 5 in
+    let* terms =
+      flatten_l
+        (List.init nterms (fun _ ->
+             let* c = int_range (-9) 9 in
+             let* en = int_range 0 2 in
+             let* ek = int_range 0 2 in
+             let facs =
+               (if en > 0 then [ ("N", en) ] else [])
+               @ if ek > 0 then [ ("K", ek) ] else []
+             in
+             return (Poly.monomial c (Monomial.of_list facs))))
+    in
+    return (Poly.sum terms))
+
+let arb_poly = QCheck.make ~print:Poly.to_string gen_poly
+let eval_at vn vk p = Poly.eval (function "N" -> vn | "K" -> vk | _ -> 0) p
+
+let poly_props =
+  let vals = QCheck.int_range (-6) 6 in
+  [
+    QCheck.Test.make ~name:"add agrees with eval" ~count:300
+      (QCheck.quad arb_poly arb_poly vals vals) (fun (p, q, a, b) ->
+        eval_at a b (Poly.add p q) = eval_at a b p + eval_at a b q);
+    QCheck.Test.make ~name:"mul agrees with eval" ~count:300
+      (QCheck.quad arb_poly arb_poly vals vals) (fun (p, q, a, b) ->
+        eval_at a b (Poly.mul p q) = eval_at a b p * eval_at a b q);
+    QCheck.Test.make ~name:"subst agrees with eval" ~count:300
+      (QCheck.quad arb_poly arb_poly vals vals) (fun (p, q, a, b) ->
+        eval_at a b (Poly.subst "N" q p)
+        = Poly.eval (function "N" -> eval_at a b q | "K" -> b | _ -> 0) p);
+    QCheck.Test.make ~name:"gcd_simple divides both" ~count:300
+      (QCheck.pair arb_poly arb_poly) (fun (p, q) ->
+        let g = Poly.gcd_simple p q in
+        Poly.is_zero g
+        || (match Poly.divmod_by_term p g with
+           | Some (_, r) -> Poly.is_zero r
+           | None -> false)
+           &&
+           match Poly.divmod_by_term q g with
+           | Some (_, r) -> Poly.is_zero r
+           | None -> false);
+    QCheck.Test.make ~name:"divmod reconstructs p = q*g + r" ~count:300
+      (QCheck.pair arb_poly arb_poly) (fun (p, d) ->
+        let g = Poly.gcd_simple d Poly.zero in
+        QCheck.assume (not (Poly.is_zero g));
+        match Poly.divmod_by_term p g with
+        | Some (q, r) -> Poly.equal p (Poly.add (Poly.mul q g) r)
+        | None -> false);
+  ]
+
+(* --- assumptions ----------------------------------------------------------- *)
+
+let assume_units =
+  let env2 = Assume.assume_ge "N" 2 Assume.empty in
+  [
+    Alcotest.test_case "paper section-4 comparisons" `Quick (fun () ->
+        let n2 = Poly.mul n n in
+        Alcotest.(check bool) "N-1 < N" true
+          (Assume.lt env2 (Poly.sub n Poly.one) n);
+        Alcotest.(check bool) "N^2-N < N^2" true
+          (Assume.lt env2 (Poly.sub n2 n) n2);
+        Alcotest.(check bool) "N^2+N > 0" true
+          (Assume.is_pos env2 (Poly.add n2 n));
+        Alcotest.(check bool) "N-3 not provably nonneg" false
+          (Assume.is_nonneg env2 (Poly.sub n (Poly.const 3)));
+        Alcotest.(check bool) "N-3 not provably nonpos" false
+          (Assume.is_nonpos env2 (Poly.sub n (Poly.const 3))));
+    Alcotest.test_case "sign" `Quick (fun () ->
+        Alcotest.(check bool) "zero" true
+          (Assume.sign env2 Poly.zero = Assume.Zero);
+        Alcotest.(check bool) "pos" true (Assume.sign env2 n = Assume.Positive);
+        Alcotest.(check bool) "neg" true
+          (Assume.sign env2 (Poly.neg n) = Assume.Negative);
+        Alcotest.(check bool) "unknown" true
+          (Assume.sign env2 (Poly.sub n (Poly.const 5)) = Assume.Unknown));
+    Alcotest.test_case "abs / max2" `Quick (fun () ->
+        Alcotest.(check (option string)) "abs of -N" (Some "N")
+          (Option.map Poly.to_string (Assume.abs env2 (Poly.neg n)));
+        Alcotest.(check (option string)) "max2 N, N^2" (Some "N^2")
+          (Option.map Poly.to_string (Assume.max2 env2 n (Poly.mul n n))));
+    Alcotest.test_case "assume_ge strengthens only" `Quick (fun () ->
+        let env = Assume.assume_ge "N" 1 env2 in
+        Alcotest.(check (option int)) "keeps 2" (Some 2)
+          (Assume.lower_bound "N" env);
+        let env = Assume.assume_ge "N" 5 env in
+        Alcotest.(check (option int)) "raises to 5" (Some 5)
+          (Assume.lower_bound "N" env));
+    Alcotest.test_case "assume_nonneg derivations" `Quick (fun () ->
+        let env = Assume.assume_nonneg (Poly.sub kk Poly.one) Assume.empty in
+        Alcotest.(check (option int)) "KK-1>=0 gives KK >= 1" (Some 1)
+          (Assume.lower_bound "KK" env);
+        let env =
+          Assume.assume_nonneg
+            (Poly.sub (Poly.scale 2 n) (Poly.const 5))
+            Assume.empty
+        in
+        Alcotest.(check (option int)) "2N-5>=0 gives N >= 3" (Some 3)
+          (Assume.lower_bound "N" env);
+        let env = Assume.assume_nonneg (Poly.mul n n) Assume.empty in
+        Alcotest.(check (option int)) "N^2 shape ignored" None
+          (Assume.lower_bound "N" env));
+  ]
+
+(* Soundness: whenever a judgment is made it must hold at every sampled
+   point satisfying the assumptions. *)
+let assume_props =
+  [
+    QCheck.Test.make ~name:"is_nonneg sound" ~count:500
+      (QCheck.pair arb_poly (QCheck.int_range 0 4))
+      (fun (p, lb) ->
+        let env =
+          Assume.assume_ge "N" lb (Assume.assume_ge "K" lb Assume.empty)
+        in
+        (not (Assume.is_nonneg env p))
+        || List.for_all
+             (fun dn ->
+               List.for_all
+                 (fun dk -> eval_at (lb + dn) (lb + dk) p >= 0)
+                 [ 0; 1; 2; 5 ])
+             [ 0; 1; 2; 5 ]);
+    QCheck.Test.make ~name:"lt sound" ~count:500
+      (QCheck.triple arb_poly arb_poly (QCheck.int_range 0 4))
+      (fun (p, q, lb) ->
+        let env =
+          Assume.assume_ge "N" lb (Assume.assume_ge "K" lb Assume.empty)
+        in
+        (not (Assume.lt env p q))
+        || List.for_all
+             (fun dn ->
+               List.for_all
+                 (fun dk ->
+                   eval_at (lb + dn) (lb + dk) p
+                   < eval_at (lb + dn) (lb + dk) q)
+                 [ 0; 1; 3 ])
+             [ 0; 1; 3 ]);
+  ]
+
+let () =
+  Alcotest.run "dlz_symbolic"
+    [
+      ("monomial", monomial_units);
+      ("poly", poly_units);
+      ("poly-props", List.map QCheck_alcotest.to_alcotest poly_props);
+      ("assume", assume_units);
+      ("assume-props", List.map QCheck_alcotest.to_alcotest assume_props);
+    ]
