@@ -22,7 +22,7 @@ module Problem = Dlz_deptest.Problem
 module Hierarchy = Dlz_deptest.Hierarchy
 module Algo = Dlz_core.Algo
 module Symalgo = Dlz_core.Symalgo
-module An = Dlz_core.Analyze
+module An = Dlz_engine.Analyze
 module Codegen = Dlz_vec.Codegen
 module Corpus = Dlz_corpus.Corpus
 module Fragments = Dlz_driver.Fragments
@@ -277,6 +277,84 @@ let precision_table () =
   Tbl.add_row t [ "gcd"; string_of_int !gcd ];
   print_string (Tbl.render t)
 
+(* --- engine instrumentation dump (BENCH_engine.json) ---------------------- *)
+
+(* A program-level rendering of [Workload.paper_family]: a depth-[d]
+   nest over a hand-linearized array with a shifted read, the shape the
+   delinearization strategy exists for.  Analyzing the same programs
+   under both preset cascades repeatedly drives the memo cache, so the
+   dump exercises every counter the engine exposes. *)
+let paper_family_program ~depth ~extent =
+  let buf = Buffer.create 256 in
+  let size = int_of_float (float_of_int extent ** float_of_int depth) in
+  Buffer.add_string buf (Printf.sprintf "      DIMENSION A(%d)\n" (size + 1));
+  for k = 1 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf "%sDO I%d = 0, %d\n"
+         (String.make (4 + (2 * k)) ' ')
+         k (extent - 1))
+  done;
+  let sub =
+    String.concat "+"
+      (List.map
+         (fun k ->
+           let stride =
+             int_of_float (float_of_int extent ** float_of_int (depth - k))
+           in
+           if stride = 1 then Printf.sprintf "I%d" k
+           else Printf.sprintf "%d*I%d" stride k)
+         (List.init depth (fun i -> i + 1)))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%sA(%s) = A(%s+1) + 1\n"
+       (String.make (6 + (2 * depth)) ' ')
+       sub sub);
+  for k = depth downto 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%sENDDO\n" (String.make (4 + (2 * k)) ' '))
+  done;
+  Buffer.contents buf
+
+let engine_report () =
+  let family =
+    List.map
+      (fun depth ->
+        Dlz_passes.Pipeline.prepare_program
+          (Dlz_frontend.F77_parser.parse
+             (paper_family_program ~depth ~extent:10)))
+      [ 1; 2; 3; 4 ]
+  in
+  let progs = family @ [ fig3_prog; mhl_prog; ib_prog ] in
+  Dlz_engine.Engine.reset_metrics ();
+  let reps = 20 in
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    List.iter
+      (fun p ->
+        ignore (An.deps_of_program p);
+        ignore (An.deps_of_program ~mode:An.Classic p))
+      progs
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let st = Dlz_engine.Stats.global in
+  let qps =
+    if elapsed > 0. then
+      float_of_int st.Dlz_engine.Stats.queries /. elapsed
+    else 0.
+  in
+  let json =
+    Printf.sprintf
+      "{\"workload\":\"paper-family\",\"reps\":%d,\"elapsed_sec\":%.6f,\
+       \"queries_per_sec\":%.1f,\"engine\":%s}"
+      reps elapsed qps
+      (Dlz_engine.Stats.to_json st)
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  json
+
 let () =
   print_endline "== Bechamel micro-benchmarks (one group per experiment) ==";
   print_results (benchmark ());
@@ -306,4 +384,7 @@ let () =
           string_of_int (Fm.eliminations Fm.Real ~nvars rows);
         ])
     e8_depths;
-  print_string (Tbl.render t)
+  print_string (Tbl.render t);
+  print_newline ();
+  print_endline "== Engine instrumentation (written to BENCH_engine.json) ==";
+  print_endline (engine_report ())

@@ -8,7 +8,7 @@
 open Cmdliner
 module Ast = Dlz_ir.Ast
 module Assume = Dlz_symbolic.Assume
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Reshape = Dlz_core.Reshape
 module Codegen = Dlz_vec.Codegen
 module Experiments = Dlz_driver.Experiments
@@ -80,6 +80,39 @@ let assume_arg =
            ~doc:"Assume an integer lower bound for a symbol, e.g. N=2.\n\
                  Repeatable.")
 
+let cascade_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cascade" ] ~docv:"NAMES"
+           ~doc:"Custom comma-separated strategy cascade (overrides\n\
+                 --mode), e.g. 'gcd,banerjee,delinearize'.  Registered\n\
+                 strategies: delinearize, classic, exact, gcd, banerjee,\n\
+                 svpc, acyclic, residue, omega.")
+
+let cascade_of names =
+  match names with
+  | None -> None
+  | Some s -> (
+      let names =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      if names = [] then begin
+        prerr_endline "--cascade: expected a comma-separated strategy list";
+        exit 1
+      end;
+      match Dlz_engine.Cascade.of_names names with
+      | Ok c -> Some c
+      | Error msg ->
+          prerr_endline ("--cascade: " ^ msg);
+          exit 1)
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print engine statistics after the analysis: cache\n\
+                 hit/miss counts and per-strategy attempt/decide\n\
+                 counters (verdict provenance in aggregate).")
+
 let env_of assumes =
   List.fold_left (fun env (s, b) -> Assume.assume_ge s b env) Assume.empty
     assumes
@@ -93,13 +126,15 @@ let ranges_arg =
                  delta ranges) for each dependence [WL91].")
 
 let analyze_cmd =
-  let run file lang mode assumes ranges =
+  let run file lang mode assumes ranges cascade stats =
     with_diagnostics (fun () ->
+        let cascade = cascade_of cascade in
         let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
         print_endline (Ast.to_string prog);
         print_newline ();
         let env = env_of assumes in
-        let deps = Analyze.deps_of_program ~mode ~env prog in
+        Dlz_engine.Engine.reset_metrics ();
+        let deps = Analyze.deps_of_program ~mode ?cascade ~env prog in
         if deps = [] then print_endline "No dependences: fully parallel."
         else
           List.iter
@@ -138,11 +173,16 @@ let analyze_cmd =
                else
                  Printf.sprintf " (%d carried dependence(s))"
                    l.Dlz_vec.Parallel.lr_carried))
-          (Dlz_vec.Parallel.report ~mode ~env prog))
+          (Dlz_vec.Parallel.report ~mode ?cascade ~env prog);
+        if stats then begin
+          print_newline ();
+          Format.printf "%a@." Dlz_engine.Stats.pp Dlz_engine.Stats.global
+        end)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Normalize a program and report its dependences.")
-    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg)
+    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg
+          $ cascade_arg $ stats_arg)
 
 let vectorize_cmd =
   let run file lang mode assumes =
@@ -200,20 +240,14 @@ let trace_cmd =
         let module Symeq = Dlz_deptest.Symeq in
         let module Algo = Dlz_core.Algo in
         let module Symalgo = Dlz_core.Symalgo in
-        let arr = Array.of_list accs in
         let shown = ref 0 in
-        for i = 0 to Array.length arr - 1 do
-          for j = i to Array.length arr - 1 do
-            let a = arr.(i) and b = arr.(j) in
-            if
-              (a.Access.rw = `Write || b.Access.rw = `Write)
-              && String.equal a.Access.array b.Access.array
-            then
-              match Problem.of_accesses a b with
-              | None -> ()
-              | Some p ->
-                  List.iter
-                    (fun eq ->
+        List.iter
+          (fun (pr : Dlz_engine.Engine.pair) ->
+            let a = pr.Dlz_engine.Engine.src
+            and b = pr.Dlz_engine.Engine.dst in
+            let p = pr.Dlz_engine.Engine.problem in
+            List.iter
+              (fun eq ->
                       incr shown;
                       Printf.printf "=== %s:%s -> %s:%s (dimension %d)\n"
                         a.Access.stmt_name a.Access.array b.Access.stmt_name
@@ -282,9 +316,8 @@ let trace_cmd =
                             r.Symalgo.steps;
                           Printf.printf "  verdict: %s\n"
                             (Dlz_deptest.Verdict.to_string r.Symalgo.verdict))
-                    p.Problem.equations
-          done
-        done;
+              p.Problem.equations)
+          (Dlz_engine.Engine.pairs accs);
         if !shown = 0 then print_endline "No testable reference pairs.")
   in
   Cmd.v

@@ -8,7 +8,7 @@
    Run with: dune exec examples/c_pointers.exe *)
 
 module Fragments = Dlz_driver.Fragments
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Assume = Dlz_symbolic.Assume
 module Ast = Dlz_ir.Ast
 

@@ -10,7 +10,7 @@
    Run with: dune exec examples/common_blocks.exe *)
 
 module Ast = Dlz_ir.Ast
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Parallel = Dlz_vec.Parallel
 module Normalize = Dlz_passes.Normalize
 module Common_assoc = Dlz_passes.Common_assoc

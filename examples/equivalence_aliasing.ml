@@ -9,7 +9,7 @@
    Run with: dune exec examples/equivalence_aliasing.exe *)
 
 module Fragments = Dlz_driver.Fragments
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Ast = Dlz_ir.Ast
 
 let show title src =

@@ -8,7 +8,7 @@
    Run with: dune exec examples/induction_variable.exe *)
 
 module Fragments = Dlz_driver.Fragments
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Codegen = Dlz_vec.Codegen
 module Ast = Dlz_ir.Ast
 

@@ -7,7 +7,7 @@
    Run with: dune exec examples/vectorize_demo.exe *)
 
 module Fragments = Dlz_driver.Fragments
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Dirvec = Dlz_deptest.Dirvec
 module Ddvec = Dlz_deptest.Ddvec
 module Access = Dlz_ir.Access

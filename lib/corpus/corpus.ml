@@ -290,8 +290,8 @@ let parallel_ablation () =
           {
             a_name = spec.name;
             a_nests = List.length nests;
-            a_parallel_delin = count Dlz_core.Analyze.Delinearize;
-            a_parallel_classic = count Dlz_core.Analyze.Classic;
+            a_parallel_delin = count Dlz_engine.Analyze.Delinearize;
+            a_parallel_classic = count Dlz_engine.Analyze.Classic;
           }
       end)
     riceps

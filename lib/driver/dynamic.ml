@@ -3,7 +3,7 @@ module Expr = Dlz_ir.Expr
 module Access = Dlz_ir.Access
 module Dirvec = Dlz_deptest.Dirvec
 module Classify = Dlz_deptest.Classify
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 
 type dep = {
   src_stmt : int;

@@ -26,7 +26,7 @@ val dependences :
     [Failure] like {!Dlz_passes.Interp.run} does. *)
 
 val uncovered :
-  dep list -> Dlz_core.Analyze.dep list -> dep list
+  dep list -> Dlz_engine.Analyze.dep list -> dep list
 (** Dynamic dependences not covered by any static row, where a static
     row covers a dynamic dependence when the statement pair matches (in
     either orientation, reversing the vector for the flipped one) and

@@ -22,7 +22,7 @@ module Symeq = Dlz_deptest.Symeq
 module Classify = Dlz_deptest.Classify
 module Algo = Dlz_core.Algo
 module Symalgo = Dlz_core.Symalgo
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Reshape = Dlz_core.Reshape
 module Codegen = Dlz_vec.Codegen
 module Corpus = Dlz_corpus.Corpus

@@ -1,0 +1,45 @@
+module Assume = Dlz_symbolic.Assume
+module Problem = Dlz_deptest.Problem
+
+type t = { name : string; steps : Strategy.t list }
+
+let make ~name steps = { name; steps }
+
+let of_names names =
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+        match Registry.find n with
+        | Some s -> resolve (s :: acc) rest
+        | None -> Error n)
+  in
+  match resolve [] names with
+  | Ok steps -> Ok { name = String.concat "," names; steps }
+  | Error n -> Error (Printf.sprintf "unknown strategy %S" n)
+
+(* Presets reproducing the historical Delinearize/Classic/ExactMode
+   analyzer modes verbatim. *)
+let delin = make ~name:"delin" [ Registry.delinearize ]
+let classic = make ~name:"classic" [ Registry.classic ]
+let exact = make ~name:"exact" [ Registry.exact; Registry.delinearize ]
+
+let presets = [ ("delin", delin); ("classic", classic); ("exact", exact) ]
+let preset name = List.assoc_opt name presets
+
+let run ?(stats = Stats.global) ~env t (p : Problem.t) =
+  let rec go = function
+    | [] -> Strategy.conservative p
+    | (s : Strategy.t) :: rest ->
+        if not (s.applies ~env p) then go rest
+        else begin
+          Stats.record_attempt stats s.name;
+          match Strategy.result_of_status s.name (s.run ~env p) with
+          | Some r ->
+              Stats.record_decision stats s.name r.Strategy.verdict;
+              r
+          | None ->
+              Stats.record_pass stats s.name;
+              go rest
+        end
+  in
+  go t.steps

@@ -1,0 +1,40 @@
+(** Cascades: ordered strategy pipelines.
+
+    A cascade runs its strategies left to right and returns the first
+    decision, stamped with the deciding strategy's name; if every
+    strategy passes, the sound conservative result (dependent, all-[*])
+    is returned.  The historical analyzer modes are preset cascades:
+
+    - {!delin} = [["delinearize"]]
+    - {!classic} = [["classic"]]
+    - {!exact} = [["exact"; "delinearize"]] (the exact solver passes on
+      symbolic problems and overflow, falling through to
+      delinearization — exactly the old [ExactMode] fallback)
+
+    Custom cascades compose registered strategies, e.g.
+    [of_names ["gcd"; "banerjee"; "delinearize"]] screens with the cheap
+    classic filters before running the paper's algorithm. *)
+
+module Assume = Dlz_symbolic.Assume
+module Problem = Dlz_deptest.Problem
+
+type t = { name : string; steps : Strategy.t list }
+
+val make : name:string -> Strategy.t list -> t
+
+val of_names : string list -> (t, string) result
+(** Resolves names in the {!Registry}; [Error msg] on an unknown name. *)
+
+val delin : t
+val classic : t
+val exact : t
+
+val presets : (string * t) list
+val preset : string -> t option
+
+val run :
+  ?stats:Stats.t -> env:Assume.t -> t -> Problem.t -> Strategy.result
+(** Runs the cascade on one problem, recording per-strategy
+    attempt/decision/pass counters ([stats] defaults to
+    {!Stats.global}).  Never raises: strategies contain their own
+    overflow handling. *)

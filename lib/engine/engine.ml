@@ -1,0 +1,54 @@
+module Assume = Dlz_symbolic.Assume
+module Access = Dlz_ir.Access
+module Problem = Dlz_deptest.Problem
+
+type pair = {
+  src : Access.t;
+  dst : Access.t;
+  self : bool;
+  problem : Problem.t;
+}
+
+let orient a b =
+  (* Source = the write; textual order breaks read-write-free ties
+     (write/write and the self pair). *)
+  match (a.Access.rw, b.Access.rw) with
+  | `Write, _ -> (a, b)
+  | _, `Write -> (b, a)
+  | _ -> (a, b)
+
+let pairs accs =
+  let arr = Array.of_list accs in
+  let n = Array.length arr in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i do
+      let a = arr.(i) and b = arr.(j) in
+      let involves_write = a.Access.rw = `Write || b.Access.rw = `Write in
+      if involves_write && String.equal a.Access.array b.Access.array then begin
+        let src, dst = orient a b in
+        match Problem.of_accesses src dst with
+        | None -> ()
+        | Some problem ->
+            out :=
+              { src; dst; self = src.Access.acc_id = dst.Access.acc_id;
+                problem }
+              :: !out
+      end
+    done
+  done;
+  !out
+
+let query ?(cascade = Cascade.delin) ?stats ?cache ~env p =
+  Query.memoize ?stats ?cache ~cascade_name:cascade.Cascade.name ~env
+    (fun ~env p -> Cascade.run ?stats ~env cascade p)
+    p
+
+let query_all ?cascade ?stats ?cache ~env accs =
+  List.map
+    (fun pr -> (pr, query ?cascade ?stats ?cache ~env pr.problem))
+    (pairs accs)
+
+let reset_metrics () =
+  Stats.reset Stats.global;
+  Query.clear Query.global_cache

@@ -1,0 +1,52 @@
+(** The unified dependence-query engine.
+
+    Every consumer — the whole-program analyzer, the vectorizer's
+    dependence graph, the CLI, the bench harness — asks its dependence
+    questions through this one path: {!pairs} enumerates the candidate
+    access pairs (write involvement, same array, source = the writing
+    reference with textual order breaking ties), and {!query} answers
+    one problem through a strategy {!Cascade} behind the canonical-form
+    memo cache.  This replaces the two formerly independent O(n²) pair
+    loops (analyzer and depgraph), whose source/sink orientation had
+    drifted apart. *)
+
+module Assume = Dlz_symbolic.Assume
+module Access = Dlz_ir.Access
+module Problem = Dlz_deptest.Problem
+
+type pair = {
+  src : Access.t;  (** The writing reference when one exists. *)
+  dst : Access.t;
+  self : bool;  (** Both ends are the same access occurrence. *)
+  problem : Problem.t;
+}
+
+val pairs : Access.t list -> pair list
+(** Candidate dependence pairs among the accesses, in enumeration order
+    (each unordered pair once, including self pairs).  Pairs without at
+    least one write, on different arrays, or with no constructible
+    problem are dropped. *)
+
+val query :
+  ?cascade:Cascade.t ->
+  ?stats:Stats.t ->
+  ?cache:Query.cache ->
+  env:Assume.t ->
+  Problem.t ->
+  Strategy.result
+(** One memoized dependence query ([cascade] defaults to
+    {!Cascade.delin}; [stats]/[cache] default to the process-wide
+    instances). *)
+
+val query_all :
+  ?cascade:Cascade.t ->
+  ?stats:Stats.t ->
+  ?cache:Query.cache ->
+  env:Assume.t ->
+  Access.t list ->
+  (pair * Strategy.result) list
+(** {!pairs} composed with {!query}. *)
+
+val reset_metrics : unit -> unit
+(** Clears the global stats and the global cache (used by the CLI and
+    the benches to scope their reports). *)

@@ -1,0 +1,47 @@
+(** Canonical dependence queries and the bounded memo cache.
+
+    Identical dependence equations arise over and over from different
+    access pairs (every [A(i) = A(i-1)]-shaped statement of a program
+    yields the same system).  A query is canonicalized — terms sorted,
+    sign- and gcd-normalized, equations sorted — and the result of the
+    first solve is replayed for every later problem with the same
+    canonical form and cascade.  Canonicalization preserves the integer
+    solution set exactly, so a cached result (verdict, direction
+    vectors, distances) is valid verbatim for every problem sharing the
+    key.  Only fully numeric problems are cacheable; symbolic problems
+    (whose answers may depend on the assumption environment) are always
+    solved afresh and counted as uncacheable. *)
+
+module Problem = Dlz_deptest.Problem
+
+type canon
+
+val canonicalize : Problem.numeric -> canon
+
+val key_of : cascade:string -> Problem.t -> string option
+(** The cache key: cascade name + marshalled canonical form; [None] for
+    problems with no numeric projection (uncacheable). *)
+
+type cache
+
+val create_cache : ?capacity:int -> unit -> cache
+(** [capacity] (default 8192) bounds the entry count; on overflow the
+    cache is flushed wholesale (counted in {!Stats}). *)
+
+val global_cache : cache
+(** Backs the default engine entry points. *)
+
+val clear : cache -> unit
+val size : cache -> int
+
+val memoize :
+  ?stats:Stats.t ->
+  ?cache:cache ->
+  cascade_name:string ->
+  env:Dlz_symbolic.Assume.t ->
+  (env:Dlz_symbolic.Assume.t -> Problem.t -> Strategy.result) ->
+  Problem.t ->
+  Strategy.result
+(** [memoize ~cascade_name ~env run p] returns the cached result for
+    [p]'s canonical form, or runs [run ~env p] and stores it.  Records
+    query/hit/miss/uncacheable counters. *)

@@ -1,0 +1,38 @@
+(** The strategy registry: every dependence test in the system,
+    registered under a stable name.
+
+    Built-ins (pre-registered):
+
+    - ["delinearize"] — the paper's Figure-4 algorithm, numeric or
+      symbolic per equation; total (always decides).  Equivalent to the
+      former [Analyze.Delinearize] mode.
+    - ["classic"] — direction-vector hierarchy with GCD+Banerjee on the
+      unbroken equations; total (symbolic problems degrade to all-[*]).
+    - ["exact"] — realized direction vectors from the exact integer
+      solver; passes on symbolic problems and on overflow, so cascades
+      can fall through to a total strategy.
+    - ["gcd"], ["banerjee"], ["svpc"], ["acyclic"], ["residue"],
+      ["omega"] — conservative filters: decide only when they prove
+      independence of some dependence equation, pass otherwise.  Useful
+      as cheap screens in front of more expensive strategies.
+
+    New strategies can be {!register}ed at any time; cascades resolve
+    names at construction. *)
+
+val register : Strategy.t -> unit
+(** Adds (or replaces) a strategy under its name. *)
+
+val find : string -> Strategy.t option
+val names : unit -> string list
+
+(** The built-in strategies, also available directly. *)
+
+val delinearize : Strategy.t
+val classic : Strategy.t
+val exact : Strategy.t
+val gcd : Strategy.t
+val banerjee : Strategy.t
+val svpc : Strategy.t
+val acyclic : Strategy.t
+val residue : Strategy.t
+val omega : Strategy.t

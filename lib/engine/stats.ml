@@ -1,0 +1,103 @@
+module Verdict = Dlz_deptest.Verdict
+
+type strategy_counters = {
+  mutable attempts : int;
+  mutable independent : int;
+  mutable dependent : int;
+  mutable passed : int;
+}
+
+type t = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_uncacheable : int;
+  mutable cache_flushes : int;
+  strategies : (string, strategy_counters) Hashtbl.t;
+}
+
+let create () =
+  {
+    queries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_uncacheable = 0;
+    cache_flushes = 0;
+    strategies = Hashtbl.create 16;
+  }
+
+let global = create ()
+
+let reset t =
+  t.queries <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.cache_uncacheable <- 0;
+  t.cache_flushes <- 0;
+  Hashtbl.reset t.strategies
+
+let counters t name =
+  match Hashtbl.find_opt t.strategies name with
+  | Some c -> c
+  | None ->
+      let c = { attempts = 0; independent = 0; dependent = 0; passed = 0 } in
+      Hashtbl.add t.strategies name c;
+      c
+
+let record_query t = t.queries <- t.queries + 1
+let record_hit t = t.cache_hits <- t.cache_hits + 1
+let record_miss t = t.cache_misses <- t.cache_misses + 1
+let record_uncacheable t = t.cache_uncacheable <- t.cache_uncacheable + 1
+let record_flush t = t.cache_flushes <- t.cache_flushes + 1
+let record_attempt t name = (counters t name).attempts <- (counters t name).attempts + 1
+
+let record_decision t name verdict =
+  let c = counters t name in
+  match verdict with
+  | Verdict.Independent -> c.independent <- c.independent + 1
+  | Verdict.Dependent | Verdict.Inapplicable -> c.dependent <- c.dependent + 1
+
+let record_pass t name = (counters t name).passed <- (counters t name).passed + 1
+
+let hit_ratio t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
+
+let rows t =
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) t.strategies []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>engine: %d queries, cache %d hit / %d miss" t.queries
+    t.cache_hits t.cache_misses;
+  if t.cache_uncacheable > 0 then
+    Format.fprintf ppf " / %d uncacheable" t.cache_uncacheable;
+  if t.cache_flushes > 0 then Format.fprintf ppf " / %d flushes" t.cache_flushes;
+  Format.fprintf ppf " (hit ratio %.2f)" (hit_ratio t);
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf ppf
+        "@,  %-14s attempts %5d  independent %5d  dependent %5d  passed %5d"
+        name c.attempts c.independent c.dependent c.passed)
+    (rows t);
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"queries\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\
+        \"uncacheable\":%d,\"flushes\":%d,\"hit_ratio\":%.4f},\"strategies\":["
+       t.queries t.cache_hits t.cache_misses t.cache_uncacheable
+       t.cache_flushes (hit_ratio t));
+  List.iteri
+    (fun i (name, c) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"attempts\":%d,\"independent\":%d,\
+            \"dependent\":%d,\"passed\":%d}"
+           name c.attempts c.independent c.dependent c.passed))
+    (rows t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Engine instrumentation: per-strategy attempt/decision counters and
+    memo-cache hit/miss accounting.
+
+    One {!t} accumulates everything the engine observes; verdict
+    provenance on individual results names the deciding strategy, the
+    stats aggregate how often each strategy was tried, decided, or
+    passed.  A process-wide {!global} instance backs the default engine
+    entry points so that command-line tools ([vic --stats]) and the
+    bench harness can report without threading state. *)
+
+type strategy_counters = {
+  mutable attempts : int;  (** Times the strategy was run. *)
+  mutable independent : int;  (** Decisions proving independence. *)
+  mutable dependent : int;  (** Decisions reporting (possible) dependence. *)
+  mutable passed : int;  (** Runs that declined to decide. *)
+}
+
+type t = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_uncacheable : int;
+      (** Queries on problems with no canonical numeric form. *)
+  mutable cache_flushes : int;  (** Times the bounded cache was emptied. *)
+  strategies : (string, strategy_counters) Hashtbl.t;
+}
+
+val create : unit -> t
+val global : t
+val reset : t -> unit
+val record_query : t -> unit
+val record_hit : t -> unit
+val record_miss : t -> unit
+val record_uncacheable : t -> unit
+val record_flush : t -> unit
+val record_attempt : t -> string -> unit
+val record_decision : t -> string -> Dlz_deptest.Verdict.t -> unit
+val record_pass : t -> string -> unit
+
+val hit_ratio : t -> float
+(** Hits over (hits + misses); [0.] before any cacheable query. *)
+
+val rows : t -> (string * strategy_counters) list
+(** Per-strategy counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One-line JSON object (queries, cache counters, per-strategy rows). *)

@@ -1,0 +1,44 @@
+module Poly = Dlz_symbolic.Poly
+module Assume = Dlz_symbolic.Assume
+module Verdict = Dlz_deptest.Verdict
+module Dirvec = Dlz_deptest.Dirvec
+module Problem = Dlz_deptest.Problem
+
+type result = {
+  verdict : Verdict.t;
+  dirvecs : Dirvec.t list;
+  distances : (int * Poly.t) list;
+  decided_by : string;
+}
+
+type status =
+  | Decided of Verdict.t * Dirvec.t list * (int * Poly.t) list
+  | Pass
+
+type t = {
+  name : string;
+  applies : env:Assume.t -> Problem.t -> bool;
+  run : env:Assume.t -> Problem.t -> status;
+}
+
+let decided ?(dirvecs = []) ?(distances = []) verdict =
+  Decided (verdict, dirvecs, distances)
+
+let conservative (p : Problem.t) =
+  {
+    verdict = Verdict.Dependent;
+    dirvecs = [ Dirvec.all_star p.Problem.n_common ];
+    distances = [];
+    decided_by = "conservative";
+  }
+
+let result_of_status name = function
+  | Decided (verdict, dirvecs, distances) ->
+      Some { verdict; dirvecs; distances; decided_by = name }
+  | Pass -> None
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<h>%a [%s]%s@]" Verdict.pp r.verdict r.decided_by
+    (match r.dirvecs with
+    | [] -> ""
+    | dvs -> " " ^ String.concat " " (List.map Dirvec.to_string dvs))

@@ -30,7 +30,8 @@ type result = {
 }
 
 val run :
-  ?mode:Dlz_core.Analyze.mode ->
+  ?mode:Dlz_engine.Analyze.mode ->
+  ?cascade:Dlz_engine.Cascade.t ->
   ?env:Dlz_symbolic.Assume.t ->
   Dlz_ir.Ast.program ->
   result

@@ -1,10 +1,10 @@
 module Dirvec = Dlz_deptest.Dirvec
 module Assume = Dlz_symbolic.Assume
 module Access = Dlz_ir.Access
-module Problem = Dlz_deptest.Problem
 module Verdict = Dlz_deptest.Verdict
 module Classify = Dlz_deptest.Classify
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
+module Engine = Dlz_engine.Engine
 
 type edge = {
   e_src : int;
@@ -30,70 +30,57 @@ let classify_vec v =
   in
   go 0
 
-let build ?mode ?(env = Assume.empty) prog =
+let build ?mode ?cascade ?(env = Assume.empty) prog =
   let accs, env = Access.of_program ~env prog in
-  let arr = Array.of_list accs in
-  let n = Array.length arr in
   let nstmts =
-    Array.fold_left (fun m a -> max m (a.Access.stmt_id + 1)) 0 arr
+    List.fold_left (fun m a -> max m (a.Access.stmt_id + 1)) 0 accs
   in
   let stmt_names = Array.make nstmts "" in
-  Array.iter (fun a -> stmt_names.(a.Access.stmt_id) <- a.Access.stmt_name) arr;
+  List.iter (fun a -> stmt_names.(a.Access.stmt_id) <- a.Access.stmt_name) accs;
   let edges = ref [] in
-  for i = 0 to n - 1 do
-    for j = i to n - 1 do
-      let a = arr.(i) and b = arr.(j) in
-      if
-        (a.Access.rw = `Write || b.Access.rw = `Write)
-        && String.equal a.Access.array b.Access.array
-      then
-        match Problem.of_accesses a b with
-        | None -> ()
-        | Some p ->
-            let r = Analyze.vectors ?mode ~env p in
-            if r.Analyze.verdict <> Verdict.Independent then
-              let basics =
-                List.concat_map Analyze.decomposition r.Analyze.dirvecs
-                |> List.sort_uniq Dirvec.compare
-                |> List.filter (fun v ->
-                       (* The identity instance of a single reference is
-                          not a dependence. *)
-                       not
-                         (a.Access.acc_id = b.Access.acc_id
-                         && Array.for_all (( = ) Dirvec.Eq) v))
+  List.iter
+    (fun (pr : Engine.pair) ->
+      let a = pr.Engine.src and b = pr.Engine.dst in
+      let r = Analyze.vectors ?mode ?cascade ~env pr.Engine.problem in
+      if r.Analyze.verdict <> Verdict.Independent then
+        let basics =
+          List.concat_map Analyze.decomposition r.Analyze.dirvecs
+          |> List.sort_uniq Dirvec.compare
+          |> List.filter (fun v ->
+                 (* The identity instance of a single reference is
+                    not a dependence. *)
+                 not (pr.Engine.self && Array.for_all (( = ) Dirvec.Eq) v))
+        in
+        List.iter
+          (fun v ->
+            let add src dst vec level =
+              let kind =
+                Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw
               in
-              List.iter
-                (fun v ->
-                  let add src dst vec level =
-                    let kind =
-                      Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw
-                    in
-                    edges :=
-                      {
-                        e_src = src.Access.stmt_id;
-                        e_dst = dst.Access.stmt_id;
-                        e_vec = vec;
-                        e_level = level;
-                        e_kind = kind;
-                      }
-                      :: !edges
-                  in
-                  match classify_vec v with
-                  | `Forward lvl -> add a b v lvl
-                  | `Backward lvl -> add b a (Dirvec.reverse v) lvl
-                  | `LoopIndependent ->
-                      (* Same statement: the read executes before the
-                         write; within-statement flow does not constrain
-                         loop rearrangement.  Across statements, orient
-                         by textual order. *)
-                      if a.Access.stmt_id < b.Access.stmt_id then
-                        add a b v max_int
-                      else if b.Access.stmt_id < a.Access.stmt_id then
-                        add b a v max_int)
-                basics
-      else ()
-    done
-  done;
+              edges :=
+                {
+                  e_src = src.Access.stmt_id;
+                  e_dst = dst.Access.stmt_id;
+                  e_vec = vec;
+                  e_level = level;
+                  e_kind = kind;
+                }
+                :: !edges
+            in
+            match classify_vec v with
+            | `Forward lvl -> add a b v lvl
+            | `Backward lvl -> add b a (Dirvec.reverse v) lvl
+            | `LoopIndependent ->
+                (* Same statement: the read executes before the
+                   write; within-statement flow does not constrain
+                   loop rearrangement.  Across statements, orient
+                   by textual order. *)
+                if a.Access.stmt_id < b.Access.stmt_id then
+                  add a b v max_int
+                else if b.Access.stmt_id < a.Access.stmt_id then
+                  add b a v max_int)
+          basics)
+    (Engine.pairs accs);
   (* Deduplicate identical edges. *)
   let edges = List.sort_uniq Stdlib.compare !edges in
   { nstmts; stmt_names; edges }

@@ -5,7 +5,11 @@
     first to the one that executes later (lexicographically negative
     vectors are flipped; all-[=] vectors are oriented by textual order,
     reads before the write inside one statement).  This is the graph the
-    Allen–Kennedy vectorizer consumes. *)
+    Allen–Kennedy vectorizer consumes.
+
+    Pair enumeration and dependence queries go through the shared
+    {!Dlz_engine.Engine} path — the same pairs, orientation and memoized
+    cascade answers the whole-program analyzer uses. *)
 
 module Dirvec = Dlz_deptest.Dirvec
 module Assume = Dlz_symbolic.Assume
@@ -27,7 +31,11 @@ type t = {
 }
 
 val build :
-  ?mode:Dlz_core.Analyze.mode -> ?env:Assume.t -> Dlz_ir.Ast.program -> t
+  ?mode:Dlz_engine.Analyze.mode ->
+  ?cascade:Dlz_engine.Cascade.t ->
+  ?env:Assume.t ->
+  Dlz_ir.Ast.program ->
+  t
 (** Analyzes a normalized program.  Input (read-read) dependences are
     ignored; a same-statement all-[=] vector (the read feeding the write
     of one assignment) carries no constraint and is dropped. *)

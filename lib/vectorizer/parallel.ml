@@ -28,8 +28,8 @@ let loops_with_stmts (p : Ast.program) =
   List.iter (fun s -> ignore (go [] 0 s)) p.body;
   List.rev !loops
 
-let report ?mode ?env p =
-  let graph = Depgraph.build ?mode ?env p in
+let report ?mode ?cascade ?env p =
+  let graph = Depgraph.build ?mode ?cascade ?env p in
   List.map
     (fun (var, level, path, stmts) ->
       let carried =

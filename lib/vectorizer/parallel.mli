@@ -16,7 +16,8 @@ type loop_report = {
 }
 
 val report :
-  ?mode:Dlz_core.Analyze.mode ->
+  ?mode:Dlz_engine.Analyze.mode ->
+  ?cascade:Dlz_engine.Cascade.t ->
   ?env:Dlz_symbolic.Assume.t ->
   Dlz_ir.Ast.program ->
   loop_report list

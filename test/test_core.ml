@@ -450,7 +450,7 @@ let reshape_units =
   ]
 
 (* Summarization rules from paper section 2. *)
-module An = Dlz_core.Analyze
+module An = Dlz_engine.Analyze
 
 let summarize_units =
   [
@@ -504,7 +504,7 @@ let overflow_units =
                   giant giant))
         in
         (* Must not raise; verdict may be conservative. *)
-        ignore (Dlz_core.Analyze.deps_of_program prog));
+        ignore (Dlz_engine.Analyze.deps_of_program prog));
   ]
 
 let () =

@@ -7,7 +7,7 @@
 module Dynamic = Dlz_driver.Dynamic
 module Progen = Dlz_driver.Progen
 module Fragments = Dlz_driver.Fragments
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Codegen = Dlz_vec.Codegen
 module Dirvec = Dlz_deptest.Dirvec
 module Rangevec = Dlz_deptest.Rangevec

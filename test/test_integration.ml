@@ -12,7 +12,7 @@ module Exact = Dlz_deptest.Exact
 module Symeq = Dlz_deptest.Symeq
 module Algo = Dlz_core.Algo
 module Symalgo = Dlz_core.Symalgo
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Reshape = Dlz_core.Reshape
 module Access = Dlz_ir.Access
 module Assume = Dlz_symbolic.Assume

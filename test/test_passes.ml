@@ -532,7 +532,7 @@ let linearize_units =
         List.iter
           (fun p ->
             Alcotest.(check int) "independent" 0
-              (List.length (Dlz_core.Analyze.deps_of_program p)))
+              (List.length (Dlz_engine.Analyze.deps_of_program p)))
           [ original; linearized; reshaped ]);
   ]
 
@@ -578,7 +578,7 @@ let common_units =
            legitimizes it as an access to the block. *)
         let prog, _ = Dlz_passes.Common_assoc.linearize
             (Normalize.all (F77.parse src)) in
-        let deps = Dlz_core.Analyze.deps_of_program (Normalize.simplify prog) in
+        let deps = Dlz_engine.Analyze.deps_of_program (Normalize.simplify prog) in
         Alcotest.(check bool) "dependence found" true (deps <> []));
     Alcotest.test_case "multi-dimensional members linearize column-major"
       `Quick (fun () ->
@@ -666,7 +666,7 @@ let inline_units =
            the odd/even columns are proven independent. *)
         let prog = Pipeline.prepare_program inlined in
         Alcotest.(check int) "independent" 0
-          (List.length (Dlz_core.Analyze.deps_of_program prog)));
+          (List.length (Dlz_engine.Analyze.deps_of_program prog)));
     Alcotest.test_case "scalar dummies substitute" `Quick (fun () ->
         let inlined =
           expand

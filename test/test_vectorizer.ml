@@ -4,7 +4,7 @@
 module Scc = Dlz_vec.Scc
 module Depgraph = Dlz_vec.Depgraph
 module Codegen = Dlz_vec.Codegen
-module Analyze = Dlz_core.Analyze
+module Analyze = Dlz_engine.Analyze
 module Dirvec = Dlz_deptest.Dirvec
 module F77 = Dlz_frontend.F77_parser
 module Pipeline = Dlz_passes.Pipeline
