@@ -279,50 +279,16 @@ let precision_table () =
 
 (* --- engine instrumentation dump (BENCH_engine.json) ---------------------- *)
 
-(* A program-level rendering of [Workload.paper_family]: a depth-[d]
-   nest over a hand-linearized array with a shifted read, the shape the
-   delinearization strategy exists for.  Analyzing the same programs
-   under both preset cascades repeatedly drives the memo cache, so the
-   dump exercises every counter the engine exposes. *)
-let paper_family_program ~depth ~extent =
-  let buf = Buffer.create 256 in
-  let size = int_of_float (float_of_int extent ** float_of_int depth) in
-  Buffer.add_string buf (Printf.sprintf "      DIMENSION A(%d)\n" (size + 1));
-  for k = 1 to depth do
-    Buffer.add_string buf
-      (Printf.sprintf "%sDO I%d = 0, %d\n"
-         (String.make (4 + (2 * k)) ' ')
-         k (extent - 1))
-  done;
-  let sub =
-    String.concat "+"
-      (List.map
-         (fun k ->
-           let stride =
-             int_of_float (float_of_int extent ** float_of_int (depth - k))
-           in
-           if stride = 1 then Printf.sprintf "I%d" k
-           else Printf.sprintf "%d*I%d" stride k)
-         (List.init depth (fun i -> i + 1)))
-  in
-  Buffer.add_string buf
-    (Printf.sprintf "%sA(%s) = A(%s+1) + 1\n"
-       (String.make (6 + (2 * depth)) ' ')
-       sub sub);
-  for k = depth downto 1 do
-    Buffer.add_string buf
-      (Printf.sprintf "%sENDDO\n" (String.make (4 + (2 * k)) ' '))
-  done;
-  Buffer.contents buf
+(* Analyzing the paper-family programs under both preset cascades
+   repeatedly drives the memo cache, so the dump exercises every
+   counter the engine exposes. *)
+let family_prog ~depth ~extent =
+  Dlz_passes.Pipeline.prepare_program
+    (Dlz_frontend.F77_parser.parse (Workload.family_program ~depth ~extent))
 
 let engine_report () =
   let family =
-    List.map
-      (fun depth ->
-        Dlz_passes.Pipeline.prepare_program
-          (Dlz_frontend.F77_parser.parse
-             (paper_family_program ~depth ~extent:10)))
-      [ 1; 2; 3; 4 ]
+    List.map (fun depth -> family_prog ~depth ~extent:10) [ 1; 2; 3; 4 ]
   in
   let progs = family @ [ fig3_prog; mhl_prog; ib_prog ] in
   Dlz_engine.Engine.reset_metrics ();
@@ -339,7 +305,7 @@ let engine_report () =
   let st = Dlz_engine.Stats.global in
   let qps =
     if elapsed > 0. then
-      float_of_int st.Dlz_engine.Stats.queries /. elapsed
+      float_of_int (Dlz_engine.Stats.queries st) /. elapsed
     else 0.
   in
   let json =
@@ -355,7 +321,123 @@ let engine_report () =
   close_out oc;
   json
 
-let () =
+(* --- parallel scaling sweep (BENCH_parallel.json) ------------------------- *)
+
+(* Whole-program analysis throughput as a function of the domain count:
+   the corpus + workload-generator programs are analyzed end-to-end at
+   jobs ∈ {1, 2, 4, 8}, reusing one pool per job count.  Each run
+   reports wall-clock, queries/sec, speedup vs the serial run, and the
+   cache hit ratio (the sharded cache is shared by all domains, so the
+   ratio should hold steady as jobs grow). *)
+let parallel_job_counts = [ 1; 2; 4; 8 ]
+
+let parallel_workload () =
+  let corpus =
+    List.filter_map
+      (fun name ->
+        List.find_opt (fun s -> s.Corpus.name = name) Corpus.riceps
+        |> Option.map (fun spec ->
+               Dlz_passes.Pipeline.prepare_program (Corpus.generate spec)))
+      [ "SPHOT"; "SIMPLE" ]
+  in
+  let family =
+    List.map (fun depth -> family_prog ~depth ~extent:10) [ 1; 2; 3; 4 ]
+  in
+  corpus @ family @ [ fig3_prog; mhl_prog; ib_prog ]
+
+type parallel_run = {
+  pr_jobs : int;
+  pr_elapsed : float;
+  pr_queries : int;
+  pr_qps : float;
+  pr_speedup : float;
+  pr_hit_ratio : float;
+}
+
+let parallel_report () =
+  let progs = parallel_workload () in
+  let reps = 10 in
+  let measure jobs =
+    Dlz_engine.Engine.reset_metrics ();
+    let elapsed =
+      Dlz_base.Pool.with_pool ~domains:jobs (fun pool ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            List.iter (fun p -> ignore (An.deps_of_program ~pool p)) progs
+          done;
+          Unix.gettimeofday () -. t0)
+    in
+    let st = Dlz_engine.Stats.global in
+    let queries = Dlz_engine.Stats.queries st in
+    {
+      pr_jobs = jobs;
+      pr_elapsed = elapsed;
+      pr_queries = queries;
+      pr_qps =
+        (if elapsed > 0. then float_of_int queries /. elapsed else 0.);
+      pr_speedup = 1.0 (* filled against the serial run below *);
+      pr_hit_ratio = Dlz_engine.Stats.hit_ratio st;
+    }
+  in
+  let runs = List.map measure parallel_job_counts in
+  let serial =
+    match runs with r :: _ -> r.pr_elapsed | [] -> 0.
+  in
+  let runs =
+    List.map
+      (fun r ->
+        {
+          r with
+          pr_speedup = (if r.pr_elapsed > 0. then serial /. r.pr_elapsed else 0.);
+        })
+      runs
+  in
+  let t =
+    Tbl.create
+      ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "jobs"; "elapsed (s)"; "queries/sec"; "speedup"; "hit ratio" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          string_of_int r.pr_jobs;
+          Printf.sprintf "%.3f" r.pr_elapsed;
+          Printf.sprintf "%.0f" r.pr_qps;
+          Printf.sprintf "%.2fx" r.pr_speedup;
+          Printf.sprintf "%.3f" r.pr_hit_ratio;
+        ])
+    runs;
+  print_string (Tbl.render t);
+  let json =
+    Printf.sprintf
+      "{\"workload\":\"corpus+paper-family\",\"programs\":%d,\"reps\":%d,\
+       \"cores\":%d,\"runs\":[%s]}"
+      (List.length progs) reps
+      (Domain.recommended_domain_count ())
+      (String.concat ","
+         (List.map
+            (fun r ->
+              Printf.sprintf
+                "{\"jobs\":%d,\"elapsed_sec\":%.6f,\"queries\":%d,\
+                 \"queries_per_sec\":%.1f,\"speedup_vs_serial\":%.3f,\
+                 \"cache_hit_ratio\":%.4f}"
+                r.pr_jobs r.pr_elapsed r.pr_queries r.pr_qps r.pr_speedup
+                r.pr_hit_ratio)
+            runs))
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline json
+
+let run_parallel_only () =
+  print_endline
+    "== Parallel analysis scaling (written to BENCH_parallel.json) ==";
+  parallel_report ()
+
+let run_full () =
   print_endline "== Bechamel micro-benchmarks (one group per experiment) ==";
   print_results (benchmark ());
   print_newline ();
@@ -387,4 +469,16 @@ let () =
   print_string (Tbl.render t);
   print_newline ();
   print_endline "== Engine instrumentation (written to BENCH_engine.json) ==";
-  print_endline (engine_report ())
+  print_endline (engine_report ());
+  print_newline ();
+  run_parallel_only ()
+
+let () =
+  (* `dune exec bench/main.exe -- parallel` regenerates the speedup
+     table alone, without the full Bechamel sweep. *)
+  match Array.to_list Sys.argv with
+  | _ :: "parallel" :: _ -> run_parallel_only ()
+  | _ :: [] -> run_full ()
+  | _ ->
+      prerr_endline "usage: bench/main.exe [parallel]";
+      exit 2

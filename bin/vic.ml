@@ -110,8 +110,23 @@ let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
            ~doc:"Print engine statistics after the analysis: cache\n\
-                 hit/miss counts and per-strategy attempt/decide\n\
-                 counters (verdict provenance in aggregate).")
+                 hit/miss counts, per-shard flush counts, and\n\
+                 per-strategy attempt/decide counters (verdict\n\
+                 provenance in aggregate).")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Answer dependence queries on N domains in parallel\n\
+                 (default 1 = serial; 0 = the recommended domain count\n\
+                 for this machine).  Output is identical for any N.")
+
+let check_jobs jobs =
+  if jobs < 0 then begin
+    prerr_endline "--jobs: expected a non-negative domain count";
+    exit 1
+  end;
+  jobs
 
 let env_of assumes =
   List.fold_left (fun env (s, b) -> Assume.assume_ge s b env) Assume.empty
@@ -126,15 +141,16 @@ let ranges_arg =
                  delta ranges) for each dependence [WL91].")
 
 let analyze_cmd =
-  let run file lang mode assumes ranges cascade stats =
+  let run file lang mode assumes ranges cascade stats jobs =
     with_diagnostics (fun () ->
+        let jobs = check_jobs jobs in
         let cascade = cascade_of cascade in
         let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
         print_endline (Ast.to_string prog);
         print_newline ();
         let env = env_of assumes in
         Dlz_engine.Engine.reset_metrics ();
-        let deps = Analyze.deps_of_program ~mode ?cascade ~env prog in
+        let deps = Analyze.deps_of_program ~mode ?cascade ~jobs ~env prog in
         if deps = [] then print_endline "No dependences: fully parallel."
         else
           List.iter
@@ -173,16 +189,30 @@ let analyze_cmd =
                else
                  Printf.sprintf " (%d carried dependence(s))"
                    l.Dlz_vec.Parallel.lr_carried))
-          (Dlz_vec.Parallel.report ~mode ?cascade ~env prog);
+          (Dlz_vec.Parallel.report ~mode ?cascade ~jobs ~env prog);
         if stats then begin
           print_newline ();
-          Format.printf "%a@." Dlz_engine.Stats.pp Dlz_engine.Stats.global
+          Format.printf "%a@." Dlz_engine.Stats.pp Dlz_engine.Stats.global;
+          let module Query = Dlz_engine.Query in
+          let cache = Query.global_cache in
+          let ints a =
+            String.concat " "
+              (List.map string_of_int (Array.to_list a))
+          in
+          let flushes = Query.shard_flushes cache in
+          Printf.printf
+            "cache shards: %d x %d entries; sizes [%s]; flushes per shard \
+             [%s] (total %d)\n"
+            (Query.shards cache) (Query.shard_capacity cache)
+            (ints (Query.shard_sizes cache))
+            (ints flushes)
+            (Array.fold_left ( + ) 0 flushes)
         end)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Normalize a program and report its dependences.")
     Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg
-          $ cascade_arg $ stats_arg)
+          $ cascade_arg $ stats_arg $ jobs_arg)
 
 let vectorize_cmd =
   let run file lang mode assumes =
@@ -331,10 +361,13 @@ let graph_cmd =
     Arg.(value & flag
          & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of plain text.")
   in
-  let run file lang mode assumes dot =
+  let run file lang mode assumes dot jobs =
     with_diagnostics (fun () ->
+        let jobs = check_jobs jobs in
         let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
-        let g = Dlz_vec.Depgraph.build ~mode ~env:(env_of assumes) prog in
+        let g =
+          Dlz_vec.Depgraph.build ~mode ~jobs ~env:(env_of assumes) prog
+        in
         if not dot then Format.printf "%a@." Dlz_vec.Depgraph.pp g
         else begin
           print_endline "digraph deps {";
@@ -358,24 +391,26 @@ let graph_cmd =
   Cmd.v
     (Cmd.info "graph"
        ~doc:"Print the statement dependence graph (optionally as DOT).")
-    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ dot_arg)
+    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ dot_arg
+          $ jobs_arg)
 
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
            ~doc:"Experiment id (e1..e8); all when omitted.")
   in
-  let run id =
+  let run id jobs =
     with_diagnostics (fun () ->
+        let jobs = check_jobs jobs in
         match id with
         | None ->
             List.iter
               (fun (_, report) ->
                 print_endline report;
                 print_newline ())
-              (Experiments.all ())
+              (Experiments.all ~jobs ())
         | Some id -> (
-            match Experiments.run id with
+            match Experiments.run ~jobs id with
             | Some report -> print_endline report
             | None ->
                 prerr_endline ("unknown experiment: " ^ id);
@@ -384,7 +419,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (E1-E8).")
-    Term.(const run $ id_arg)
+    Term.(const run $ id_arg $ jobs_arg)
 
 let corpus_cmd =
   let dump_arg =

@@ -1,0 +1,147 @@
+type pool = {
+  size : int;  (* parallelism width: workers + the calling domain *)
+  m : Mutex.t;  (* guards [jobs] and [stop] *)
+  work : Condition.t;  (* signalled when jobs arrive or on shutdown *)
+  jobs : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type t = Seq | Par of pool
+
+let take_job p =
+  Mutex.lock p.m;
+  let j = Queue.take_opt p.jobs in
+  Mutex.unlock p.m;
+  j
+
+let worker p =
+  let rec loop () =
+    Mutex.lock p.m;
+    let rec next () =
+      if p.stop then None
+      else
+        match Queue.take_opt p.jobs with
+        | Some _ as j -> j
+        | None ->
+            Condition.wait p.work p.m;
+            next ()
+    in
+    let j = next () in
+    Mutex.unlock p.m;
+    match j with
+    | Some job ->
+        job ();
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains <= 1 then Seq
+  else begin
+    let p =
+      {
+        size = domains;
+        m = Mutex.create ();
+        work = Condition.create ();
+        jobs = Queue.create ();
+        stop = false;
+        workers = [||];
+      }
+    in
+    p.workers <-
+      Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+    Par p
+  end
+
+let domains = function Seq -> 1 | Par p -> p.size
+
+let shutdown = function
+  | Seq -> ()
+  | Par p ->
+      Mutex.lock p.m;
+      p.stop <- true;
+      Condition.broadcast p.work;
+      Mutex.unlock p.m;
+      let ws = p.workers in
+      p.workers <- [||];
+      Array.iter Domain.join ws
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let resolve_jobs jobs =
+  if jobs < 0 then invalid_arg "Pool.resolve_jobs: jobs must be >= 0"
+  else if jobs = 0 then Domain.recommended_domain_count ()
+  else jobs
+
+let with_jobs ?pool ~jobs f =
+  match pool with
+  | Some _ -> f pool
+  | None ->
+      let jobs = resolve_jobs jobs in
+      if jobs <= 1 then f None
+      else with_pool ~domains:jobs (fun p -> f (Some p))
+
+let map_chunked t ~chunk f arr =
+  if chunk <= 0 then invalid_arg "Pool.map_chunked: chunk must be > 0";
+  match t with
+  | Seq -> Array.map f arr
+  | Par p ->
+      let n = Array.length arr in
+      if n = 0 then [||]
+      else begin
+        (* Per-call completion state.  Each output slot is written by
+           exactly one chunk; reading [out] after [remaining] reaches 0
+           under [dm] gives the happens-before edge for those writes. *)
+        let out = Array.make n None in
+        let nchunks = ((n - 1) / chunk) + 1 in
+        let dm = Mutex.create () in
+        let finished = Condition.create () in
+        let remaining = ref nchunks in
+        let failure = ref None in
+        let run_chunk c () =
+          (try
+             let lo = c * chunk in
+             let hi = min n (lo + chunk) in
+             for i = lo to hi - 1 do
+               out.(i) <- Some (f arr.(i))
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock dm;
+             if !failure = None then failure := Some (e, bt);
+             Mutex.unlock dm);
+          Mutex.lock dm;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast finished;
+          Mutex.unlock dm
+        in
+        Mutex.lock p.m;
+        for c = 0 to nchunks - 1 do
+          Queue.add (run_chunk c) p.jobs
+        done;
+        Condition.broadcast p.work;
+        Mutex.unlock p.m;
+        (* The calling domain drains the same queue instead of idling. *)
+        let rec help () =
+          match take_job p with
+          | Some job ->
+              job ();
+              help ()
+          | None -> ()
+        in
+        help ();
+        Mutex.lock dm;
+        while !remaining > 0 do
+          Condition.wait finished dm
+        done;
+        let fail = !failure in
+        Mutex.unlock dm;
+        (match fail with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ());
+        Array.map (function Some v -> v | None -> assert false) out
+      end

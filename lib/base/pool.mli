@@ -1,0 +1,56 @@
+(** A small fixed-size domain pool (OCaml 5 [Domain] + [Mutex] /
+    [Condition], no external dependencies).
+
+    The dependence engine's pair queries are embarrassingly parallel;
+    this pool is the one place that owns domains for them.  A pool of
+    size [n] uses [n]-way parallelism: [n - 1] spawned worker domains
+    plus the calling domain, which drains the same job queue while a
+    {!map_chunked} call is in flight (so a 2-domain pool really runs two
+    chunks at once and no domain sits idle).
+
+    [create ~domains:1] (or less) builds the {e sequential} pool:
+    {!map_chunked} degrades to a plain [Array.map] on the calling
+    domain, no domain is ever spawned, and evaluation order is exactly
+    left-to-right — single-core behavior and traces are bit-identical
+    to the pre-pool code.
+
+    A pool is meant to be driven from one domain at a time; concurrent
+    {!map_chunked} calls on the same pool are not supported. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] workers ([domains <= 1]:
+    none — the sequential pool). *)
+
+val domains : t -> int
+(** The parallelism width ([1] for the sequential pool). *)
+
+val map_chunked : t -> chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_chunked pool ~chunk f arr] is [Array.map f arr], computed in
+    parallel in contiguous chunks of [chunk] elements.  Results land by
+    index, not by completion order, so the output is deterministic and
+    independent of scheduling.  If some application of [f] raises, one
+    of the raised exceptions is re-raised in the caller after all
+    in-flight chunks finish.  [f] must be safe to run on any domain.
+    Raises [Invalid_argument] when [chunk <= 0]. *)
+
+val shutdown : t -> unit
+(** Stops and joins the workers.  Idempotent; the sequential pool is a
+    no-op.  Only call once no [map_chunked] is in flight. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] on a fresh pool and guarantees
+    {!shutdown}, whether [f] returns or raises. *)
+
+val resolve_jobs : int -> int
+(** The CLI's [--jobs] convention: [0] means
+    [Domain.recommended_domain_count ()], positive counts are
+    themselves.  Raises [Invalid_argument] on negatives. *)
+
+val with_jobs : ?pool:t -> jobs:int -> (t option -> 'a) -> 'a
+(** The one pool-provisioning policy shared by the engine consumers:
+    an explicit [pool] is passed through (and {e not} shut down);
+    otherwise [jobs] (per {!resolve_jobs}) domains are spun up for the
+    duration of [f] — or none at all when [jobs <= 1], in which case
+    [f] receives [None] and must take its exact serial path. *)

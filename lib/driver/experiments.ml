@@ -152,17 +152,18 @@ let dep_pair_label (d : Analyze.dep) =
     d.Analyze.src.Access.array d.Analyze.dst.Access.stmt_name
     d.Analyze.dst.Access.array
 
-let e3_deps () = Analyze.deps_of_program (prepare Fragments.fig3_program)
+let e3_deps ?(jobs = 1) () =
+  Analyze.deps_of_program ~jobs (prepare Fragments.fig3_program)
 
-let e3_rows () =
+let e3_rows ?jobs () =
   List.map
     (fun (d : Analyze.dep) ->
       ( dep_pair_label d,
         Dirvec.to_string d.Analyze.dirvec,
         Ddvec.to_string d.Analyze.ddvec ))
-    (e3_deps ())
+    (e3_deps ?jobs ())
 
-let e3 () =
+let e3 ?jobs () =
   buf_report (fun buf ->
       heading buf "E3: Figure 3 — dependences of the Allen-Kennedy program";
       Buffer.add_string buf (Ast.to_string (prepare Fragments.fig3_program));
@@ -190,7 +191,7 @@ let e3 () =
           in
           Table.add_row t
             [ pair; dv; ddv; (if in_paper then "yes" else "extra") ])
-        (e3_rows ());
+        (e3_rows ?jobs ());
       Buffer.add_string buf (Table.render t);
       para buf "";
       para buf
@@ -244,8 +245,8 @@ let e4 () =
 
 (* ---------------------------------------------------------------- E5 -- *)
 
-let e5_dep () =
-  match Analyze.deps_of_program (prepare Fragments.mhl_program) with
+let e5_dep ?(jobs = 1) () =
+  match Analyze.deps_of_program ~jobs (prepare Fragments.mhl_program) with
   | [ d ] -> d
   | deps ->
       failwith
@@ -268,7 +269,7 @@ let e5_distances () =
       | None -> [])
   | _ -> []
 
-let e5 () =
+let e5 ?jobs () =
   buf_report (fun buf ->
       heading buf "E5: exact distance vector for the MHL91 fragment";
       Buffer.add_string buf (Ast.to_string (prepare Fragments.mhl_program));
@@ -277,7 +278,7 @@ let e5 () =
         "Paper claim: [MHL91] cannot discover that the distance vector is\n\
          (2,0); delinearization proves it exactly (the write at iteration\n\
          (i,j) and the read at iteration (i+2,j) touch the same cell).";
-      let d = e5_dep () in
+      let d = e5_dep ?jobs () in
       para buf
         (Printf.sprintf
            "Reported dependence: %s, direction %s, distance-direction %s"
@@ -399,7 +400,7 @@ let e6 () =
 
 (* ---------------------------------------------------------------- E7 -- *)
 
-let e7 () =
+let e7 ?(jobs = 1) () =
   buf_report (fun buf ->
       heading buf "E7: induction variables, aliasing, and C pointers";
       (* (a) the IB nest *)
@@ -409,7 +410,7 @@ let e7 () =
       let prog = prepare Fragments.ib_program in
       Buffer.add_string buf (Ast.to_string prog);
       Buffer.add_string buf "\n\n";
-      let deps = Analyze.deps_of_program prog in
+      let deps = Analyze.deps_of_program ~jobs prog in
       List.iter
         (fun d -> para buf (Format.asprintf "%a" Analyze.pp_dep d))
         deps;
@@ -437,13 +438,13 @@ let e7 () =
       Buffer.add_string buf "\n\n";
       para buf
         (Printf.sprintf "Dependences after linearization: %d (paper: independent)"
-           (List.length (Analyze.deps_of_program prog2)));
+           (List.length (Analyze.deps_of_program ~jobs prog2)));
       (* (c) 4-D partial linearization *)
       para buf "(c) EQUIVALENCE aliasing (4-D, partial linearization):";
       let prog4 = prepare Fragments.equivalence_4d in
       Buffer.add_string buf (Ast.to_string prog4);
       Buffer.add_string buf "\n\n";
-      let deps4 = Analyze.deps_of_program prog4 in
+      let deps4 = Analyze.deps_of_program ~jobs prog4 in
       List.iter
         (fun d -> para buf (Format.asprintf "%a" Analyze.pp_dep d))
         deps4;
@@ -480,7 +481,7 @@ let e7 () =
            "Dependences: %d — the dummy B(0:4,0:19) associates with the\n\
             actual A(0:9,0:9); per the standard both linearize, and\n\
             delinearization proves the odd/even column accesses disjoint."
-           (List.length (Analyze.deps_of_program proga)));
+           (List.length (Analyze.deps_of_program ~jobs proga)));
       (* (e) C pointers *)
       para buf "(e) C pointer traversal:";
       Buffer.add_string buf Fragments.c_pointers;
@@ -493,7 +494,7 @@ let e7 () =
       Buffer.add_string buf "\n\n";
       para buf
         (Printf.sprintf "Dependences: %d (paper: independent)"
-           (List.length (Analyze.deps_of_program progc))))
+           (List.length (Analyze.deps_of_program ~jobs progc))))
 
 (* ---------------------------------------------------------------- E8 -- *)
 
@@ -568,20 +569,20 @@ let e8 () =
             Banerjee %d, tightened FM %d."
            n !indep_total !delin_ok !ban_ok !fmt_ok))
 
-let all () =
+let all ?jobs () =
   [
-    ("e1", e1 ()); ("e2", e2 ()); ("e3", e3 ()); ("e4", e4 ());
-    ("e5", e5 ()); ("e6", e6 ()); ("e7", e7 ()); ("e8", e8 ());
+    ("e1", e1 ()); ("e2", e2 ()); ("e3", e3 ?jobs ()); ("e4", e4 ());
+    ("e5", e5 ?jobs ()); ("e6", e6 ()); ("e7", e7 ?jobs ()); ("e8", e8 ());
   ]
 
-let run id =
+let run ?jobs id =
   match String.lowercase_ascii id with
   | "e1" -> Some (e1 ())
   | "e2" -> Some (e2 ())
-  | "e3" -> Some (e3 ())
+  | "e3" -> Some (e3 ?jobs ())
   | "e4" -> Some (e4 ())
-  | "e5" -> Some (e5 ())
+  | "e5" -> Some (e5 ?jobs ())
   | "e6" -> Some (e6 ())
-  | "e7" -> Some (e7 ())
+  | "e7" -> Some (e7 ?jobs ())
   | "e8" -> Some (e8 ())
   | _ -> None

@@ -19,6 +19,43 @@ let paper_family ~depth ~extent ~shifted =
   let c0 = if shifted then -(extent / 2) else 0 in
   Depeq.make c0 (List.rev !terms)
 
+(* A program-level rendering of [paper_family]: a depth-[d] nest over a
+   hand-linearized array with a shifted read, the shape the
+   delinearization strategy exists for.  Shared by the bench harness
+   (cache/parallel workloads) and the parallel test suite. *)
+let family_program ~depth ~extent =
+  if depth < 1 then invalid_arg "Workload.family_program: depth must be >= 1";
+  if extent < 2 then invalid_arg "Workload.family_program: extent must be >= 2";
+  let buf = Buffer.create 256 in
+  let size = int_of_float (float_of_int extent ** float_of_int depth) in
+  Buffer.add_string buf (Printf.sprintf "      DIMENSION A(%d)\n" (size + 1));
+  for k = 1 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf "%sDO I%d = 0, %d\n"
+         (String.make (4 + (2 * k)) ' ')
+         k (extent - 1))
+  done;
+  let sub =
+    String.concat "+"
+      (List.map
+         (fun k ->
+           let stride =
+             int_of_float (float_of_int extent ** float_of_int (depth - k))
+           in
+           if stride = 1 then Printf.sprintf "I%d" k
+           else Printf.sprintf "%d*I%d" stride k)
+         (List.init depth (fun i -> i + 1)))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%sA(%s) = A(%s+1) + 1\n"
+       (String.make (6 + (2 * depth)) ' ')
+       sub sub);
+  for k = depth downto 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%sENDDO\n" (String.make (4 + (2 * k)) ' '))
+  done;
+  Buffer.contents buf
+
 let random g ~nvars ~coeffs ~max_ub =
   let terms =
     List.init nvars (fun i ->

@@ -16,6 +16,14 @@ val paper_family : depth:int -> extent:int -> shifted:bool -> Depeq.t
     yields an integer-infeasible but real-feasible equation — the
     eq.-(1) shape — while [shifted = false] yields a dependent one. *)
 
+val family_program : depth:int -> extent:int -> string
+(** FORTRAN-77 source of the program whose single statement yields
+    {!paper_family}-shaped dependence equations: a depth-[depth] nest
+    writing [A(Σ extent^(depth-k)·Ik)] and reading the same subscript
+    shifted by one.  Feed through the pipeline for engine-level
+    (cache/parallel) workloads; shared by [bench/main.exe] and the
+    parallel test suite. *)
+
 val random : Prng.t -> nvars:int -> coeffs:int array -> max_ub:int -> Depeq.t
 (** Uniform random equation for property testing and averaged benches. *)
 

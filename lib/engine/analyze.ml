@@ -6,6 +6,7 @@ module Dirvec = Dlz_deptest.Dirvec
 module Ddvec = Dlz_deptest.Ddvec
 module Problem = Dlz_deptest.Problem
 module Classify = Dlz_deptest.Classify
+module Pool = Dlz_base.Pool
 
 type pair_result = {
   verdict : Verdict.t;
@@ -95,60 +96,62 @@ let apply_distances dv distances =
       | _ -> ddv)
     (Ddvec.of_dirvec dv) distances
 
-let deps_of_accesses ?mode ?cascade ~env accs =
-  let cascade = resolve_cascade ?mode ?cascade () in
-  let out = ref [] in
-  List.iter
-    (fun (pr : Engine.pair) ->
-      let src = pr.Engine.src and dst = pr.Engine.dst in
-      let r = vectors ~cascade ~env pr.Engine.problem in
-      let self = pr.Engine.self in
-      let identity_only =
-        self
-        && List.for_all
-             (fun dv -> Array.for_all (fun d -> d = Dirvec.Eq) dv)
-             r.dirvecs
-      in
-      if r.verdict <> Verdict.Independent && not identity_only then begin
-        let summaries = summarize ~self r.dirvecs in
-        let is_identity dv = Array.for_all (( = ) Dirvec.Eq) dv in
-        let summaries =
-          if not self then summaries
-          else
-            (* A self pair is symmetric: the pure-identity row is
-               not a dependence, and an implausible row mirrors a
-               reported plausible one. *)
-            List.filter
-              (fun dv ->
-                (not (is_identity dv))
-                && (Dirvec.plausible dv
-                   || not
-                        (List.exists
-                           (Dirvec.equal (Dirvec.reverse dv))
-                           summaries)))
-              summaries
-        in
-        let kind = Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw in
-        List.iter
+(* The whole per-pair analysis: one engine query, summarization, one
+   dep row per surviving summarized vector (in summary order).  Pure
+   apart from the engine query, which is domain-safe — this is the unit
+   of work [map_pairs] fans out over the pool. *)
+let deps_of_pair ~cascade ~env (pr : Engine.pair) =
+  let src = pr.Engine.src and dst = pr.Engine.dst in
+  let r = vectors ~cascade ~env pr.Engine.problem in
+  let self = pr.Engine.self in
+  let identity_only =
+    self
+    && List.for_all
+         (fun dv -> Array.for_all (fun d -> d = Dirvec.Eq) dv)
+         r.dirvecs
+  in
+  if r.verdict = Verdict.Independent || identity_only then []
+  else begin
+    let summaries = summarize ~self r.dirvecs in
+    let is_identity dv = Array.for_all (( = ) Dirvec.Eq) dv in
+    let summaries =
+      if not self then summaries
+      else
+        (* A self pair is symmetric: the pure-identity row is
+           not a dependence, and an implausible row mirrors a
+           reported plausible one. *)
+        List.filter
           (fun dv ->
-            out :=
-              {
-                src;
-                dst;
-                kind;
-                dirvec = dv;
-                ddvec = apply_distances dv r.distances;
-                via = r.decided_by;
-              }
-              :: !out)
+            (not (is_identity dv))
+            && (Dirvec.plausible dv
+               || not
+                    (List.exists
+                       (Dirvec.equal (Dirvec.reverse dv))
+                       summaries)))
           summaries
-      end)
-    (Engine.pairs accs);
-  List.rev !out
+    in
+    let kind = Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw in
+    List.map
+      (fun dv ->
+        {
+          src;
+          dst;
+          kind;
+          dirvec = dv;
+          ddvec = apply_distances dv r.distances;
+          via = r.decided_by;
+        })
+      summaries
+  end
 
-let deps_of_program ?mode ?cascade ?(env = Assume.empty) prog =
+let deps_of_accesses ?mode ?cascade ?(jobs = 1) ?pool ~env accs =
+  let cascade = resolve_cascade ?mode ?cascade () in
+  Pool.with_jobs ?pool ~jobs (fun pool ->
+      List.concat (Engine.map_pairs ?pool (deps_of_pair ~cascade ~env) accs))
+
+let deps_of_program ?mode ?cascade ?jobs ?pool ?(env = Assume.empty) prog =
   let accs, env = Access.of_program ~env prog in
-  deps_of_accesses ?mode ?cascade ~env accs
+  deps_of_accesses ?mode ?cascade ?jobs ?pool ~env accs
 
 let pp_dep ppf d =
   Format.fprintf ppf "%s:%s -> %s:%s  %s  %s  [%s]" d.src.Access.stmt_name

@@ -69,16 +69,22 @@ val summarize : self:bool -> Dirvec.t list -> Dirvec.t list
     the all-[=] identity vector). *)
 
 val deps_of_accesses :
-  ?mode:mode -> ?cascade:Cascade.t -> env:Assume.t -> Access.t list ->
-  dep list
+  ?mode:mode -> ?cascade:Cascade.t -> ?jobs:int -> ?pool:Dlz_base.Pool.t ->
+  env:Assume.t -> Access.t list -> dep list
 (** All dependences among the given accesses (input dependences and
     identity-only self pairs are omitted), in source order.  Pair
-    enumeration is {!Engine.pairs} — the same path the vectorizer's
-    dependence graph uses. *)
+    enumeration is {!Engine.map_pairs} — the same path the vectorizer's
+    dependence graph uses.
+
+    [jobs] (default 1) is the number of domains the pair queries fan
+    out over; [0] means [Domain.recommended_domain_count ()].  An
+    explicit [pool] takes precedence and is not shut down.  The output
+    is deterministic: for any job count it is identical to the serial
+    result. *)
 
 val deps_of_program :
-  ?mode:mode -> ?cascade:Cascade.t -> ?env:Assume.t -> Dlz_ir.Ast.program ->
-  dep list
+  ?mode:mode -> ?cascade:Cascade.t -> ?jobs:int -> ?pool:Dlz_base.Pool.t ->
+  ?env:Assume.t -> Dlz_ir.Ast.program -> dep list
 (** Extracts accesses (the program must be normalized) and analyzes
     them. *)
 

@@ -2,17 +2,20 @@
 
     Every consumer — the whole-program analyzer, the vectorizer's
     dependence graph, the CLI, the bench harness — asks its dependence
-    questions through this one path: {!pairs} enumerates the candidate
-    access pairs (write involvement, same array, source = the writing
-    reference with textual order breaking ties), and {!query} answers
-    one problem through a strategy {!Cascade} behind the canonical-form
-    memo cache.  This replaces the two formerly independent O(n²) pair
-    loops (analyzer and depgraph), whose source/sink orientation had
-    drifted apart. *)
+    questions through this one path: {!iter_pairs} / {!pairs_seq}
+    stream the candidate access pairs (write involvement, same array,
+    source = the writing reference with textual order breaking ties),
+    {!map_pairs} fans a per-pair computation out over an optional
+    domain {!Dlz_base.Pool} with deterministic output ordering, and
+    {!query} answers one problem through a strategy {!Cascade} behind
+    the sharded canonical-form memo cache.  This replaces the two
+    formerly independent O(n²) pair loops (analyzer and depgraph),
+    whose source/sink orientation had drifted apart. *)
 
 module Assume = Dlz_symbolic.Assume
 module Access = Dlz_ir.Access
 module Problem = Dlz_deptest.Problem
+module Pool = Dlz_base.Pool
 
 type pair = {
   src : Access.t;  (** The writing reference when one exists. *)
@@ -21,11 +24,33 @@ type pair = {
   problem : Problem.t;
 }
 
+val iter_pairs : (pair -> unit) -> Access.t list -> unit
+(** [iter_pairs f accs] applies [f] to every candidate dependence pair
+    among the accesses, in enumeration order (each unordered pair once,
+    including self pairs).  Pairs without at least one write, on
+    different arrays, or with no constructible problem are skipped.
+    Only one pair is live at a time — the O(n²) candidate set is never
+    materialized. *)
+
+val pairs_seq : Access.t list -> pair Seq.t
+(** The same enumeration as an on-demand sequence (pairs and their
+    problems are built as the sequence is forced). *)
+
 val pairs : Access.t list -> pair list
-(** Candidate dependence pairs among the accesses, in enumeration order
-    (each unordered pair once, including self pairs).  Pairs without at
-    least one write, on different arrays, or with no constructible
-    problem are dropped. *)
+(** [List.of_seq (pairs_seq accs)] — compatibility wrapper for callers
+    that want the materialized list. *)
+
+val map_pairs :
+  ?pool:Pool.t -> ?chunk:int -> (pair -> 'r) -> Access.t list -> 'r list
+(** [map_pairs f accs] is [f] applied to every candidate pair, results
+    in enumeration order.  Without a pool (or with a sequential one)
+    this runs exactly like {!iter_pairs}.  With a parallel pool, the
+    candidate {e index} pairs (two ints each — never the problems) are
+    partitioned into chunks of [chunk] (default 32) candidates, fanned
+    out over the pool's domains (problem construction and [f] both run
+    in the workers), and merged back by index, so the result is
+    identical to the sequential one.  [f] must be domain-safe; the
+    {!query} path (sharded cache, atomic stats) is. *)
 
 val query :
   ?cascade:Cascade.t ->
@@ -36,16 +61,18 @@ val query :
   Strategy.result
 (** One memoized dependence query ([cascade] defaults to
     {!Cascade.delin}; [stats]/[cache] default to the process-wide
-    instances). *)
+    instances).  Safe to call concurrently from several domains. *)
 
 val query_all :
   ?cascade:Cascade.t ->
   ?stats:Stats.t ->
   ?cache:Query.cache ->
+  ?pool:Pool.t ->
+  ?chunk:int ->
   env:Assume.t ->
   Access.t list ->
   (pair * Strategy.result) list
-(** {!pairs} composed with {!query}. *)
+(** {!map_pairs} composed with {!query}. *)
 
 val reset_metrics : unit -> unit
 (** Clears the global stats and the global cache (used by the CLI and

@@ -75,20 +75,72 @@ let key_of ~cascade (p : Problem.t) =
       try Some (cascade ^ "\x00" ^ Marshal.to_string (canonicalize np) [])
       with Dlz_base.Intx.Overflow _ -> None)
 
-(* --- bounded memo cache -------------------------------------------------- *)
+(* --- bounded, sharded memo cache ----------------------------------------- *)
 
-type cache = {
-  capacity : int;
-  table : (string, Strategy.result) Hashtbl.t;
+(* The cache is split into shards, each a mutex-guarded Hashtbl bounded
+   by its own slice of the capacity.  Sharding buys two things: domains
+   querying in parallel contend on shards instead of one global table,
+   and the flush-wholesale policy applies per shard — a hot shard
+   overflowing drops 1/N of the cache instead of all of it, even in
+   serial mode. *)
+
+type shard = {
+  s_lock : Mutex.t;
+  s_table : (string, Strategy.result) Hashtbl.t;
+  s_flushes : int Atomic.t;
 }
 
-let create_cache ?(capacity = 8192) () =
-  { capacity; table = Hashtbl.create 256 }
+type cache = {
+  shard_capacity : int;  (* per-shard entry bound *)
+  shards : shard array;
+}
+
+let default_shards = 8
+
+let create_cache ?(capacity = 8192) ?(shards = default_shards) () =
+  if capacity < 1 then invalid_arg "Query.create_cache: capacity must be >= 1";
+  if shards < 1 then invalid_arg "Query.create_cache: shards must be >= 1";
+  {
+    shard_capacity = max 1 (capacity / shards);
+    shards =
+      Array.init shards (fun _ ->
+          {
+            s_lock = Mutex.create ();
+            s_table = Hashtbl.create 64;
+            s_flushes = Atomic.make 0;
+          });
+  }
 
 let global_cache = create_cache ()
 
-let clear cache = Hashtbl.reset cache.table
-let size cache = Hashtbl.length cache.table
+let shards cache = Array.length cache.shards
+let shard_capacity cache = cache.shard_capacity
+
+let clear cache =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.s_lock;
+      Hashtbl.reset sh.s_table;
+      Atomic.set sh.s_flushes 0;
+      Mutex.unlock sh.s_lock)
+    cache.shards
+
+let shard_sizes cache =
+  Array.map
+    (fun sh ->
+      Mutex.lock sh.s_lock;
+      let n = Hashtbl.length sh.s_table in
+      Mutex.unlock sh.s_lock;
+      n)
+    cache.shards
+
+let shard_flushes cache =
+  Array.map (fun sh -> Atomic.get sh.s_flushes) cache.shards
+
+let size cache = Array.fold_left ( + ) 0 (shard_sizes cache)
+
+let shard_of cache key =
+  cache.shards.(Hashtbl.hash key mod Array.length cache.shards)
 
 let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
     ~env run p =
@@ -98,18 +150,33 @@ let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
       Stats.record_uncacheable stats;
       run ~env p
   | Some key -> (
-      match Hashtbl.find_opt cache.table key with
+      let sh = shard_of cache key in
+      Mutex.lock sh.s_lock;
+      match Hashtbl.find_opt sh.s_table key with
       | Some r ->
+          Mutex.unlock sh.s_lock;
           Stats.record_hit stats;
           r
       | None ->
+          (* Solve outside the lock: queries on other keys of this
+             shard proceed while this one runs.  Two domains racing on
+             the same fresh key may both solve; canonicalization makes
+             the results interchangeable, and each call still records
+             exactly one of hit/miss/uncacheable. *)
+          Mutex.unlock sh.s_lock;
           Stats.record_miss stats;
           let r = run ~env p in
-          if Hashtbl.length cache.table >= cache.capacity then begin
-            (* Bounded: flush wholesale rather than track recency — the
-               cache rebuilds in one pass over any workload. *)
-            Hashtbl.reset cache.table;
-            Stats.record_flush stats
+          Mutex.lock sh.s_lock;
+          if not (Hashtbl.mem sh.s_table key) then begin
+            if Hashtbl.length sh.s_table >= cache.shard_capacity then begin
+              (* Bounded: flush the shard wholesale rather than track
+                 recency — it rebuilds in one pass over any workload,
+                 and the other shards keep their entries. *)
+              Hashtbl.reset sh.s_table;
+              Atomic.incr sh.s_flushes;
+              Stats.record_flush stats
+            end;
+            Hashtbl.add sh.s_table key r
           end;
-          Hashtbl.add cache.table key r;
+          Mutex.unlock sh.s_lock;
           r)

@@ -23,16 +23,36 @@ val key_of : cascade:string -> Problem.t -> string option
     problems with no numeric projection (uncacheable). *)
 
 type cache
+(** A domain-safe sharded cache: entries are distributed over
+    [hash key mod shards] shards, each guarded by its own mutex and
+    bounded by its own slice of the capacity.  Parallel queries contend
+    per shard, and an overflowing shard flushes only itself — one hot
+    shard no longer evicts the whole cache, serial or parallel. *)
 
-val create_cache : ?capacity:int -> unit -> cache
-(** [capacity] (default 8192) bounds the entry count; on overflow the
-    cache is flushed wholesale (counted in {!Stats}). *)
+val create_cache : ?capacity:int -> ?shards:int -> unit -> cache
+(** [capacity] (default 8192) bounds the total entry count across
+    [shards] (default 8) shards; each shard holds at most
+    [max 1 (capacity / shards)] entries and is flushed wholesale on its
+    own overflow (counted in {!Stats} and per shard).  Raises
+    [Invalid_argument] when either is [< 1]. *)
 
 val global_cache : cache
 (** Backs the default engine entry points. *)
 
 val clear : cache -> unit
+(** Empties every shard and zeroes the per-shard flush counters. *)
+
 val size : cache -> int
+(** Total entries across shards. *)
+
+val shards : cache -> int
+val shard_capacity : cache -> int
+
+val shard_sizes : cache -> int array
+(** Current entry count of each shard. *)
+
+val shard_flushes : cache -> int array
+(** Times each shard was flushed since creation (or {!clear}). *)
 
 val memoize :
   ?stats:Stats.t ->

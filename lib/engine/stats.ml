@@ -1,78 +1,129 @@
 module Verdict = Dlz_deptest.Verdict
 
+(* Internal counters are Atomic.t so concurrent domains can record
+   without losing increments; the strategies table is guarded by a
+   mutex (Hashtbl is not safe under concurrent add/resize). *)
+
+type atomic_counters = {
+  a_attempts : int Atomic.t;
+  a_independent : int Atomic.t;
+  a_dependent : int Atomic.t;
+  a_passed : int Atomic.t;
+}
+
 type strategy_counters = {
-  mutable attempts : int;
-  mutable independent : int;
-  mutable dependent : int;
-  mutable passed : int;
+  attempts : int;
+  independent : int;
+  dependent : int;
+  passed : int;
 }
 
 type t = {
-  mutable queries : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_uncacheable : int;
-  mutable cache_flushes : int;
-  strategies : (string, strategy_counters) Hashtbl.t;
+  q_queries : int Atomic.t;
+  q_hits : int Atomic.t;
+  q_misses : int Atomic.t;
+  q_uncacheable : int Atomic.t;
+  q_flushes : int Atomic.t;
+  lock : Mutex.t;  (* guards [strategies] *)
+  strategies : (string, atomic_counters) Hashtbl.t;
 }
 
 let create () =
   {
-    queries = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_uncacheable = 0;
-    cache_flushes = 0;
+    q_queries = Atomic.make 0;
+    q_hits = Atomic.make 0;
+    q_misses = Atomic.make 0;
+    q_uncacheable = Atomic.make 0;
+    q_flushes = Atomic.make 0;
+    lock = Mutex.create ();
     strategies = Hashtbl.create 16;
   }
 
 let global = create ()
 
 let reset t =
-  t.queries <- 0;
-  t.cache_hits <- 0;
-  t.cache_misses <- 0;
-  t.cache_uncacheable <- 0;
-  t.cache_flushes <- 0;
-  Hashtbl.reset t.strategies
+  Atomic.set t.q_queries 0;
+  Atomic.set t.q_hits 0;
+  Atomic.set t.q_misses 0;
+  Atomic.set t.q_uncacheable 0;
+  Atomic.set t.q_flushes 0;
+  Mutex.lock t.lock;
+  Hashtbl.reset t.strategies;
+  Mutex.unlock t.lock
 
 let counters t name =
-  match Hashtbl.find_opt t.strategies name with
-  | Some c -> c
-  | None ->
-      let c = { attempts = 0; independent = 0; dependent = 0; passed = 0 } in
-      Hashtbl.add t.strategies name c;
-      c
+  Mutex.lock t.lock;
+  let c =
+    match Hashtbl.find_opt t.strategies name with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            a_attempts = Atomic.make 0;
+            a_independent = Atomic.make 0;
+            a_dependent = Atomic.make 0;
+            a_passed = Atomic.make 0;
+          }
+        in
+        Hashtbl.add t.strategies name c;
+        c
+  in
+  Mutex.unlock t.lock;
+  c
 
-let record_query t = t.queries <- t.queries + 1
-let record_hit t = t.cache_hits <- t.cache_hits + 1
-let record_miss t = t.cache_misses <- t.cache_misses + 1
-let record_uncacheable t = t.cache_uncacheable <- t.cache_uncacheable + 1
-let record_flush t = t.cache_flushes <- t.cache_flushes + 1
-let record_attempt t name = (counters t name).attempts <- (counters t name).attempts + 1
+let record_query t = Atomic.incr t.q_queries
+let record_hit t = Atomic.incr t.q_hits
+let record_miss t = Atomic.incr t.q_misses
+let record_uncacheable t = Atomic.incr t.q_uncacheable
+let record_flush t = Atomic.incr t.q_flushes
+let record_attempt t name = Atomic.incr (counters t name).a_attempts
 
 let record_decision t name verdict =
   let c = counters t name in
   match verdict with
-  | Verdict.Independent -> c.independent <- c.independent + 1
-  | Verdict.Dependent | Verdict.Inapplicable -> c.dependent <- c.dependent + 1
+  | Verdict.Independent -> Atomic.incr c.a_independent
+  | Verdict.Dependent | Verdict.Inapplicable -> Atomic.incr c.a_dependent
 
-let record_pass t name = (counters t name).passed <- (counters t name).passed + 1
+let record_pass t name = Atomic.incr (counters t name).a_passed
+
+let queries t = Atomic.get t.q_queries
+let cache_hits t = Atomic.get t.q_hits
+let cache_misses t = Atomic.get t.q_misses
+let cache_uncacheable t = Atomic.get t.q_uncacheable
+let cache_flushes t = Atomic.get t.q_flushes
+
+let consistent t =
+  queries t = cache_hits t + cache_misses t + cache_uncacheable t
 
 let hit_ratio t =
-  let total = t.cache_hits + t.cache_misses in
-  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
+  let total = cache_hits t + cache_misses t in
+  if total = 0 then 0.0 else float_of_int (cache_hits t) /. float_of_int total
 
 let rows t =
-  Hashtbl.fold (fun name c acc -> (name, c) :: acc) t.strategies []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock t.lock;
+  let snap =
+    Hashtbl.fold
+      (fun name c acc ->
+        ( name,
+          {
+            attempts = Atomic.get c.a_attempts;
+            independent = Atomic.get c.a_independent;
+            dependent = Atomic.get c.a_dependent;
+            passed = Atomic.get c.a_passed;
+          } )
+        :: acc)
+      t.strategies []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) snap
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>engine: %d queries, cache %d hit / %d miss" t.queries
-    t.cache_hits t.cache_misses;
-  if t.cache_uncacheable > 0 then
-    Format.fprintf ppf " / %d uncacheable" t.cache_uncacheable;
-  if t.cache_flushes > 0 then Format.fprintf ppf " / %d flushes" t.cache_flushes;
+  Format.fprintf ppf "@[<v>engine: %d queries, cache %d hit / %d miss"
+    (queries t) (cache_hits t) (cache_misses t);
+  if cache_uncacheable t > 0 then
+    Format.fprintf ppf " / %d uncacheable" (cache_uncacheable t);
+  if cache_flushes t > 0 then
+    Format.fprintf ppf " / %d flushes" (cache_flushes t);
   Format.fprintf ppf " (hit ratio %.2f)" (hit_ratio t);
   List.iter
     (fun (name, c) ->
@@ -88,8 +139,8 @@ let to_json t =
     (Printf.sprintf
        "{\"queries\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\
         \"uncacheable\":%d,\"flushes\":%d,\"hit_ratio\":%.4f},\"strategies\":["
-       t.queries t.cache_hits t.cache_misses t.cache_uncacheable
-       t.cache_flushes (hit_ratio t));
+       (queries t) (cache_hits t) (cache_misses t) (cache_uncacheable t)
+       (cache_flushes t) (hit_ratio t));
   List.iteri
     (fun i (name, c) ->
       if i > 0 then Buffer.add_char buf ',';

@@ -1,29 +1,26 @@
 (** Engine instrumentation: per-strategy attempt/decision counters and
-    memo-cache hit/miss accounting.
+    memo-cache hit/miss accounting — safe to record from any domain.
 
     One {!t} accumulates everything the engine observes; verdict
     provenance on individual results names the deciding strategy, the
     stats aggregate how often each strategy was tried, decided, or
-    passed.  A process-wide {!global} instance backs the default engine
+    passed.  All counters are [Atomic.t] underneath (the strategy table
+    behind a mutex), so parallel analysis ([--jobs N]) records without
+    losing increments and [queries = hits + misses + uncacheable] stays
+    exact.  A process-wide {!global} instance backs the default engine
     entry points so that command-line tools ([vic --stats]) and the
     bench harness can report without threading state. *)
 
-type strategy_counters = {
-  mutable attempts : int;  (** Times the strategy was run. *)
-  mutable independent : int;  (** Decisions proving independence. *)
-  mutable dependent : int;  (** Decisions reporting (possible) dependence. *)
-  mutable passed : int;  (** Runs that declined to decide. *)
-}
+type t
 
-type t = {
-  mutable queries : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_uncacheable : int;
-      (** Queries on problems with no canonical numeric form. *)
-  mutable cache_flushes : int;  (** Times the bounded cache was emptied. *)
-  strategies : (string, strategy_counters) Hashtbl.t;
+type strategy_counters = {
+  attempts : int;  (** Times the strategy was run. *)
+  independent : int;  (** Decisions proving independence. *)
+  dependent : int;  (** Decisions reporting (possible) dependence. *)
+  passed : int;  (** Runs that declined to decide. *)
 }
+(** A consistent snapshot of one strategy's counters (plain ints, read
+    atomically when the row is taken). *)
 
 val create : unit -> t
 val global : t
@@ -37,11 +34,25 @@ val record_attempt : t -> string -> unit
 val record_decision : t -> string -> Dlz_deptest.Verdict.t -> unit
 val record_pass : t -> string -> unit
 
+val queries : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val cache_uncacheable : t -> int
+(** Queries on problems with no canonical numeric form. *)
+
+val cache_flushes : t -> int
+(** Times a bounded cache shard was emptied. *)
+
+val consistent : t -> bool
+(** [queries t = cache_hits t + cache_misses t + cache_uncacheable t] —
+    every query records exactly one disposition, serial or parallel. *)
+
 val hit_ratio : t -> float
 (** Hits over (hits + misses); [0.] before any cacheable query. *)
 
 val rows : t -> (string * strategy_counters) list
-(** Per-strategy counters, sorted by name. *)
+(** Per-strategy counter snapshots, sorted by name. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -30,59 +30,64 @@ let classify_vec v =
   in
   go 0
 
-let build ?mode ?cascade ?(env = Assume.empty) prog =
+(* Edges contributed by one candidate pair — the unit of work the pool
+   fans out. *)
+let edges_of_pair ?mode ?cascade ~env (pr : Engine.pair) =
+  let a = pr.Engine.src and b = pr.Engine.dst in
+  let r = Analyze.vectors ?mode ?cascade ~env pr.Engine.problem in
+  if r.Analyze.verdict = Verdict.Independent then []
+  else
+    let basics =
+      List.concat_map Analyze.decomposition r.Analyze.dirvecs
+      |> List.sort_uniq Dirvec.compare
+      |> List.filter (fun v ->
+             (* The identity instance of a single reference is
+                not a dependence. *)
+             not (pr.Engine.self && Array.for_all (( = ) Dirvec.Eq) v))
+    in
+    List.concat_map
+      (fun v ->
+        let add src dst vec level =
+          let kind = Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw in
+          [
+            {
+              e_src = src.Access.stmt_id;
+              e_dst = dst.Access.stmt_id;
+              e_vec = vec;
+              e_level = level;
+              e_kind = kind;
+            };
+          ]
+        in
+        match classify_vec v with
+        | `Forward lvl -> add a b v lvl
+        | `Backward lvl -> add b a (Dirvec.reverse v) lvl
+        | `LoopIndependent ->
+            (* Same statement: the read executes before the
+               write; within-statement flow does not constrain
+               loop rearrangement.  Across statements, orient
+               by textual order. *)
+            if a.Access.stmt_id < b.Access.stmt_id then add a b v max_int
+            else if b.Access.stmt_id < a.Access.stmt_id then
+              add b a v max_int
+            else [])
+      basics
+
+let build ?mode ?cascade ?(jobs = 1) ?pool ?(env = Assume.empty) prog =
   let accs, env = Access.of_program ~env prog in
   let nstmts =
     List.fold_left (fun m a -> max m (a.Access.stmt_id + 1)) 0 accs
   in
   let stmt_names = Array.make nstmts "" in
   List.iter (fun a -> stmt_names.(a.Access.stmt_id) <- a.Access.stmt_name) accs;
-  let edges = ref [] in
-  List.iter
-    (fun (pr : Engine.pair) ->
-      let a = pr.Engine.src and b = pr.Engine.dst in
-      let r = Analyze.vectors ?mode ?cascade ~env pr.Engine.problem in
-      if r.Analyze.verdict <> Verdict.Independent then
-        let basics =
-          List.concat_map Analyze.decomposition r.Analyze.dirvecs
-          |> List.sort_uniq Dirvec.compare
-          |> List.filter (fun v ->
-                 (* The identity instance of a single reference is
-                    not a dependence. *)
-                 not (pr.Engine.self && Array.for_all (( = ) Dirvec.Eq) v))
-        in
-        List.iter
-          (fun v ->
-            let add src dst vec level =
-              let kind =
-                Classify.kind ~src:src.Access.rw ~dst:dst.Access.rw
-              in
-              edges :=
-                {
-                  e_src = src.Access.stmt_id;
-                  e_dst = dst.Access.stmt_id;
-                  e_vec = vec;
-                  e_level = level;
-                  e_kind = kind;
-                }
-                :: !edges
-            in
-            match classify_vec v with
-            | `Forward lvl -> add a b v lvl
-            | `Backward lvl -> add b a (Dirvec.reverse v) lvl
-            | `LoopIndependent ->
-                (* Same statement: the read executes before the
-                   write; within-statement flow does not constrain
-                   loop rearrangement.  Across statements, orient
-                   by textual order. *)
-                if a.Access.stmt_id < b.Access.stmt_id then
-                  add a b v max_int
-                else if b.Access.stmt_id < a.Access.stmt_id then
-                  add b a v max_int)
-          basics)
-    (Engine.pairs accs);
-  (* Deduplicate identical edges. *)
-  let edges = List.sort_uniq Stdlib.compare !edges in
+  let edges =
+    Dlz_base.Pool.with_jobs ?pool ~jobs (fun pool ->
+        List.concat
+          (Engine.map_pairs ?pool (edges_of_pair ?mode ?cascade ~env) accs))
+  in
+  (* Deduplicate identical edges (also fixes the final order, so the
+     graph is byte-identical for any job count). *)
+  let edges = List.sort_uniq Stdlib.compare edges in
   { nstmts; stmt_names; edges }
 
 let edges_at_level g level =

@@ -33,12 +33,18 @@ type t = {
 val build :
   ?mode:Dlz_engine.Analyze.mode ->
   ?cascade:Dlz_engine.Cascade.t ->
+  ?jobs:int ->
+  ?pool:Dlz_base.Pool.t ->
   ?env:Assume.t ->
   Dlz_ir.Ast.program ->
   t
 (** Analyzes a normalized program.  Input (read-read) dependences are
     ignored; a same-statement all-[=] vector (the read feeding the write
-    of one assignment) carries no constraint and is dropped. *)
+    of one assignment) carries no constraint and is dropped.
+
+    [jobs]/[pool] parallelize the pair queries exactly as in
+    {!Dlz_engine.Analyze.deps_of_accesses}; the edge list is sorted, so
+    the graph is identical for any job count. *)
 
 val edges_at_level : t -> int -> edge list
 (** Edges not carried by loops outer than [level]: carrying level

@@ -18,10 +18,13 @@ type loop_report = {
 val report :
   ?mode:Dlz_engine.Analyze.mode ->
   ?cascade:Dlz_engine.Cascade.t ->
+  ?jobs:int ->
+  ?pool:Dlz_base.Pool.t ->
   ?env:Dlz_symbolic.Assume.t ->
   Dlz_ir.Ast.program ->
   loop_report list
-(** One entry per loop of the (normalized) program, in source order. *)
+(** One entry per loop of the (normalized) program, in source order.
+    [jobs]/[pool] parallelize the underlying {!Depgraph.build}. *)
 
 val fully_parallel : loop_report list -> bool
 (** Every loop parallel (the verdict the corpus ablation counts). *)

@@ -62,10 +62,10 @@ let test_cache_hit_miss () =
   let cache = Query.create_cache () in
   let r1 = Engine.query ~stats ~cache ~env p in
   let r2 = Engine.query ~stats ~cache ~env p in
-  Alcotest.(check int) "two queries" 2 stats.Stats.queries;
-  Alcotest.(check int) "one miss" 1 stats.Stats.cache_misses;
-  Alcotest.(check int) "one hit" 1 stats.Stats.cache_hits;
-  Alcotest.(check int) "nothing uncacheable" 0 stats.Stats.cache_uncacheable;
+  Alcotest.(check int) "two queries" 2 (Stats.queries stats);
+  Alcotest.(check int) "one miss" 1 (Stats.cache_misses stats);
+  Alcotest.(check int) "one hit" 1 (Stats.cache_hits stats);
+  Alcotest.(check int) "nothing uncacheable" 0 (Stats.cache_uncacheable stats);
   Alcotest.check verdict "same verdict" r1.Strategy.verdict
     r2.Strategy.verdict;
   Alcotest.(check string)
@@ -86,11 +86,11 @@ let test_cache_canonical_sharing () =
     (List.length ps >= 4);
   Alcotest.(check int)
     "all pairs after the first solve of each shape hit" 2
-    stats.Stats.cache_misses;
+    (Stats.cache_misses stats);
   Alcotest.(check int)
     "hits cover the rest"
     (List.length ps - 2)
-    stats.Stats.cache_hits
+    (Stats.cache_hits stats)
 
 let test_cache_uncacheable_symbolic () =
   let ps, env = problems_of Fragments.symbolic_program in
@@ -100,8 +100,8 @@ let test_cache_uncacheable_symbolic () =
   ignore (Engine.query ~stats ~cache ~env p);
   ignore (Engine.query ~stats ~cache ~env p);
   Alcotest.(check int)
-    "symbolic problems never cached" 2 stats.Stats.cache_uncacheable;
-  Alcotest.(check int) "no hits" 0 stats.Stats.cache_hits;
+    "symbolic problems never cached" 2 (Stats.cache_uncacheable stats);
+  Alcotest.(check int) "no hits" 0 (Stats.cache_hits stats);
   Alcotest.(check int) "cache stays empty" 0 (Query.size cache)
 
 let test_cache_flush_on_capacity () =
@@ -118,10 +118,10 @@ let test_cache_flush_on_capacity () =
   in
   Alcotest.(check int) "found two distinct forms" 2 (List.length distinct);
   let stats = Stats.create () in
-  let cache = Query.create_cache ~capacity:1 () in
+  let cache = Query.create_cache ~capacity:1 ~shards:1 () in
   List.iter (fun p -> ignore (Engine.query ~stats ~cache ~env p)) distinct;
   Alcotest.(check bool) "flushed at least once" true
-    (stats.Stats.cache_flushes >= 1);
+    (Stats.cache_flushes stats >= 1);
   Alcotest.(check bool) "size bounded" true (Query.size cache <= 1)
 
 let test_key_of_none_for_symbolic () =
@@ -278,8 +278,8 @@ let test_stats_reporting () =
   ignore (Analyze.deps_of_program (prepare numeric_src));
   ignore (Analyze.deps_of_program (prepare numeric_src));
   let st = Stats.global in
-  Alcotest.(check bool) "queries counted" true (st.Stats.queries > 0);
-  Alcotest.(check bool) "repeat run hits" true (st.Stats.cache_hits > 0);
+  Alcotest.(check bool) "queries counted" true (Stats.queries st > 0);
+  Alcotest.(check bool) "repeat run hits" true (Stats.cache_hits st > 0);
   Alcotest.(check bool)
     "hit ratio in (0,1]" true
     (Stats.hit_ratio st > 0. && Stats.hit_ratio st <= 1.);

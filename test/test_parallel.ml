@@ -1,0 +1,344 @@
+(* Tests for the multicore analysis path: the domain pool itself
+   (lib/base/pool.ml), streaming pair enumeration vs the legacy list,
+   parallel determinism (any --jobs count must reproduce the serial
+   output exactly), and the domain-safety of the sharded query cache
+   and atomic stats under concurrent hammering.
+
+   The parallelism width is taken from DLZ_TEST_JOBS (default 4); CI on
+   constrained runners sets it to 2 via the @parallel-ci alias in
+   test/dune.  The determinism properties are width-independent, so a
+   smaller width only reduces scheduling variety, never coverage. *)
+
+module Pool = Dlz_base.Pool
+module Prng = Dlz_base.Prng
+module Verdict = Dlz_deptest.Verdict
+module Access = Dlz_ir.Access
+module F77 = Dlz_frontend.F77_parser
+module Pipeline = Dlz_passes.Pipeline
+module Corpus = Dlz_corpus.Corpus
+module Progen = Dlz_driver.Progen
+module Workload = Dlz_driver.Workload
+module Engine = Dlz_engine.Engine
+module Strategy = Dlz_engine.Strategy
+module Analyze = Dlz_engine.Analyze
+module Query = Dlz_engine.Query
+module Stats = Dlz_engine.Stats
+module Depgraph = Dlz_vec.Depgraph
+
+let test_jobs =
+  match Sys.getenv_opt "DLZ_TEST_JOBS" with
+  | Some s -> ( try max 2 (int_of_string s) with Failure _ -> 4)
+  | None -> 4
+
+let prepare src = Pipeline.prepare_program (F77.parse src)
+
+let sphot_prog =
+  Pipeline.prepare_program
+    (Corpus.generate (List.find (fun s -> s.Corpus.name = "SPHOT") Corpus.riceps))
+
+(* n statements with n distinct dependence distances: every pair yields
+   a numeric (cacheable) problem and the canonical forms are plentiful
+   and mostly distinct — the workload for cache-capacity and hammering
+   tests. *)
+let many_distances_src n =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "      DIMENSION A(500)\n      DO I = 0, 99\n";
+  for k = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "        A(I+%d) = A(I)\n" k)
+  done;
+  Buffer.add_string buf "      ENDDO\n";
+  Buffer.contents buf
+
+let problems_of_prog prog =
+  let accs, env = Access.of_program prog in
+  (List.map (fun (pr : Engine.pair) -> pr.Engine.problem) (Engine.pairs accs),
+   env)
+
+(* --- Pool ----------------------------------------------------------------- *)
+
+let test_pool_map_matches_array_map () =
+  let arr = Array.init 101 (fun i -> i - 50) in
+  let f x = (x * x) - (3 * x) + 7 in
+  let expect = Array.map f arr in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun chunk ->
+          let got =
+            Pool.with_pool ~domains (fun p -> Pool.map_chunked p ~chunk f arr)
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "domains=%d chunk=%d" domains chunk)
+            expect got)
+        [ 1; 3; 16; 1000 ])
+    [ 1; 2; test_jobs ]
+
+let test_pool_empty_input () =
+  Pool.with_pool ~domains:test_jobs (fun p ->
+      Alcotest.(check (array int))
+        "empty" [||]
+        (Pool.map_chunked p ~chunk:4 (fun x -> x) [||]))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:test_jobs (fun p ->
+      Alcotest.check_raises "worker exception reaches caller"
+        (Failure "boom") (fun () ->
+          ignore
+            (Pool.map_chunked p ~chunk:1
+               (fun x -> if x = 37 then failwith "boom" else x)
+               (Array.init 100 Fun.id))))
+
+let test_pool_bad_chunk () =
+  Pool.with_pool ~domains:1 (fun p ->
+      Alcotest.check_raises "chunk 0"
+        (Invalid_argument "Pool.map_chunked: chunk must be > 0") (fun () ->
+          ignore (Pool.map_chunked p ~chunk:0 Fun.id [| 1 |])))
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~domains:2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  let s = Pool.create ~domains:1 in
+  Pool.shutdown s;
+  Pool.shutdown s
+
+let test_pool_resolve_jobs () =
+  Alcotest.(check int) "positive is itself" 3 (Pool.resolve_jobs 3);
+  Alcotest.(check bool) "0 means recommended (>= 1)" true
+    (Pool.resolve_jobs 0 >= 1);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Pool.resolve_jobs: jobs must be >= 0") (fun () ->
+      ignore (Pool.resolve_jobs (-1)))
+
+let test_pool_with_jobs_policy () =
+  Pool.with_jobs ~jobs:1 (fun p ->
+      Alcotest.(check bool) "jobs 1 takes the serial path" true (p = None));
+  Pool.with_jobs ~jobs:test_jobs (fun p ->
+      match p with
+      | None -> Alcotest.fail "expected a pool"
+      | Some p ->
+          Alcotest.(check int) "pool width" test_jobs (Pool.domains p));
+  (* An explicit pool is passed through regardless of [jobs] and must
+     survive the call (with_jobs does not own it). *)
+  let mine = Pool.create ~domains:2 in
+  Pool.with_jobs ~pool:mine ~jobs:8 (fun p ->
+      match p with
+      | None -> Alcotest.fail "explicit pool dropped"
+      | Some p -> Alcotest.(check int) "same pool" 2 (Pool.domains p));
+  Alcotest.(check (array int))
+    "pool still alive after with_jobs" [| 2; 4 |]
+    (Pool.map_chunked mine ~chunk:1 (fun x -> 2 * x) [| 1; 2 |]);
+  Pool.shutdown mine
+
+(* --- streaming enumeration ------------------------------------------------ *)
+
+let triple (pr : Engine.pair) = (pr.Engine.src, pr.Engine.dst, pr.Engine.self)
+
+let test_pairs_seq_matches_pairs () =
+  List.iter
+    (fun prog ->
+      let accs, _env = Access.of_program prog in
+      let legacy = List.map triple (Engine.pairs accs) in
+      let streamed = List.of_seq (Seq.map triple (Engine.pairs_seq accs)) in
+      let iterated =
+        let out = ref [] in
+        Engine.iter_pairs (fun pr -> out := triple pr :: !out) accs;
+        List.rev !out
+      in
+      Alcotest.(check bool)
+        "pairs_seq enumerates the legacy triples" true
+        (legacy = streamed);
+      Alcotest.(check bool)
+        "iter_pairs enumerates the legacy triples" true
+        (legacy = iterated);
+      Alcotest.(check bool)
+        "self pairs present" true
+        (List.exists (fun (_, _, self) -> self) legacy
+        || List.for_all (fun (_, _, self) -> not self) legacy))
+    [ sphot_prog; prepare (many_distances_src 4) ]
+
+(* --- parallel determinism ------------------------------------------------- *)
+
+let render_deps deps =
+  List.map (fun d -> Format.asprintf "%a" Analyze.pp_dep d) deps
+
+let test_deps_deterministic_random_programs () =
+  for seed = 0 to 14 do
+    let prog = Progen.random (Prng.create (Int64.of_int seed)) in
+    let serial = render_deps (Analyze.deps_of_program ~jobs:1 prog) in
+    let par = render_deps (Analyze.deps_of_program ~jobs:test_jobs prog) in
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: jobs %d = jobs 1" seed test_jobs)
+      serial par
+  done
+
+(* The whole corpus: the analyzer's row list (what `vic analyze`
+   prints) must be identical at any job count, program by program. *)
+let test_deps_deterministic_corpus_and_family () =
+  let corpus = List.map (fun s -> Pipeline.prepare_program (Corpus.generate s)) Corpus.riceps in
+  List.iter
+    (fun prog ->
+      let serial = render_deps (Analyze.deps_of_program ~jobs:1 prog) in
+      let par = render_deps (Analyze.deps_of_program ~jobs:test_jobs prog) in
+      Alcotest.(check (list string)) "parallel = serial" serial par;
+      (* Same check through an explicit caller-owned pool. *)
+      let pooled =
+        Pool.with_pool ~domains:test_jobs (fun pool ->
+            let accs, env = Access.of_program prog in
+            render_deps (Analyze.deps_of_accesses ~pool ~env accs))
+      in
+      Alcotest.(check (list string)) "explicit pool = serial" serial pooled)
+    (corpus
+    @ [
+        prepare (Workload.family_program ~depth:3 ~extent:6);
+        prepare (many_distances_src 5);
+      ])
+
+let test_depgraph_deterministic () =
+  List.iter
+    (fun prog ->
+      let serial = (Depgraph.build ~jobs:1 prog).Depgraph.edges in
+      let par = (Depgraph.build ~jobs:test_jobs prog).Depgraph.edges in
+      Alcotest.(check bool) "edge lists identical" true (serial = par))
+    [ sphot_prog; prepare (many_distances_src 5) ]
+
+let test_stats_consistent_after_parallel_run () =
+  Engine.reset_metrics ();
+  List.iter
+    (fun prog -> ignore (Analyze.deps_of_program ~jobs:test_jobs prog))
+    [ sphot_prog; prepare (many_distances_src 6) ];
+  let st = Stats.global in
+  Alcotest.(check bool) "queries issued" true (Stats.queries st > 0);
+  Alcotest.(check bool)
+    "queries = hits + misses + uncacheable" true (Stats.consistent st)
+
+(* --- sharded cache under concurrency -------------------------------------- *)
+
+let test_cache_hammering_from_domains () =
+  let ps, env = problems_of_prog (prepare (many_distances_src 6)) in
+  Alcotest.(check bool) "workload nonempty" true (ps <> []);
+  (* Serial reference verdicts on a private cache. *)
+  let reference =
+    let stats = Stats.create () in
+    let cache = Query.create_cache () in
+    List.map (fun p -> (Engine.query ~stats ~cache ~env p).Strategy.verdict) ps
+  in
+  let stats = Stats.create () in
+  let cache = Query.create_cache () in
+  let reps = 50 in
+  let hammer () =
+    let first = ref [] in
+    for rep = 1 to reps do
+      let vs =
+        List.map
+          (fun p -> (Engine.query ~stats ~cache ~env p).Strategy.verdict)
+          ps
+      in
+      if rep = 1 then first := vs
+    done;
+    !first
+  in
+  let domains = List.init test_jobs (fun _ -> Domain.spawn hammer) in
+  let per_domain = List.map Domain.join domains in
+  List.iteri
+    (fun i vs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d verdicts match serial reference" i)
+        true
+        (List.for_all2 Verdict.equal reference vs))
+    per_domain;
+  Alcotest.(check int)
+    "every query counted exactly once"
+    (test_jobs * reps * List.length ps)
+    (Stats.queries stats);
+  Alcotest.(check int) "all numeric, none uncacheable" 0
+    (Stats.cache_uncacheable stats);
+  Alcotest.(check bool) "hits + misses = queries" true (Stats.consistent stats);
+  (* The cache must afterwards replay exactly the serial verdicts. *)
+  let replay =
+    List.map
+      (fun p ->
+        (Engine.query ~stats:(Stats.create ()) ~cache ~env p).Strategy.verdict)
+      ps
+  in
+  Alcotest.(check bool)
+    "cached entries correct" true
+    (List.for_all2 Verdict.equal reference replay)
+
+let test_capacity_one_per_shard_flushes () =
+  let ps, env = problems_of_prog (prepare (many_distances_src 20)) in
+  (* Dedup to distinct canonical keys so each insert is a fresh entry. *)
+  let seen = Hashtbl.create 64 in
+  let distinct =
+    List.filter
+      (fun p ->
+        match Query.key_of ~cascade:"delin" p with
+        | None -> false
+        | Some k ->
+            if Hashtbl.mem seen k then false
+            else (
+              Hashtbl.add seen k ();
+              true))
+      ps
+  in
+  let n = List.length distinct in
+  Alcotest.(check bool) "more distinct keys than shards" true (n > 8);
+  let stats = Stats.create () in
+  let cache = Query.create_cache ~capacity:8 ~shards:8 () in
+  Alcotest.(check int) "per-shard capacity is 1" 1 (Query.shard_capacity cache);
+  List.iter (fun p -> ignore (Engine.query ~stats ~cache ~env p)) distinct;
+  let sizes = Array.fold_left ( + ) 0 (Query.shard_sizes cache) in
+  let flushes = Array.fold_left ( + ) 0 (Query.shard_flushes cache) in
+  (* Capacity-1 shards: every overflow evicts exactly one entry, so
+     survivors + flushes account for every distinct insertion. *)
+  Alcotest.(check int) "survivors + flushes = distinct inserts" n
+    (sizes + flushes);
+  Alcotest.(check int) "stats agree with per-shard counters" flushes
+    (Stats.cache_flushes stats);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "shard bounded" true (s <= 1))
+    (Query.shard_sizes cache);
+  Alcotest.(check bool) "at least one shard overflowed" true (flushes > 0)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_chunked = Array.map" `Quick
+            test_pool_map_matches_array_map;
+          Alcotest.test_case "empty input" `Quick test_pool_empty_input;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "chunk must be positive" `Quick
+            test_pool_bad_chunk;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "resolve_jobs" `Quick test_pool_resolve_jobs;
+          Alcotest.test_case "with_jobs policy" `Quick
+            test_pool_with_jobs_policy;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "pairs_seq = legacy pairs" `Quick
+            test_pairs_seq_matches_pairs;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "random programs, jobs N = jobs 1" `Quick
+            test_deps_deterministic_random_programs;
+          Alcotest.test_case "corpus + paper family" `Quick
+            test_deps_deterministic_corpus_and_family;
+          Alcotest.test_case "depgraph edges" `Quick
+            test_depgraph_deterministic;
+          Alcotest.test_case "stats consistent after parallel run" `Quick
+            test_stats_consistent_after_parallel_run;
+        ] );
+      ( "sharded-cache",
+        [
+          Alcotest.test_case "hammering from domains" `Quick
+            test_cache_hammering_from_domains;
+          Alcotest.test_case "capacity-1 shards flush correctly" `Quick
+            test_capacity_one_per_shard_flushes;
+        ] );
+    ]
