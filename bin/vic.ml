@@ -44,6 +44,9 @@ let with_diagnostics f =
   | Dlz_passes.Inline.Unsupported msg ->
       prerr_endline ("inlining: " ^ msg);
       exit 1
+  | Dlz_driver.Dynamic.Error err ->
+      prerr_endline ("dynamic: " ^ Dlz_driver.Dynamic.describe err);
+      exit 1
   | Failure msg ->
       prerr_endline ("error: " ^ msg);
       exit 1
@@ -114,6 +117,42 @@ let stats_arg =
                  per-strategy attempt/decide counters (verdict\n\
                  provenance in aggregate).")
 
+let fuel_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fuel" ] ~docv:"N"
+           ~doc:"Engine-wide step budget: the whole analysis may spend\n\
+                 at most N solver steps.  Queries that hit the limit\n\
+                 degrade to the conservative verdict (counted in\n\
+                 --stats); the run always completes.")
+
+let timeout_arg =
+  Arg.(value & opt (some int) None
+       & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Engine-wide wall-clock deadline in milliseconds\n\
+                 (monotonic clock).  Queries past the deadline degrade\n\
+                 to the conservative verdict; the run always completes.")
+
+let chaos_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chaos" ] ~docv:"SEED:RATE"
+           ~doc:"Deterministic fault injection at strategy boundaries\n\
+                 (testing aid), e.g. 42:0.1.  Overrides DLZ_CHAOS.")
+
+let budget_of ~fuel ~timeout_ms =
+  match (fuel, timeout_ms) with
+  | None, None -> None
+  | _ -> Some (Dlz_base.Budget.create ?fuel ?timeout_ms ())
+
+let set_chaos spec =
+  match spec with
+  | None -> ()
+  | Some s -> (
+      match Dlz_engine.Chaos.of_string s with
+      | Ok c -> Dlz_engine.Chaos.set_current (Some c)
+      | Error msg ->
+          prerr_endline ("--chaos: " ^ msg);
+          exit 1)
+
 let jobs_arg =
   Arg.(value & opt int 1
        & info [ "jobs"; "j" ] ~docv:"N"
@@ -141,16 +180,21 @@ let ranges_arg =
                  delta ranges) for each dependence [WL91].")
 
 let analyze_cmd =
-  let run file lang mode assumes ranges cascade stats jobs =
+  let run file lang mode assumes ranges cascade stats jobs fuel timeout_ms
+      chaos =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
         let cascade = cascade_of cascade in
+        set_chaos chaos;
+        let budget = budget_of ~fuel ~timeout_ms in
         let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
         print_endline (Ast.to_string prog);
         print_newline ();
         let env = env_of assumes in
         Dlz_engine.Engine.reset_metrics ();
-        let deps = Analyze.deps_of_program ~mode ?cascade ~jobs ~env prog in
+        let deps =
+          Analyze.deps_of_program ~mode ?cascade ?budget ~jobs ~env prog
+        in
         if deps = [] then print_endline "No dependences: fully parallel."
         else
           List.iter
@@ -189,7 +233,7 @@ let analyze_cmd =
                else
                  Printf.sprintf " (%d carried dependence(s))"
                    l.Dlz_vec.Parallel.lr_carried))
-          (Dlz_vec.Parallel.report ~mode ?cascade ~jobs ~env prog);
+          (Dlz_vec.Parallel.report ~mode ?cascade ?budget ~jobs ~env prog);
         if stats then begin
           print_newline ();
           Format.printf "%a@." Dlz_engine.Stats.pp Dlz_engine.Stats.global;
@@ -206,13 +250,20 @@ let analyze_cmd =
             (Query.shards cache) (Query.shard_capacity cache)
             (ints (Query.shard_sizes cache))
             (ints flushes)
-            (Array.fold_left ( + ) 0 flushes)
+            (Array.fold_left ( + ) 0 flushes);
+          match Dlz_engine.Chaos.current () with
+          | Some c ->
+              Printf.printf "chaos: seed %Ld rate %g, %d faults injected\n"
+                (Dlz_engine.Chaos.seed c) (Dlz_engine.Chaos.rate c)
+                (Dlz_engine.Chaos.strikes c)
+          | None -> ()
         end)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Normalize a program and report its dependences.")
     Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg
-          $ cascade_arg $ stats_arg $ jobs_arg)
+          $ cascade_arg $ stats_arg $ jobs_arg $ fuel_arg $ timeout_arg
+          $ chaos_arg)
 
 let vectorize_cmd =
   let run file lang mode assumes =

@@ -1,0 +1,122 @@
+exception Exhausted of string
+
+type node = {
+  parent : node option;
+  fuel : int Atomic.t option;
+  deadline : int64 option; (* monotonic ns; resolved at creation *)
+  mutable ticks : int;
+      (* Amortizes clock probes across spends.  Deliberately plain: a
+         racy increment only shifts when the next probe lands, and the
+         deadline is a soft bound — exactness here is not worth an
+         atomic RMW on every spend. *)
+}
+
+type t = node option
+(* [None] is the unlimited budget: spending on it touches nothing. *)
+
+let unlimited : t = None
+let now_ns () = Monotonic_clock.now ()
+
+(* Probe the clock once every [mask+1] spends; deadlines are soft
+   bounds on work between strategy boundaries, not hard realtime. *)
+let tick_mask = 255
+
+let resolve_deadline ~parent_deadline timeout_ms =
+  let own =
+    match timeout_ms with
+    | None -> None
+    | Some ms ->
+        Some (Int64.add (now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
+  in
+  match (own, parent_deadline) with
+  | None, d | d, None -> d
+  | Some a, Some b -> Some (if Int64.compare a b <= 0 then a else b)
+
+let make ~parent ~fuel ~timeout_ms =
+  let parent_deadline =
+    match parent with None -> None | Some n -> n.deadline
+  in
+  {
+    parent;
+    fuel = Option.map Atomic.make fuel;
+    deadline = resolve_deadline ~parent_deadline timeout_ms;
+    ticks = 0;
+  }
+
+let create ?fuel ?timeout_ms () : t =
+  match (fuel, timeout_ms) with
+  | None, None -> None
+  | _ -> Some (make ~parent:None ~fuel ~timeout_ms)
+
+let sub ?fuel ?timeout_ms (t : t) : t =
+  match (fuel, timeout_ms, t) with
+  | None, None, _ -> t
+  | _ -> Some (make ~parent:t ~fuel ~timeout_ms)
+
+let deadline_passed n =
+  match n.deadline with
+  | None -> false
+  | Some d -> Int64.compare (now_ns ()) d >= 0
+
+(* The deadline of the chain is the minimum of the nodes' deadlines by
+   construction, so checking the youngest node's own deadline covers
+   every ancestor. *)
+let rec drain cost n =
+  (match n.fuel with
+  | None -> ()
+  | Some f ->
+      if Atomic.fetch_and_add f (-cost) - cost < 0 then
+        raise (Exhausted "fuel"));
+  match n.parent with None -> () | Some p -> drain cost p
+
+let spend ?(cost = 1) (t : t) =
+  match t with
+  | None -> ()
+  | Some n -> (
+      drain cost n;
+      (* The chain's deadline is folded into every node at creation, so
+         a deadline-free youngest node means a deadline-free chain and
+         the probe machinery can be skipped outright. *)
+      match n.deadline with
+      | None -> ()
+      | Some _ ->
+          let k = n.ticks in
+          n.ticks <- k + 1;
+          if k land tick_mask = 0 then
+            if deadline_passed n then raise (Exhausted "deadline"))
+
+let exhausted (t : t) =
+  match t with
+  | None -> None
+  | Some n ->
+      let rec fuel_dry n =
+        (match n.fuel with Some f -> Atomic.get f <= 0 | None -> false)
+        || match n.parent with None -> false | Some p -> fuel_dry p
+      in
+      if fuel_dry n then Some "fuel"
+      else if deadline_passed n then Some "deadline"
+      else None
+
+let check (t : t) =
+  match exhausted t with None -> () | Some reason -> raise (Exhausted reason)
+
+let remaining_fuel (t : t) =
+  let rec go acc n =
+    let acc =
+      match n.fuel with
+      | None -> acc
+      | Some f -> (
+          let r = max 0 (Atomic.get f) in
+          match acc with None -> Some r | Some a -> Some (min a r))
+    in
+    match n.parent with None -> acc | Some p -> go acc p
+  in
+  match t with None -> None | Some n -> go None n
+
+let is_unlimited (t : t) =
+  let rec bounded n =
+    n.fuel <> None
+    || n.deadline <> None
+    || match n.parent with None -> false | Some p -> bounded p
+  in
+  match t with None -> true | Some n -> not (bounded n)

@@ -1,0 +1,57 @@
+(** Unified resource budgets: step fuel plus a wall-clock deadline.
+
+    A budget bounds how much work a computation may do, along two axes
+    at once: an integer {e fuel} supply decremented by [spend], and a
+    monotonic-clock {e deadline} checked opportunistically.  Budgets
+    nest: a child created with [sub] draws fuel from its parent chain
+    and never outlives the parent's deadline, so an engine-wide budget
+    caps every per-query and per-strategy budget carved out of it.
+
+    All fuel counters are atomic; a single budget may be spent from
+    several domains concurrently (the engine does exactly that under
+    [--jobs N]).  Exhaustion is reported by raising [Exhausted] with a
+    short machine-readable reason ("fuel", "deadline", or a custom tag
+    such as "chaos"). *)
+
+exception Exhausted of string
+(** Raised by [spend] / [check] when the budget is used up.  The
+    payload names the axis that ran out. *)
+
+type t
+
+val unlimited : t
+(** The budget that never exhausts.  [spend] on it is O(1) and
+    allocation-free; it is the default everywhere. *)
+
+val create : ?fuel:int -> ?timeout_ms:int -> unit -> t
+(** A fresh root budget.  [fuel] bounds the number of [spend] steps;
+    [timeout_ms] sets a deadline that many milliseconds from now on the
+    monotonic clock.  Omitting both returns [unlimited]. *)
+
+val sub : ?fuel:int -> ?timeout_ms:int -> t -> t
+(** [sub parent] carves a child budget out of [parent].  The child's
+    fuel (if any) is an additional local cap — spending on the child
+    also drains every ancestor with fuel — and its deadline is the
+    earlier of its own and the parent chain's.  With neither [fuel] nor
+    [timeout_ms], the child is the parent itself. *)
+
+val spend : ?cost:int -> t -> unit
+(** Consume [cost] (default 1) steps.  Raises [Exhausted "fuel"] when
+    any budget on the chain runs dry, or [Exhausted "deadline"] when
+    the deadline has passed (the clock is probed once every few hundred
+    spends, so deadline detection is amortized). *)
+
+val check : t -> unit
+(** Raise [Exhausted _] iff the budget is already exhausted; never
+    consumes fuel and always probes the clock. *)
+
+val exhausted : t -> string option
+(** Non-raising probe: [Some reason] iff [check] would raise. *)
+
+val remaining_fuel : t -> int option
+(** Fuel left on the tightest fuel-carrying budget of the chain, if
+    any budget on the chain carries fuel.  Never negative. *)
+
+val is_unlimited : t -> bool
+(** True iff the budget (and its whole parent chain) can never
+    exhaust. *)

@@ -101,19 +101,19 @@ let map_chunked t ~chunk f arr =
         let dm = Mutex.create () in
         let finished = Condition.create () in
         let remaining = ref nchunks in
-        let failure = ref None in
         let run_chunk c () =
-          (try
-             let lo = c * chunk in
-             let hi = min n (lo + chunk) in
-             for i = lo to hi - 1 do
-               out.(i) <- Some (f arr.(i))
-             done
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             Mutex.lock dm;
-             if !failure = None then failure := Some (e, bt);
-             Mutex.unlock dm);
+          (* Exceptions are contained per element, not per chunk: a
+             poisoned job can neither kill its worker domain nor starve
+             the elements sharing its chunk.  Failures are re-surfaced
+             deterministically after the full map completes. *)
+          let lo = c * chunk in
+          let hi = min n (lo + chunk) in
+          for i = lo to hi - 1 do
+            out.(i) <-
+              Some
+                (try Ok (f arr.(i))
+                 with e -> Error (e, Printexc.get_raw_backtrace ()))
+          done;
           Mutex.lock dm;
           decr remaining;
           if !remaining = 0 then Condition.broadcast finished;
@@ -138,10 +138,15 @@ let map_chunked t ~chunk f arr =
         while !remaining > 0 do
           Condition.wait finished dm
         done;
-        let fail = !failure in
         Mutex.unlock dm;
-        (match fail with
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ());
-        Array.map (function Some v -> v | None -> assert false) out
+        (* Every element ran.  Re-raise the lowest-index failure — the
+           same one the sequential path would have hit first. *)
+        Array.iter
+          (function
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | Some (Ok _) | None -> ())
+          out;
+        Array.map
+          (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+          out
       end

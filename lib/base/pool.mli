@@ -30,10 +30,13 @@ val map_chunked : t -> chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_chunked pool ~chunk f arr] is [Array.map f arr], computed in
     parallel in contiguous chunks of [chunk] elements.  Results land by
     index, not by completion order, so the output is deterministic and
-    independent of scheduling.  If some application of [f] raises, one
-    of the raised exceptions is re-raised in the caller after all
-    in-flight chunks finish.  [f] must be safe to run on any domain.
-    Raises [Invalid_argument] when [chunk <= 0]. *)
+    independent of scheduling.  Exceptions from [f] are contained per
+    element: a raising job never kills a worker domain, never skips the
+    other elements of its chunk, and never deadlocks the caller — every
+    element is attempted, and then the failure at the {e lowest index}
+    (the one the sequential path would hit first) is re-raised in the
+    caller.  [f] must be safe to run on any domain.  Raises
+    [Invalid_argument] when [chunk <= 0]. *)
 
 val shutdown : t -> unit
 (** Stops and joins the workers.  Idempotent; the sequential pool is a

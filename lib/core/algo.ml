@@ -75,7 +75,7 @@ let run ?(policy = Optimal) ?solver ~n_common ~common_ubs eq =
   let solver =
     match solver with
     | Some s -> s
-    | None -> Hierarchy.directions ~test:Hierarchy.gcd_banerjee
+    | None -> fun np -> Hierarchy.directions ~test:Hierarchy.gcd_banerjee np
   in
   let eq = sort_terms eq in
   let terms = Array.of_list eq.terms in

@@ -2,8 +2,6 @@ open Dlz_base
 
 type outcome = Feasible of (Depeq.var * int) list | Infeasible | Unknown
 
-exception Budget
-
 (* Collect the distinct variables of a system; a variable shared between
    equations keeps the tightest of its declared ranges. *)
 let variables eqs =
@@ -89,12 +87,13 @@ let prune eqs asg =
 
 let var_key (v : Depeq.var) = (v.v_side, v.v_level, v.v_name)
 
-let search ?(max_nodes = 1_000_000) ?(extra_ok = fun _ -> true) ~on_solution eqs =
+let search ?budget ?(max_nodes = 1_000_000) ?(extra_ok = fun _ -> true)
+    ~on_solution eqs =
   let vars = variables eqs in
-  let nodes = ref 0 in
+  let parent = match budget with Some b -> b | None -> Budget.unlimited in
+  let b = Budget.sub ~fuel:max_nodes parent in
   let rec go remaining asg =
-    incr nodes;
-    if !nodes > max_nodes then raise Budget;
+    Budget.spend b;
     match prune eqs asg with
     | None -> ()
     | Some hints -> (
@@ -121,21 +120,22 @@ let search ?(max_nodes = 1_000_000) ?(extra_ok = fun _ -> true) ~on_solution eqs
               go rest ((v, x) :: asg)
             done)
   in
-  (try go vars [] with Budget -> raise Budget);
-  ()
+  go vars []
 
-let solve ?max_nodes ?extra_ok eqs =
+let solve ?budget ?max_nodes ?extra_ok eqs =
   let result = ref Infeasible in
   let exception Found of (Depeq.var * int) list in
   try
-    search ?max_nodes ?extra_ok ~on_solution:(fun asg -> raise (Found asg)) eqs;
+    search ?budget ?max_nodes ?extra_ok
+      ~on_solution:(fun asg -> raise (Found asg))
+      eqs;
     !result
   with
   | Found asg -> Feasible asg
-  | Budget -> Unknown
+  | Budget.Exhausted _ -> Unknown
 
-let test ?max_nodes eqs =
-  match solve ?max_nodes eqs with
+let test ?budget ?max_nodes eqs =
+  match solve ?budget ?max_nodes eqs with
   | Infeasible -> Verdict.Independent
   | Feasible _ | Unknown -> Verdict.Dependent
 
@@ -148,7 +148,7 @@ let count_solutions ?(limit = 1_000_000) eqs =
          incr n;
          if !n >= limit then raise Done)
        eqs
-   with Done | Budget -> ());
+   with Done | Budget.Exhausted _ -> ());
   !n
 
 let level_delta asg level =
@@ -162,26 +162,27 @@ let level_delta asg level =
   | Some a, Some b -> Some (b - a)
   | _ -> None
 
-let direction_vectors ~n_common eqs =
+let direction_vectors ?budget ~n_common eqs =
+  (* On budget exhaustion the collected set is partial; returning it
+     would under-approximate (an empty partial set reads as proven
+     independence), so exhaustion propagates to the caller. *)
   let seen = Hashtbl.create 16 in
-  (try
-     search
-       ~on_solution:(fun asg ->
-         let dv =
-           Array.init n_common (fun i ->
-               match level_delta asg (i + 1) with
-               | Some d -> Dirvec.of_delta d
-               | None -> Dirvec.Star)
-         in
-         Hashtbl.replace seen dv ())
-       eqs
-   with Budget -> ());
+  search ?budget
+    ~on_solution:(fun asg ->
+      let dv =
+        Array.init n_common (fun i ->
+            match level_delta asg (i + 1) with
+            | Some d -> Dirvec.of_delta d
+            | None -> Dirvec.Star)
+      in
+      Hashtbl.replace seen dv ())
+    eqs;
   List.sort Dirvec.compare (Hashtbl.fold (fun dv () acc -> dv :: acc) seen [])
 
-let level_values ~level ~side eqs =
+let level_values ?budget ~level ~side eqs =
   let seen = Hashtbl.create 16 in
   match
-    search
+    search ?budget
       ~on_solution:(fun asg ->
         List.iter
           (fun ((v : Depeq.var), x) ->
@@ -192,12 +193,12 @@ let level_values ~level ~side eqs =
   with
   | () ->
       Some (List.sort Int.compare (Hashtbl.fold (fun d () acc -> d :: acc) seen []))
-  | exception Budget -> None
+  | exception Budget.Exhausted _ -> None
 
-let distance_set ~level eqs =
+let distance_set ?budget ~level eqs =
   let seen = Hashtbl.create 16 in
   match
-    search
+    search ?budget
       ~on_solution:(fun asg ->
         match level_delta asg level with
         | Some d -> Hashtbl.replace seen d ()
@@ -205,4 +206,4 @@ let distance_set ~level eqs =
       eqs
   with
   | () -> Some (List.sort Int.compare (Hashtbl.fold (fun d () acc -> d :: acc) seen []))
-  | exception Budget -> None
+  | exception Budget.Exhausted _ -> None

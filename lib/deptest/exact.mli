@@ -11,6 +11,7 @@ type outcome = Feasible of (Depeq.var * int) list | Infeasible | Unknown
 (** [Unknown] when the node budget ran out. *)
 
 val solve :
+  ?budget:Dlz_base.Budget.t ->
   ?max_nodes:int -> ?extra_ok:((Depeq.var * int) list -> bool) ->
   Depeq.t list -> outcome
 (** [solve eqs] decides whether the conjunction of the equations (over
@@ -20,7 +21,7 @@ val solve :
     it only inspects the final full assignment.  Default [max_nodes] is
     [1_000_000]. *)
 
-val test : ?max_nodes:int -> Depeq.t list -> Verdict.t
+val test : ?budget:Dlz_base.Budget.t -> ?max_nodes:int -> Depeq.t list -> Verdict.t
 (** [Independent] iff {!solve} says [Infeasible]; [Unknown] maps to
     [Dependent]. *)
 
@@ -28,17 +29,21 @@ val count_solutions : ?limit:int -> Depeq.t list -> int
 (** Number of integer points (stopping at [limit], default 1_000_000);
     brute-force enumeration guarded by the same pruning. *)
 
-val direction_vectors : n_common:int -> Depeq.t list -> Dirvec.t list
+val direction_vectors :
+  ?budget:Dlz_base.Budget.t -> n_common:int -> Depeq.t list -> Dirvec.t list
 (** The exact set of basic direction vectors over the first [n_common]
     levels realized by integer solutions.  Exponential; small problems
-    only. *)
+    only.  Raises {!Dlz_base.Budget.Exhausted} when the budget runs out
+    — a partial set would read as proven independence. *)
 
-val distance_set : level:int -> Depeq.t list -> int list option
+val distance_set :
+  ?budget:Dlz_base.Budget.t -> level:int -> Depeq.t list -> int list option
 (** All values of [β_level - α_level] over the solutions (levels where
     both instances occur in the equations), sorted; [None] when the
     search budget is exceeded. *)
 
 val level_values :
+  ?budget:Dlz_base.Budget.t ->
   level:int -> side:[ `Src | `Dst ] -> Depeq.t list -> int list option
 (** All values taken by the given instance variable over the solutions;
     [Some []] when the variable does not occur in the equations (it is

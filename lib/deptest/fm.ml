@@ -28,7 +28,7 @@ let dedupe qs =
     qs;
   Hashtbl.fold (fun key bound acc -> { cs = Array.of_list key; bound } :: acc) tbl []
 
-let eliminate_var mode ~count v qs =
+let eliminate_var mode ~budget ~count v qs =
   let pos, rest = List.partition (fun q -> q.cs.(v) > 0) qs in
   let neg, zero = List.partition (fun q -> q.cs.(v) < 0) rest in
   let combos =
@@ -44,6 +44,7 @@ let eliminate_var mode ~count v qs =
                   Intx.add (Intx.mul mp p.cs.(i)) (Intx.mul mn n.cs.(i)))
             in
             let bound = Intx.add (Intx.mul mp p.bound) (Intx.mul mn n.bound) in
+            Budget.spend budget;
             count := !count + 1;
             normalize mode { cs; bound })
           neg)
@@ -75,19 +76,19 @@ let choose_var nvars qs =
   done;
   Option.map fst !best
 
-let run mode ~nvars qs =
+let run ?(budget = Budget.unlimited) mode ~nvars qs =
   let count = ref 0 in
   let rec go qs =
     if List.exists (fun q -> is_trivial q && q.bound < 0) qs then (false, !count)
     else
       match choose_var nvars qs with
       | None -> (true, !count)
-      | Some v -> go (eliminate_var mode ~count v qs)
+      | Some v -> go (eliminate_var mode ~budget ~count v qs)
   in
   go (List.map (normalize mode) qs)
 
-let feasible mode ~nvars qs = fst (run mode ~nvars qs)
-let eliminations mode ~nvars qs = snd (run mode ~nvars qs)
+let feasible ?budget mode ~nvars qs = fst (run ?budget mode ~nvars qs)
+let eliminations ?budget mode ~nvars qs = snd (run ?budget mode ~nvars qs)
 
 let system_of_equation (eq : Depeq.t) =
   let n = List.length eq.terms in
@@ -107,6 +108,9 @@ let system_of_equation (eq : Depeq.t) =
   in
   (n, (eq_le :: eq_ge :: bounds))
 
-let test mode eq =
+let test ?budget mode eq =
   let nvars, qs = system_of_equation eq in
-  if feasible mode ~nvars qs then Verdict.Dependent else Verdict.Independent
+  match feasible ?budget mode ~nvars qs with
+  | true -> Verdict.Dependent
+  | false -> Verdict.Independent
+  | exception Budget.Exhausted _ -> Verdict.Dependent

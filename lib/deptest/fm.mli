@@ -6,24 +6,30 @@
     is normalized as Pugh suggests [Pug91]: divide by the gcd [g] of the
     variable coefficients and replace the bound [b] by [floor(b/g)] —
     sound for integer solutions and strong enough to disprove the
-    paper's equation (1), which real FM cannot. *)
+    paper's equation (1), which real FM cannot.
+
+    Elimination can square the constraint count at every step, so the
+    entry points accept an optional {!Dlz_base.Budget.t}; one unit is
+    spent per derived constraint. *)
 
 type mode = Real | Tightened
 
 type ineq = { cs : int array; bound : int }
 (** [Σ cs.(i) * x_i <= bound]. *)
 
-val feasible : mode -> nvars:int -> ineq list -> bool
+val feasible : ?budget:Dlz_base.Budget.t -> mode -> nvars:int -> ineq list -> bool
 (** Eliminates all variables; [false] means no rational (resp. integer)
     solution exists.  In [Real] mode [true] is exact (a rational solution
-    exists); in [Tightened] mode [true] is conservative. *)
+    exists); in [Tightened] mode [true] is conservative.  Raises
+    {!Dlz_base.Budget.Exhausted} when the budget runs out mid-elimination. *)
 
 val system_of_equation : Depeq.t -> int * ineq list
 (** The equation (as two inequalities) plus the box bounds, with
     variables numbered in term order. *)
 
-val test : mode -> Depeq.t -> Verdict.t
+val test : ?budget:Dlz_base.Budget.t -> mode -> Depeq.t -> Verdict.t
+(** Budget exhaustion degrades to the conservative [Dependent]. *)
 
-val eliminations : mode -> nvars:int -> ineq list -> int
+val eliminations : ?budget:Dlz_base.Budget.t -> mode -> nvars:int -> ineq list -> int
 (** Number of constraints generated over the whole elimination — the
     cost measure used by the E8 efficiency benches. *)

@@ -29,10 +29,12 @@ let run_test test (p : Problem.numeric) (dv : Dirvec.t) =
 let test ?(test = gcd_banerjee) (p : Problem.numeric) =
   run_test test p (Dirvec.all_star p.n_common)
 
-let directions ?(test = gcd_banerjee) (p : Problem.numeric) =
+let directions ?(budget = Dlz_base.Budget.unlimited) ?(test = gcd_banerjee)
+    (p : Problem.numeric) =
   let n = p.n_common in
   let results = ref [] in
   let rec refine dv level =
+    Dlz_base.Budget.spend budget;
     match run_test test p dv with
     | Verdict.Independent -> ()
     | _ ->
@@ -48,5 +50,5 @@ let directions ?(test = gcd_banerjee) (p : Problem.numeric) =
   refine (Dirvec.all_star n) 1;
   List.sort Dirvec.compare !results
 
-let directions_exact (p : Problem.numeric) =
-  Exact.direction_vectors ~n_common:p.n_common p.eqs
+let directions_exact ?budget (p : Problem.numeric) =
+  Exact.direction_vectors ?budget ~n_common:p.n_common p.eqs

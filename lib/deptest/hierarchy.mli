@@ -16,11 +16,15 @@ val gcd_banerjee : eq_test
 val test : ?test:eq_test -> Problem.numeric -> Verdict.t
 (** Dependence test at the unrefined [(*, ..., *)] vector. *)
 
-val directions : ?test:eq_test -> Problem.numeric -> Dirvec.t list
+val directions :
+  ?budget:Dlz_base.Budget.t -> ?test:eq_test -> Problem.numeric -> Dirvec.t list
 (** All basic direction vectors not disproven, sorted.  The empty list
-    means independence. *)
+    means independence.  One [budget] unit is spent per refinement node;
+    exhaustion raises {!Dlz_base.Budget.Exhausted} (a truncated set
+    would read as proven independence). *)
 
-val directions_exact : Problem.numeric -> Dirvec.t list
+val directions_exact :
+  ?budget:Dlz_base.Budget.t -> Problem.numeric -> Dirvec.t list
 (** Ground truth via the exact solver (exponential; small problems). *)
 
 val feasible_dir : ub:int -> Dirvec.dir -> bool

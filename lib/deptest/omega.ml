@@ -7,12 +7,6 @@ type row = { cs : int array; k : int }
 
 type sys = { nv : int; eqs : row list; ineqs : row list }
 
-exception Out_of_budget
-
-let spend budget =
-  decr budget;
-  if !budget <= 0 then raise Out_of_budget
-
 let row_map f r = { r with cs = Array.map f r.cs }
 
 let grow nv r =
@@ -49,7 +43,7 @@ let nonzero_indices r =
 
 (* Eliminate all equalities by exact substitutions. *)
 let rec elim_eqs budget sys =
-  spend budget;
+  Budget.spend budget;
   match sys.eqs with
   | [] -> `Go sys
   | e :: rest -> (
@@ -114,7 +108,7 @@ let normalize_ineq r =
   else row_map (fun c -> c / g) { r with k = Numth.fdiv r.k g }
 
 let rec solve_ineqs budget sys =
-  spend budget;
+  Budget.spend budget;
   let rows = List.map normalize_ineq sys.ineqs in
   let constant, rows = List.partition (fun r -> nonzero_indices r = []) rows in
   if List.exists (fun r -> r.k < 0) constant then Unsat
@@ -266,14 +260,15 @@ let of_equations eqs =
   in
   { nv; eqs = eq_rows; ineqs = bound_rows }
 
-let solve ?(budget = 50_000) eqs =
-  let b = ref budget in
+let solve ?budget ?(fuel = 50_000) eqs =
+  let parent = match budget with Some b -> b | None -> Budget.unlimited in
+  let b = Budget.sub ~fuel parent in
   match solve_full b (of_equations eqs) with
   | r -> r
-  | exception Out_of_budget -> Unknown
+  | exception Budget.Exhausted _ -> Unknown
   | exception Intx.Overflow _ -> Unknown
 
-let test ?budget eqs =
-  match solve ?budget eqs with
+let test ?budget ?fuel eqs =
+  match solve ?budget ?fuel eqs with
   | Unsat -> Verdict.Independent
   | Sat | Unknown -> Verdict.Dependent

@@ -17,14 +17,18 @@
 
     Splintering can blow up, so the solver carries a work budget and
     reports {!Unknown} when it is exhausted — the callers (E1 table,
-    benches, tests) treat that as "dependent". *)
+    benches, tests) treat that as "dependent".  The budget is a
+    {!Dlz_base.Budget.t} sub-budget: an engine-wide [budget] caps the
+    per-call [fuel]. *)
 
 type result = Sat | Unsat | Unknown
 
-val solve : ?budget:int -> Depeq.t list -> result
+val solve : ?budget:Dlz_base.Budget.t -> ?fuel:int -> Depeq.t list -> result
 (** Decides whether the conjunction of the dependence equations (with
-    their box bounds) has an integer solution.  Default [budget] is
-    [50_000] elimination steps. *)
+    their box bounds) has an integer solution.  The solver runs under a
+    sub-budget of [budget] (default unlimited) capped at [fuel]
+    elimination steps (default [50_000]); exhaustion of either yields
+    [Unknown], never an exception. *)
 
-val test : ?budget:int -> Depeq.t list -> Verdict.t
+val test : ?budget:Dlz_base.Budget.t -> ?fuel:int -> Depeq.t list -> Verdict.t
 (** [Independent] iff {!solve} returns [Unsat]. *)

@@ -5,6 +5,35 @@ module Dirvec = Dlz_deptest.Dirvec
 module Classify = Dlz_deptest.Classify
 module Analyze = Dlz_engine.Analyze
 
+type error =
+  | Out_of_fuel of int
+  | Zero_step
+  | Undeclared_array of string
+  | Arity_mismatch of string
+  | Subscript_out_of_range of { array : string; sub : int; lo : int; hi : int }
+  | Non_constant_bound of string
+  | Unknown_statement
+
+exception Error of error
+
+let err e = raise (Error e)
+
+let describe = function
+  | Out_of_fuel fuel -> Printf.sprintf "out of fuel (%d steps)" fuel
+  | Zero_step -> "DO loop with zero step"
+  | Undeclared_array a -> Printf.sprintf "undeclared array %s" a
+  | Arity_mismatch a -> Printf.sprintf "subscript arity mismatch on %s" a
+  | Subscript_out_of_range { array; sub; lo; hi } ->
+      Printf.sprintf "subscript %d of %s out of [%d,%d]" sub array lo hi
+  | Non_constant_bound a ->
+      Printf.sprintf "non-constant bound on %s (missing ?syms entry?)" a
+  | Unknown_statement -> "statement outside the program body"
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Dynamic.Error: " ^ describe e)
+    | _ -> None)
+
 type dep = {
   src_stmt : int;
   dst_stmt : int;
@@ -44,7 +73,7 @@ let dependences ?(syms = []) ?(fuel = 20_000_000) (p : Ast.program) =
   let assigns = collect_assigns p in
   let stmt_id s =
     let rec find i =
-      if i >= Array.length assigns then failwith "Dynamic: unknown statement"
+      if i >= Array.length assigns then err Unknown_statement
       else if assigns.(i) == s then i
       else find (i + 1)
     in
@@ -63,7 +92,8 @@ let dependences ?(syms = []) ?(fuel = 20_000_000) (p : Ast.program) =
                   | Some c -> c
                   | None -> (
                       try Expr.eval (fun v -> List.assoc v syms) e
-                      with _ -> failwith "Dynamic: non-constant bound")
+                      with Not_found | Failure _ ->
+                        err (Non_constant_bound a.a_name))
                 in
                 (eval d.lo, eval d.hi - eval d.lo + 1))
               a.a_dims
@@ -116,11 +146,11 @@ let dependences ?(syms = []) ?(fuel = 20_000_000) (p : Ast.program) =
           | [], [] -> acc
           | (lo, extent) :: dims, s :: subs ->
               if s < lo || s >= lo + extent then
-                failwith
-                  (Printf.sprintf "Dynamic: subscript %d out of [%d,%d]" s lo
-                     (lo + extent - 1))
+                err
+                  (Subscript_out_of_range
+                     { array = name; sub = s; lo; hi = lo + extent - 1 })
               else go dims subs (stride * extent) (acc + ((s - lo) * stride))
-          | _ -> failwith "Dynamic: arity mismatch"
+          | _ -> err (Arity_mismatch name)
         in
         Some (blk, base + go dims subs 1 0)
   in
@@ -185,7 +215,7 @@ let dependences ?(syms = []) ?(fuel = 20_000_000) (p : Ast.program) =
   in
   let rec exec s =
     incr steps;
-    if !steps > fuel then failwith "Dynamic: out of fuel";
+    if !steps > fuel then err (Out_of_fuel fuel);
     match s with
     | Ast.Continue _ -> ()
     | Ast.Assign { lhs; rhs; _ } -> (
@@ -204,14 +234,13 @@ let dependences ?(syms = []) ?(fuel = 20_000_000) (p : Ast.program) =
             Hashtbl.replace last_write cell me;
             Hashtbl.replace memory cell v
         | None ->
-            if lhs.subs <> [] then
-              failwith ("Dynamic: undeclared array " ^ lhs.name)
+            if lhs.subs <> [] then err (Undeclared_array lhs.name)
             else Hashtbl.replace scalars lhs.name v)
     | Ast.Do d ->
         let lo = eval (current_instance 0) d.lo
         and hi = eval (current_instance 0) d.hi
         and step = eval (current_instance 0) d.step in
-        if step = 0 then failwith "Dynamic: zero step";
+        if step = 0 then err Zero_step;
         let continue v = if step > 0 then v <= hi else v >= hi in
         let v = ref lo in
         while continue !v do

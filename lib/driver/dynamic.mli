@@ -11,6 +11,23 @@
 module Dirvec = Dlz_deptest.Dirvec
 module Classify = Dlz_deptest.Classify
 
+type error =
+  | Out_of_fuel of int  (** The step budget ran out: not an input error. *)
+  | Zero_step
+  | Undeclared_array of string
+  | Arity_mismatch of string
+  | Subscript_out_of_range of { array : string; sub : int; lo : int; hi : int }
+  | Non_constant_bound of string
+  | Unknown_statement
+
+exception Error of error
+(** Typed execution failure: callers can tell budget exhaustion
+    ([Out_of_fuel]) apart from malformed input (everything else)
+    instead of string-matching a [Failure]. *)
+
+val describe : error -> string
+(** Human-readable one-liner (also installed as an exception printer). *)
+
 type dep = {
   src_stmt : int;  (** Statement id (program order of assignments). *)
   dst_stmt : int;  (** The instance that executes later. *)
@@ -23,7 +40,7 @@ val dependences :
 (** All distinct dynamic dependences, in first-occurrence order.
     Within-statement same-instance flows (the read feeding its own
     write) are omitted, matching the static convention.  Raises
-    [Failure] like {!Dlz_passes.Interp.run} does. *)
+    {!Error} on non-executable input or fuel exhaustion. *)
 
 val uncovered :
   dep list -> Dlz_engine.Analyze.dep list -> dep list

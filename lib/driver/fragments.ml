@@ -127,3 +127,17 @@ let symbolic_program =
 1     A(N*N*K+N*J+I) = A(N*N*K+J+N*I+N*N+N)
       END
 |}
+
+(* Coefficient 2^40 against an upper bound of 2^24: the Banerjee bound
+   product (and most other per-term arithmetic) lands past
+   [max_int = 2^62 - 1], so every numeric strategy hits
+   [Intx.Overflow] while {e solving} — parsing, normalization and
+   cache-key construction all stay within range.  Exercises the
+   engine's overflow containment. *)
+let overflow_stress_program =
+  {|
+      REAL A(100)
+      DO 10 I = 1, 16777216
+10    A(1099511627776*I+1) = A(1099511627776*I)
+      END
+|}

@@ -42,3 +42,8 @@ val c_pointers : string
 
 val symbolic_program : string
 (** The §4 program [A(N*N*k+N*j+i) = A(N*N*k+j+N*i+N*N+N)]. *)
+
+val overflow_stress_program : string
+(** A loop whose subscript coefficient (2^40) times its bound (2^24)
+    overflows [max_int] inside every numeric dependence test — the
+    stress input for {!Dlz_engine.Cascade} overflow containment. *)

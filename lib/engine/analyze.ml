@@ -13,6 +13,7 @@ type pair_result = {
   dirvecs : Dirvec.t list;
   distances : (int * Poly.t) list;
   decided_by : string;
+  degraded : (string * string) list;
 }
 
 type dep = {
@@ -22,6 +23,7 @@ type dep = {
   dirvec : Dirvec.t;
   ddvec : Ddvec.t;
   via : string;
+  degraded : (string * string) list;
 }
 
 type mode = Delinearize | Classic | ExactMode
@@ -34,14 +36,15 @@ let cascade_of_mode = function
 let resolve_cascade ?(mode = Delinearize) ?cascade () =
   match cascade with Some c -> c | None -> cascade_of_mode mode
 
-let vectors ?mode ?cascade ~env p =
+let vectors ?mode ?cascade ?budget ~env p =
   let cascade = resolve_cascade ?mode ?cascade () in
-  let r = Engine.query ~cascade ~env p in
+  let r = Engine.query ~cascade ?budget ~env p in
   {
     verdict = r.Strategy.verdict;
     dirvecs = r.Strategy.dirvecs;
     distances = r.Strategy.distances;
     decided_by = r.Strategy.decided_by;
+    degraded = r.Strategy.degraded;
   }
 
 (* Basic direction vectors admitted by a (possibly non-basic) vector. *)
@@ -100,9 +103,9 @@ let apply_distances dv distances =
    dep row per surviving summarized vector (in summary order).  Pure
    apart from the engine query, which is domain-safe — this is the unit
    of work [map_pairs] fans out over the pool. *)
-let deps_of_pair ~cascade ~env (pr : Engine.pair) =
+let deps_of_pair ?budget ~cascade ~env (pr : Engine.pair) =
   let src = pr.Engine.src and dst = pr.Engine.dst in
-  let r = vectors ~cascade ~env pr.Engine.problem in
+  let r = vectors ~cascade ?budget ~env pr.Engine.problem in
   let self = pr.Engine.self in
   let identity_only =
     self
@@ -140,21 +143,27 @@ let deps_of_pair ~cascade ~env (pr : Engine.pair) =
           dirvec = dv;
           ddvec = apply_distances dv r.distances;
           via = r.decided_by;
+          degraded = r.degraded;
         })
       summaries
   end
 
-let deps_of_accesses ?mode ?cascade ?(jobs = 1) ?pool ~env accs =
+let deps_of_accesses ?mode ?cascade ?budget ?(jobs = 1) ?pool ~env accs =
   let cascade = resolve_cascade ?mode ?cascade () in
   Pool.with_jobs ?pool ~jobs (fun pool ->
-      List.concat (Engine.map_pairs ?pool (deps_of_pair ~cascade ~env) accs))
+      List.concat
+        (Engine.map_pairs ?pool (deps_of_pair ?budget ~cascade ~env) accs))
 
-let deps_of_program ?mode ?cascade ?jobs ?pool ?(env = Assume.empty) prog =
+let deps_of_program ?mode ?cascade ?budget ?jobs ?pool ?(env = Assume.empty)
+    prog =
   let accs, env = Access.of_program ~env prog in
-  deps_of_accesses ?mode ?cascade ?jobs ?pool ~env accs
+  deps_of_accesses ?mode ?cascade ?budget ?jobs ?pool ~env accs
 
 let pp_dep ppf d =
   Format.fprintf ppf "%s:%s -> %s:%s  %s  %s  [%s]" d.src.Access.stmt_name
     d.src.Access.array d.dst.Access.stmt_name d.dst.Access.array
     (Dirvec.to_string d.dirvec) (Ddvec.to_string d.ddvec)
-    (Classify.to_string d.kind)
+    (Classify.to_string d.kind);
+  List.iter
+    (fun (s, why) -> Format.fprintf ppf "  degraded_by: %s %s" s why)
+    d.degraded

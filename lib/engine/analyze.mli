@@ -28,6 +28,9 @@ type pair_result = {
   distances : (int * Poly.t) list;
       (** Distances proven constant; symbolic polynomials allowed. *)
   decided_by : string;  (** Provenance: the strategy that decided. *)
+  degraded : (string * string) list;
+      (** Contained faults, as [(strategy, reason)] — see
+          {!Strategy.result}. *)
 }
 
 type dep = {
@@ -37,6 +40,9 @@ type dep = {
   dirvec : Dirvec.t;  (** Summarized direction vector. *)
   ddvec : Ddvec.t;  (** Same vector with exact distances substituted. *)
   via : string;  (** The strategy whose verdict produced this row. *)
+  degraded : (string * string) list;
+      (** Faults contained while answering this pair (empty on a clean
+          query); rendered as [degraded_by: <strategy> <reason>]. *)
 }
 
 type mode =
@@ -55,7 +61,8 @@ val cascade_of_mode : mode -> Cascade.t
 (** The preset cascade reproducing the mode's historical behavior. *)
 
 val vectors :
-  ?mode:mode -> ?cascade:Cascade.t -> env:Assume.t -> Problem.t -> pair_result
+  ?mode:mode -> ?cascade:Cascade.t -> ?budget:Dlz_base.Budget.t ->
+  env:Assume.t -> Problem.t -> pair_result
 (** Direction vectors for one problem, answered through the memoized
     engine query path. *)
 
@@ -69,7 +76,8 @@ val summarize : self:bool -> Dirvec.t list -> Dirvec.t list
     the all-[=] identity vector). *)
 
 val deps_of_accesses :
-  ?mode:mode -> ?cascade:Cascade.t -> ?jobs:int -> ?pool:Dlz_base.Pool.t ->
+  ?mode:mode -> ?cascade:Cascade.t -> ?budget:Dlz_base.Budget.t ->
+  ?jobs:int -> ?pool:Dlz_base.Pool.t ->
   env:Assume.t -> Access.t list -> dep list
 (** All dependences among the given accesses (input dependences and
     identity-only self pairs are omitted), in source order.  Pair
@@ -83,7 +91,8 @@ val deps_of_accesses :
     result. *)
 
 val deps_of_program :
-  ?mode:mode -> ?cascade:Cascade.t -> ?jobs:int -> ?pool:Dlz_base.Pool.t ->
+  ?mode:mode -> ?cascade:Cascade.t -> ?budget:Dlz_base.Budget.t ->
+  ?jobs:int -> ?pool:Dlz_base.Pool.t ->
   ?env:Assume.t -> Dlz_ir.Ast.program -> dep list
 (** Extracts accesses (the program must be normalized) and analyzes
     them. *)

@@ -1,5 +1,7 @@
 module Assume = Dlz_symbolic.Assume
 module Problem = Dlz_deptest.Problem
+module Budget = Dlz_base.Budget
+module Intx = Dlz_base.Intx
 
 type t = { name : string; steps : Strategy.t list }
 
@@ -26,20 +28,59 @@ let exact = make ~name:"exact" [ Registry.exact; Registry.delinearize ]
 let presets = [ ("delin", delin); ("classic", classic); ("exact", exact) ]
 let preset name = List.assoc_opt name presets
 
-let run ?(stats = Stats.global) ~env t (p : Problem.t) =
+let reason_of_exn = function
+  | Chaos.Injected kind -> "chaos:" ^ kind
+  | Intx.Overflow op -> "overflow:" ^ op
+  | Budget.Exhausted why -> "budget:" ^ why
+  | Stack_overflow -> "stack_overflow"
+  | e -> "exn:" ^ Printexc.to_string e
+
+let run ?(stats = Stats.global) ?(budget = Budget.unlimited) ?chaos ~env t
+    (p : Problem.t) =
+  let chaos = match chaos with Some _ as c -> c | None -> Chaos.current () in
+  let degraded = ref [] in
+  let note name reason =
+    Stats.record_degradation stats name ~reason;
+    degraded := (name, reason) :: !degraded
+  in
   let rec go = function
-    | [] -> Strategy.conservative p
-    | (s : Strategy.t) :: rest ->
-        if not (s.applies ~env p) then go rest
-        else begin
-          Stats.record_attempt stats s.name;
-          match Strategy.result_of_status s.name (s.run ~env p) with
-          | Some r ->
-              Stats.record_decision stats s.name r.Strategy.verdict;
-              r
-          | None ->
-              Stats.record_pass stats s.name;
-              go rest
-        end
+    | [] -> Strategy.conservative ~degraded:(List.rev !degraded) p
+    | (s : Strategy.t) :: rest -> (
+        match Budget.exhausted budget with
+        | Some why ->
+            (* The enclosing budget is spent: every remaining strategy
+               would only raise, so settle for the conservative result
+               now (one degradation, not one per remaining step). *)
+            note s.name ("budget:" ^ why);
+            Strategy.conservative ~degraded:(List.rev !degraded) p
+        | None ->
+            if not (s.applies ~env p) then go rest
+            else begin
+              Stats.record_attempt stats s.name;
+              match
+                (match chaos with
+                | Some c -> Chaos.strike c ~strategy:s.name p
+                | None -> ());
+                s.run ~env ~budget p
+              with
+              | status -> (
+                  match
+                    Strategy.result_of_status
+                      ~degraded:(List.rev !degraded)
+                      s.name status
+                  with
+                  | Some r ->
+                      Stats.record_decision stats s.name r.Strategy.verdict;
+                      r
+                  | None ->
+                      Stats.record_pass stats s.name;
+                      go rest)
+              | exception ((Out_of_memory | Sys.Break) as e) ->
+                  (* Process-level conditions are not query faults. *)
+                  raise e
+              | exception e ->
+                  note s.name (reason_of_exn e);
+                  go rest
+            end)
   in
   go t.steps

@@ -33,8 +33,28 @@ val presets : (string * t) list
 val preset : string -> t option
 
 val run :
-  ?stats:Stats.t -> env:Assume.t -> t -> Problem.t -> Strategy.result
+  ?stats:Stats.t ->
+  ?budget:Dlz_base.Budget.t ->
+  ?chaos:Chaos.t ->
+  env:Assume.t ->
+  t ->
+  Problem.t ->
+  Strategy.result
 (** Runs the cascade on one problem, recording per-strategy
     attempt/decision/pass counters ([stats] defaults to
-    {!Stats.global}).  Never raises: strategies contain their own
-    overflow handling. *)
+    {!Stats.global}).
+
+    This is the engine's fault boundary.  A strategy that raises —
+    [Intx.Overflow], [Budget.Exhausted], [Stack_overflow], an injected
+    chaos fault, anything except [Out_of_memory] / [Sys.Break] — costs
+    one degradation counter and one [(strategy, reason)] entry in the
+    result's [degraded] provenance; the cascade then simply moves on to
+    the next strategy, falling back to the sound conservative result if
+    nothing decides.  A query can therefore never abort an analysis:
+    verdicts only degrade toward "dependent".
+
+    [budget] bounds the whole cascade (strategies receive it and carve
+    their internal budgets out of it); once it is exhausted the
+    remaining strategies are skipped with a single [budget:*]
+    degradation.  [chaos] (default {!Chaos.current}) injects
+    deterministic faults at each strategy boundary — see {!Chaos}. *)

@@ -1,0 +1,64 @@
+module Budget = Dlz_base.Budget
+module Intx = Dlz_base.Intx
+module Prng = Dlz_base.Prng
+module Problem = Dlz_deptest.Problem
+
+exception Injected of string
+
+type t = { seed : int64; rate_ppm : int; hits : int Atomic.t }
+
+let clamp_rate r = if r < 0. then 0. else if r > 1. then 1. else r
+
+let make ~seed ~rate =
+  {
+    seed;
+    rate_ppm = int_of_float (clamp_rate rate *. 1_000_000.);
+    hits = Atomic.make 0;
+  }
+
+let seed t = t.seed
+let rate t = float_of_int t.rate_ppm /. 1_000_000.
+let to_string t = Printf.sprintf "%Ld:%g" t.seed (rate t)
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> Error "expected <seed>:<rate>"
+  | Some i -> (
+      let seed_s = String.sub s 0 i in
+      let rate_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Int64.of_string_opt seed_s, float_of_string_opt rate_s) with
+      | Some seed, Some r when r >= 0. && r <= 1. ->
+          Ok (make ~seed ~rate:r)
+      | Some _, Some _ -> Error "rate must be in [0, 1]"
+      | None, _ -> Error (Printf.sprintf "bad seed %S" seed_s)
+      | _, None -> Error (Printf.sprintf "bad rate %S" rate_s))
+
+let state =
+  ref
+    (match Sys.getenv_opt "DLZ_CHAOS" with
+    | None | Some "" -> None
+    | Some s -> (
+        match of_string s with Ok c -> Some c | Error _ -> None))
+
+let current () = !state
+let set_current c = state := c
+let strikes t = Atomic.get t.hits
+let reset_strikes t = Atomic.set t.hits 0
+
+let strike t ~strategy (p : Problem.t) =
+  if t.rate_ppm > 0 then begin
+    (* Content-keyed: the decision depends only on seed + (strategy,
+       problem), so every domain, run, and replay sees the same fault
+       at the same query.  [hash_param] with deep limits keeps distinct
+       problems from aliasing. *)
+    let h = Hashtbl.hash_param 256 1024 (strategy, p) in
+    let g = Prng.create (Int64.logxor t.seed (Int64.of_int h)) in
+    if Prng.int g 1_000_000 < t.rate_ppm then begin
+      Atomic.incr t.hits;
+      match Prng.int g 4 with
+      | 0 -> raise (Injected "raise")
+      | 1 -> raise (Intx.Overflow "chaos")
+      | 2 -> raise (Budget.Exhausted "chaos")
+      | _ -> raise (Injected "unknown")
+    end
+  end

@@ -96,14 +96,14 @@ let map_pairs ?pool ?(chunk = default_chunk) f accs =
       |> Array.to_list
       |> List.filter_map Fun.id
 
-let query ?(cascade = Cascade.delin) ?stats ?cache ~env p =
+let query ?(cascade = Cascade.delin) ?stats ?cache ?budget ?chaos ~env p =
   Query.memoize ?stats ?cache ~cascade_name:cascade.Cascade.name ~env
-    (fun ~env p -> Cascade.run ?stats ~env cascade p)
+    (fun ~env p -> Cascade.run ?stats ?budget ?chaos ~env cascade p)
     p
 
-let query_all ?cascade ?stats ?cache ?pool ?chunk ~env accs =
+let query_all ?cascade ?stats ?cache ?budget ?chaos ?pool ?chunk ~env accs =
   map_pairs ?pool ?chunk
-    (fun pr -> (pr, query ?cascade ?stats ?cache ~env pr.problem))
+    (fun pr -> (pr, query ?cascade ?stats ?cache ?budget ?chaos ~env pr.problem))
     accs
 
 let reset_metrics () =

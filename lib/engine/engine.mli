@@ -56,17 +56,23 @@ val query :
   ?cascade:Cascade.t ->
   ?stats:Stats.t ->
   ?cache:Query.cache ->
+  ?budget:Dlz_base.Budget.t ->
+  ?chaos:Chaos.t ->
   env:Assume.t ->
   Problem.t ->
   Strategy.result
 (** One memoized dependence query ([cascade] defaults to
     {!Cascade.delin}; [stats]/[cache] default to the process-wide
-    instances).  Safe to call concurrently from several domains. *)
+    instances).  Safe to call concurrently from several domains.
+    [budget] bounds the cascade (see {!Cascade.run}); degraded results
+    are never cached, so a faulted run cannot poison the memo table. *)
 
 val query_all :
   ?cascade:Cascade.t ->
   ?stats:Stats.t ->
   ?cache:Query.cache ->
+  ?budget:Dlz_base.Budget.t ->
+  ?chaos:Chaos.t ->
   ?pool:Pool.t ->
   ?chunk:int ->
   env:Assume.t ->

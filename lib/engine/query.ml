@@ -166,6 +166,14 @@ let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
           Mutex.unlock sh.s_lock;
           Stats.record_miss stats;
           let r = run ~env p in
+          if r.Strategy.degraded <> [] then
+            (* A degraded result reflects a contained fault (budget,
+               chaos, overflow), not the problem's answer; caching it
+               would let one faulted run poison every later query on
+               the same key.  Re-solving is deterministic: the same
+               fault conditions reproduce the same degradation. *)
+            r
+          else begin
           Mutex.lock sh.s_lock;
           if not (Hashtbl.mem sh.s_table key) then begin
             if Hashtbl.length sh.s_table >= cache.shard_capacity then begin
@@ -179,4 +187,5 @@ let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
             Hashtbl.add sh.s_table key r
           end;
           Mutex.unlock sh.s_lock;
-          r)
+          r
+          end)

@@ -33,7 +33,7 @@ let numeric_common_ubs (p : Problem.t) =
   in
   go [] p.common_ubs
 
-let run_delinearize ~env (p : Problem.t) =
+let run_delinearize ~env ~budget (p : Problem.t) =
   let n_common = p.Problem.n_common in
   let num_ubs = numeric_common_ubs p in
   let analyze_eq (eq : Symeq.t) =
@@ -57,6 +57,7 @@ let run_delinearize ~env (p : Problem.t) =
         match v with
         | Verdict.Independent -> (v, dvs, dists)
         | _ ->
+            Dlz_base.Budget.spend budget;
             let ve, nv, de = analyze_eq eq in
             if ve = Verdict.Independent then (Verdict.Independent, [], dists)
             else
@@ -81,13 +82,14 @@ let delinearize =
 
 (* --- classic hierarchy (total: degrades to all-star on symbolics) ------- *)
 
-let run_classic ~env:_ (p : Problem.t) =
+(* Overflow and budget exhaustion are no longer swallowed here: they
+   propagate to the cascade, which contains them with a degradation
+   counter — one uniform fault path instead of per-strategy ad-hoc
+   catches. *)
+let run_classic ~env:_ ~budget (p : Problem.t) =
   match Problem.to_numeric p with
   | Some np ->
-      let dvs =
-        try Hierarchy.directions np
-        with Dlz_base.Intx.Overflow _ -> [ Dirvec.all_star p.Problem.n_common ]
-      in
+      let dvs = Hierarchy.directions ~budget np in
       Strategy.decided
         (if dvs = [] then Verdict.Independent else Verdict.Dependent)
         ~dirvecs:dvs
@@ -104,21 +106,16 @@ let classic =
 
 (* --- exact solver (passes on symbolics and overflow) -------------------- *)
 
-let run_exact ~env:_ (p : Problem.t) =
+let run_exact ~env:_ ~budget (p : Problem.t) =
   match Problem.to_numeric p with
-  | Some np -> (
-      match
-        try
-          Some
-            (Exact.direction_vectors ~n_common:np.Problem.n_common
-               np.Problem.eqs)
-        with Dlz_base.Intx.Overflow _ -> None
-      with
-      | Some dvs ->
-          Strategy.decided
-            (if dvs = [] then Verdict.Independent else Verdict.Dependent)
-            ~dirvecs:dvs
-      | None -> Strategy.Pass)
+  | Some np ->
+      let dvs =
+        Exact.direction_vectors ~budget ~n_common:np.Problem.n_common
+          np.Problem.eqs
+      in
+      Strategy.decided
+        (if dvs = [] then Verdict.Independent else Verdict.Dependent)
+        ~dirvecs:dvs
   | None -> Strategy.Pass
 
 let exact =
@@ -135,16 +132,16 @@ let numeric_applies ~env:_ (p : Problem.t) = Problem.to_numeric p <> None
 (* A whole-problem verdict from a sound single-equation test: the system
    is infeasible as soon as one conjunct is. *)
 let filter_of_eq_test name test =
-  let run ~env:_ (p : Problem.t) =
+  let run ~env:_ ~budget (p : Problem.t) =
     match Problem.to_numeric p with
     | None -> Strategy.Pass
     | Some np ->
         let indep =
-          try
-            List.exists
-              (fun eq -> Verdict.conservative (test eq) = Verdict.Independent)
-              np.Problem.eqs
-          with Dlz_base.Intx.Overflow _ -> false
+          List.exists
+            (fun eq ->
+              Dlz_base.Budget.spend budget;
+              Verdict.conservative (test eq) = Verdict.Independent)
+            np.Problem.eqs
         in
         if indep then Strategy.decided Verdict.Independent else Strategy.Pass
   in
@@ -157,14 +154,11 @@ let acyclic = filter_of_eq_test "acyclic" Acyclic.test
 let residue = filter_of_eq_test "residue" Residue.test
 
 let omega =
-  let run ~env:_ (p : Problem.t) =
+  let run ~env:_ ~budget (p : Problem.t) =
     match Problem.to_numeric p with
     | None -> Strategy.Pass
     | Some np ->
-        let v =
-          try Omega.test np.Problem.eqs
-          with Dlz_base.Intx.Overflow _ -> Verdict.Dependent
-        in
+        let v = Omega.test ~budget np.Problem.eqs in
         if Verdict.conservative v = Verdict.Independent then
           Strategy.decided Verdict.Independent
         else Strategy.Pass

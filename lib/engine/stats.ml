@@ -24,8 +24,9 @@ type t = {
   q_misses : int Atomic.t;
   q_uncacheable : int Atomic.t;
   q_flushes : int Atomic.t;
-  lock : Mutex.t;  (* guards [strategies] *)
+  lock : Mutex.t;  (* guards [strategies] and [degradations] *)
   strategies : (string, atomic_counters) Hashtbl.t;
+  degradations : (string * string, int Atomic.t) Hashtbl.t;
 }
 
 let create () =
@@ -37,6 +38,7 @@ let create () =
     q_flushes = Atomic.make 0;
     lock = Mutex.create ();
     strategies = Hashtbl.create 16;
+    degradations = Hashtbl.create 16;
   }
 
 let global = create ()
@@ -49,6 +51,7 @@ let reset t =
   Atomic.set t.q_flushes 0;
   Mutex.lock t.lock;
   Hashtbl.reset t.strategies;
+  Hashtbl.reset t.degradations;
   Mutex.unlock t.lock
 
 let counters t name =
@@ -85,6 +88,33 @@ let record_decision t name verdict =
   | Verdict.Dependent | Verdict.Inapplicable -> Atomic.incr c.a_dependent
 
 let record_pass t name = Atomic.incr (counters t name).a_passed
+
+let record_degradation t name ~reason =
+  let key = (name, reason) in
+  Mutex.lock t.lock;
+  let c =
+    match Hashtbl.find_opt t.degradations key with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add t.degradations key c;
+        c
+  in
+  Mutex.unlock t.lock;
+  Atomic.incr c
+
+let degradation_rows t =
+  Mutex.lock t.lock;
+  let snap =
+    Hashtbl.fold
+      (fun key c acc -> (key, Atomic.get c) :: acc)
+      t.degradations []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) snap
+
+let degradations t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (degradation_rows t)
 
 let queries t = Atomic.get t.q_queries
 let cache_hits t = Atomic.get t.q_hits
@@ -131,6 +161,10 @@ let pp ppf t =
         "@,  %-14s attempts %5d  independent %5d  dependent %5d  passed %5d"
         name c.attempts c.independent c.dependent c.passed)
     (rows t);
+  List.iter
+    (fun ((name, reason), n) ->
+      Format.fprintf ppf "@,  degraded %-14s %-18s %5d" name reason n)
+    (degradation_rows t);
   Format.fprintf ppf "@]"
 
 let to_json t =
@@ -150,5 +184,13 @@ let to_json t =
             \"dependent\":%d,\"passed\":%d}"
            name c.attempts c.independent c.dependent c.passed))
     (rows t);
+  Buffer.add_string buf "],\"degradations\":[";
+  List.iteri
+    (fun i ((name, reason), n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"strategy\":\"%s\",\"reason\":\"%s\",\"count\":%d}"
+           name reason n))
+    (degradation_rows t);
   Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -34,6 +34,11 @@ val record_attempt : t -> string -> unit
 val record_decision : t -> string -> Dlz_deptest.Verdict.t -> unit
 val record_pass : t -> string -> unit
 
+val record_degradation : t -> string -> reason:string -> unit
+(** A fault contained while the named strategy ran (or was about to
+    run): the result was degraded conservatively for [reason]
+    ("overflow:mul", "budget:fuel", "chaos:raise", …). *)
+
 val queries : t -> int
 val cache_hits : t -> int
 val cache_misses : t -> int
@@ -53,6 +58,13 @@ val hit_ratio : t -> float
 
 val rows : t -> (string * strategy_counters) list
 (** Per-strategy counter snapshots, sorted by name. *)
+
+val degradation_rows : t -> ((string * string) * int) list
+(** [((strategy, reason), count)] for every recorded degradation,
+    sorted. *)
+
+val degradations : t -> int
+(** Total contained faults: the sum over {!degradation_rows}. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -9,6 +9,7 @@ type result = {
   dirvecs : Dirvec.t list;
   distances : (int * Poly.t) list;
   decided_by : string;
+  degraded : (string * string) list;
 }
 
 type status =
@@ -18,27 +19,35 @@ type status =
 type t = {
   name : string;
   applies : env:Assume.t -> Problem.t -> bool;
-  run : env:Assume.t -> Problem.t -> status;
+  run : env:Assume.t -> budget:Dlz_base.Budget.t -> Problem.t -> status;
 }
 
 let decided ?(dirvecs = []) ?(distances = []) verdict =
   Decided (verdict, dirvecs, distances)
 
-let conservative (p : Problem.t) =
+let conservative ?(degraded = []) (p : Problem.t) =
   {
     verdict = Verdict.Dependent;
     dirvecs = [ Dirvec.all_star p.Problem.n_common ];
     distances = [];
     decided_by = "conservative";
+    degraded;
   }
 
-let result_of_status name = function
+let result_of_status ?(degraded = []) name = function
   | Decided (verdict, dirvecs, distances) ->
-      Some { verdict; dirvecs; distances; decided_by = name }
+      Some { verdict; dirvecs; distances; decided_by = name; degraded }
   | Pass -> None
 
 let pp_result ppf r =
-  Format.fprintf ppf "@[<h>%a [%s]%s@]" Verdict.pp r.verdict r.decided_by
+  Format.fprintf ppf "@[<h>%a [%s]%s%s@]" Verdict.pp r.verdict r.decided_by
     (match r.dirvecs with
     | [] -> ""
     | dvs -> " " ^ String.concat " " (List.map Dirvec.to_string dvs))
+    (match r.degraded with
+    | [] -> ""
+    | ds ->
+        String.concat ""
+          (List.map
+             (fun (s, why) -> Printf.sprintf " degraded_by: %s %s" s why)
+             ds))

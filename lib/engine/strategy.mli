@@ -22,6 +22,11 @@ type result = {
   dirvecs : Dirvec.t list;  (** Surviving vectors over the common loops. *)
   distances : (int * Poly.t) list;  (** [(level, β−α)] proven distances. *)
   decided_by : string;  (** Provenance: the strategy that decided. *)
+  degraded : (string * string) list;
+      (** Fault provenance: [(strategy, reason)] for every strategy the
+          cascade had to contain on the way to this result (empty on a
+          clean run).  The verdict is conservative with respect to what
+          the faulted strategies might have proven. *)
 }
 
 type status =
@@ -32,7 +37,9 @@ type t = {
   name : string;
   applies : env:Assume.t -> Problem.t -> bool;
       (** Cheap applicability screen, checked before [run]. *)
-  run : env:Assume.t -> Problem.t -> status;
+  run : env:Assume.t -> budget:Dlz_base.Budget.t -> Problem.t -> status;
+      (** May raise — [Intx.Overflow], [Budget.Exhausted], anything:
+          the cascade contains the fault and degrades conservatively. *)
 }
 
 val decided :
@@ -41,11 +48,12 @@ val decided :
   Verdict.t ->
   status
 
-val conservative : Problem.t -> result
+val conservative : ?degraded:(string * string) list -> Problem.t -> result
 (** The sound catch-all when every strategy passed: dependent under the
     all-[*] vector. *)
 
-val result_of_status : string -> status -> result option
+val result_of_status :
+  ?degraded:(string * string) list -> string -> status -> result option
 (** Stamps provenance onto a decision; [None] on [Pass]. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -71,13 +71,24 @@ let tokenize src =
   emit TEOF;
   List.rev !toks
 
-type state = { mutable toks : (token * Diag.loc) list }
+type state = {
+  mutable toks : (token * Diag.loc) list;
+  mutable last : Diag.loc;
+}
 
-let peek st = match st.toks with [] -> assert false | t :: _ -> t
+(* The lexer always terminates the stream with TEOF, so an empty token
+   list means something consumed past it — malformed input, never a
+   crash: report it at the last location seen. *)
+let peek st =
+  match st.toks with
+  | [] -> Diag.error st.last "unexpected end of input"
+  | t :: _ -> t
+
 let peek2 st = match st.toks with _ :: t :: _ -> Some (fst t) | _ -> None
 
 let next st =
   let t = peek st in
+  st.last <- snd t;
   (match st.toks with [] -> () | _ :: r -> st.toks <- r);
   t
 
@@ -282,7 +293,7 @@ let rec parse_stmt st =
       Assign (lv, rv)
 
 let parse src =
-  let st = { toks = tokenize src } in
+  let st = { toks = tokenize src; last = { Diag.line = 1; col = 1 } } in
   let stmts = ref [] in
   while fst (peek st) <> TEOF do
     stmts := parse_stmt st :: !stmts
@@ -291,5 +302,5 @@ let parse src =
   List.rev !stmts
 
 let parse_expr src =
-  let st = { toks = tokenize src } in
+  let st = { toks = tokenize src; last = { Diag.line = 1; col = 1 } } in
   parse_additive st

@@ -2,12 +2,19 @@ module Ast = Dlz_ir.Ast
 module Expr = Dlz_ir.Expr
 open F77_lexer
 
-type state = { mutable toks : lexed list }
+type state = { mutable toks : lexed list; mutable last : Diag.loc }
 
-let peek st = match st.toks with [] -> assert false | l :: _ -> l
+(* The lexer always terminates the stream with EOF, so an empty token
+   list means something consumed past it — malformed input, never a
+   crash: report it at the last location seen. *)
+let peek st =
+  match st.toks with
+  | [] -> Diag.error st.last "unexpected end of input"
+  | l :: _ -> l
 
 let next st =
   let l = peek st in
+  st.last <- l.loc;
   (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
   l
 
@@ -542,7 +549,7 @@ let try_subroutine_header st =
   | _ -> None
 
 let parse_units src =
-  let st = { toks = F77_lexer.tokenize src } in
+  let st = { toks = F77_lexer.tokenize src; last = { Diag.line = 1; col = 1 } } in
   let units = ref [] in
   let current = ref (fresh_builder "FRAGMENT") in
   let rec loop () =
@@ -571,5 +578,5 @@ let parse src =
   | [] -> { Ast.p_name = "FRAGMENT"; decls = []; body = [] }
 
 let parse_expr src =
-  let st = { toks = F77_lexer.tokenize src } in
+  let st = { toks = F77_lexer.tokenize src; last = { Diag.line = 1; col = 1 } } in
   parse_expr_prec st

@@ -32,9 +32,9 @@ let classify_vec v =
 
 (* Edges contributed by one candidate pair — the unit of work the pool
    fans out. *)
-let edges_of_pair ?mode ?cascade ~env (pr : Engine.pair) =
+let edges_of_pair ?mode ?cascade ?budget ~env (pr : Engine.pair) =
   let a = pr.Engine.src and b = pr.Engine.dst in
-  let r = Analyze.vectors ?mode ?cascade ~env pr.Engine.problem in
+  let r = Analyze.vectors ?mode ?cascade ?budget ~env pr.Engine.problem in
   if r.Analyze.verdict = Verdict.Independent then []
   else
     let basics =
@@ -73,7 +73,7 @@ let edges_of_pair ?mode ?cascade ~env (pr : Engine.pair) =
             else [])
       basics
 
-let build ?mode ?cascade ?(jobs = 1) ?pool ?(env = Assume.empty) prog =
+let build ?mode ?cascade ?budget ?(jobs = 1) ?pool ?(env = Assume.empty) prog =
   let accs, env = Access.of_program ~env prog in
   let nstmts =
     List.fold_left (fun m a -> max m (a.Access.stmt_id + 1)) 0 accs
@@ -83,7 +83,7 @@ let build ?mode ?cascade ?(jobs = 1) ?pool ?(env = Assume.empty) prog =
   let edges =
     Dlz_base.Pool.with_jobs ?pool ~jobs (fun pool ->
         List.concat
-          (Engine.map_pairs ?pool (edges_of_pair ?mode ?cascade ~env) accs))
+          (Engine.map_pairs ?pool (edges_of_pair ?mode ?cascade ?budget ~env) accs))
   in
   (* Deduplicate identical edges (also fixes the final order, so the
      graph is byte-identical for any job count). *)

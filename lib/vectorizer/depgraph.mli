@@ -33,6 +33,7 @@ type t = {
 val build :
   ?mode:Dlz_engine.Analyze.mode ->
   ?cascade:Dlz_engine.Cascade.t ->
+  ?budget:Dlz_base.Budget.t ->
   ?jobs:int ->
   ?pool:Dlz_base.Pool.t ->
   ?env:Assume.t ->

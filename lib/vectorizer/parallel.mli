@@ -18,6 +18,7 @@ type loop_report = {
 val report :
   ?mode:Dlz_engine.Analyze.mode ->
   ?cascade:Dlz_engine.Cascade.t ->
+  ?budget:Dlz_base.Budget.t ->
   ?jobs:int ->
   ?pool:Dlz_base.Pool.t ->
   ?env:Dlz_symbolic.Assume.t ->

@@ -1,5 +1,6 @@
 (* Unit and property tests for dlz_base: checked arithmetic, number
-   theory, rationals, intervals, the PRNG and the table renderer. *)
+   theory, rationals, intervals, the PRNG, budgets and the table
+   renderer. *)
 
 open Dlz_base
 
@@ -313,6 +314,88 @@ let table_units =
         | _ -> Alcotest.fail "expected Invalid_argument");
   ]
 
+(* --- Budget -------------------------------------------------------------- *)
+
+let budget_units =
+  [
+    Alcotest.test_case "unlimited never raises" `Quick (fun () ->
+        let b = Budget.unlimited in
+        for _ = 1 to 10_000 do
+          Budget.spend b
+        done;
+        Alcotest.(check bool) "is_unlimited" true (Budget.is_unlimited b);
+        Alcotest.(check bool) "not exhausted" true (Budget.exhausted b = None);
+        Alcotest.(check bool)
+          "no fuel bound" true
+          (Budget.remaining_fuel b = None));
+    Alcotest.test_case "fuel runs out at the limit" `Quick (fun () ->
+        let b = Budget.create ~fuel:10 () in
+        for _ = 1 to 10 do
+          Budget.spend b
+        done;
+        Alcotest.(check bool)
+          "probe reports fuel" true
+          (Budget.exhausted b = Some "fuel");
+        match Budget.spend b with
+        | exception Budget.Exhausted "fuel" -> ()
+        | () -> Alcotest.fail "11th spend should exhaust"
+        | exception e -> raise e);
+    Alcotest.test_case "cost-weighted spending" `Quick (fun () ->
+        let b = Budget.create ~fuel:100 () in
+        Budget.spend ~cost:60 b;
+        Alcotest.(check bool)
+          "40 left" true
+          (Budget.remaining_fuel b = Some 40);
+        match Budget.spend ~cost:41 b with
+        | exception Budget.Exhausted "fuel" -> ()
+        | () -> Alcotest.fail "over-cost spend should exhaust"
+        | exception e -> raise e);
+    Alcotest.test_case "sub-budget drains the parent chain" `Quick (fun () ->
+        let parent = Budget.create ~fuel:5 () in
+        let child = Budget.sub ~fuel:100 parent in
+        Alcotest.(check bool)
+          "remaining is the chain min" true
+          (Budget.remaining_fuel child = Some 5);
+        (match
+           for _ = 1 to 6 do
+             Budget.spend child
+           done
+         with
+        | exception Budget.Exhausted "fuel" -> ()
+        | () -> Alcotest.fail "parent cap should bind the child"
+        | exception e -> raise e);
+        Alcotest.(check bool)
+          "parent drained through the child" true
+          (Budget.exhausted parent = Some "fuel"));
+    Alcotest.test_case "sub without limits is the parent itself" `Quick
+      (fun () ->
+        let parent = Budget.create ~fuel:3 () in
+        let child = Budget.sub parent in
+        Budget.spend child;
+        Alcotest.(check bool)
+          "same fuel pool" true
+          (Budget.remaining_fuel parent = Some 2));
+    Alcotest.test_case "expired deadline raises on first spend" `Quick
+      (fun () ->
+        let b = Budget.create ~timeout_ms:0 () in
+        match Budget.spend b with
+        | exception Budget.Exhausted "deadline" -> ()
+        | () -> Alcotest.fail "zero timeout should fire immediately"
+        | exception e -> raise e);
+    Alcotest.test_case "child inherits the tighter parent deadline" `Quick
+      (fun () ->
+        let parent = Budget.create ~timeout_ms:0 () in
+        let child = Budget.sub ~timeout_ms:60_000 parent in
+        Alcotest.(check bool)
+          "probe sees the parent deadline" true
+          (Budget.exhausted child = Some "deadline"));
+    Alcotest.test_case "check raises, generous budget does not" `Quick
+      (fun () ->
+        let b = Budget.create ~fuel:1_000 ~timeout_ms:60_000 () in
+        Budget.check b;
+        Alcotest.(check bool) "bounded" false (Budget.is_unlimited b));
+  ]
+
 let () =
   Alcotest.run "dlz_base"
     [
@@ -325,5 +408,6 @@ let () =
       ("ivl", ivl_units);
       ("ivl-props", List.map QCheck_alcotest.to_alcotest ivl_props);
       ("prng", prng_units);
+      ("budget", budget_units);
       ("table", table_units);
     ]

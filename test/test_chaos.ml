@@ -1,0 +1,311 @@
+(* Containment invariants of the fault-injected engine (lib/engine):
+   with the chaos harness striking at strategy boundaries, analysis
+   must still terminate, verdicts may only degrade toward "dependent",
+   parallel output must equal serial output, and the stats degradation
+   counters must account for every injected fault exactly.  Also the
+   non-injected fault paths: Intx.Overflow from near-max_int
+   coefficients and Budget exhaustion from tiny fuel.
+
+   This binary is meaningful both ways: under `dune runtest` it
+   configures chaos explicitly per test (the environment is clean);
+   under the @chaos-ci alias DLZ_CHAOS is set globally, which the
+   explicit configurations simply override. *)
+
+module Budget = Dlz_base.Budget
+module Pool = Dlz_base.Pool
+module Verdict = Dlz_deptest.Verdict
+module Access = Dlz_ir.Access
+module F77 = Dlz_frontend.F77_parser
+module Pipeline = Dlz_passes.Pipeline
+module Fragments = Dlz_driver.Fragments
+module Workload = Dlz_driver.Workload
+module Progen = Dlz_driver.Progen
+module Prng = Dlz_base.Prng
+module Engine = Dlz_engine.Engine
+module Strategy = Dlz_engine.Strategy
+module Analyze = Dlz_engine.Analyze
+module Cascade = Dlz_engine.Cascade
+module Chaos = Dlz_engine.Chaos
+module Query = Dlz_engine.Query
+module Stats = Dlz_engine.Stats
+
+let test_jobs =
+  match Sys.getenv_opt "DLZ_TEST_JOBS" with
+  | Some s -> ( try max 2 (int_of_string s) with Failure _ -> 4)
+  | None -> 4
+
+let prepare src = Pipeline.prepare_program (F77.parse src)
+
+let with_chaos chaos f =
+  let saved = Chaos.current () in
+  Chaos.set_current chaos;
+  Fun.protect ~finally:(fun () -> Chaos.set_current saved) f
+
+(* A mixed workload with plenty of pairs: paper fragments plus random
+   programs.  Every test re-derives problems from here. *)
+let workload_programs () =
+  List.map prepare
+    [
+      Fragments.mhl_program;
+      Fragments.fig3_program;
+      Fragments.equivalence_2d;
+      Fragments.symbolic_program;
+      Workload.family_program ~depth:3 ~extent:6;
+    ]
+  @ List.init 8 (fun seed -> Progen.random (Prng.create (Int64.of_int seed)))
+
+let problems_of_prog prog =
+  let accs, env = Access.of_program prog in
+  ( List.map (fun (pr : Engine.pair) -> pr.Engine.problem) (Engine.pairs accs),
+    env )
+
+(* --- configuration parsing ------------------------------------------------ *)
+
+let test_of_string_roundtrip () =
+  (match Chaos.of_string "42:0.1" with
+  | Error e -> Alcotest.failf "42:0.1 rejected: %s" e
+  | Ok c ->
+      Alcotest.(check string) "round-trips" "42:0.1" (Chaos.to_string c);
+      Alcotest.(check int64) "seed" 42L (Chaos.seed c);
+      Alcotest.(check (float 1e-9)) "rate" 0.1 (Chaos.rate c));
+  match Chaos.of_string "-7:1" with
+  | Error e -> Alcotest.failf "-7:1 rejected: %s" e
+  | Ok c -> Alcotest.(check int64) "negative seed" (-7L) (Chaos.seed c)
+
+let test_of_string_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Chaos.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" s)
+    [ ""; "42"; ":0.1"; "x:0.1"; "42:"; "42:x"; "42:0.1:3" ]
+
+let test_rate_clamped () =
+  Alcotest.(check (float 1e-9)) "above 1" 1.0 (Chaos.rate (Chaos.make ~seed:1L ~rate:7.0));
+  Alcotest.(check (float 1e-9)) "below 0" 0.0 (Chaos.rate (Chaos.make ~seed:1L ~rate:(-1.0)))
+
+(* --- overflow containment ------------------------------------------------- *)
+
+(* Overflow provenance is asserted exactly, so injection (which would
+   pre-empt the strategy with a [chaos:*] reason) is switched off. *)
+let test_overflow_contained_every_mode () =
+  with_chaos None @@ fun () ->
+  let prog = prepare Fragments.overflow_stress_program in
+  List.iter
+    (fun mode ->
+      let serial = Analyze.deps_of_program ~mode ~jobs:1 prog in
+      let par = Analyze.deps_of_program ~mode ~jobs:test_jobs prog in
+      Alcotest.(check bool) "serial = parallel" true (serial = par);
+      (* The loop-carried self dependence survives in every mode: a
+         faulted strategy degrades to dependent, never drops the row. *)
+      Alcotest.(check bool)
+        "self output dependence reported" true
+        (List.exists
+           (fun (d : Analyze.dep) -> d.Analyze.src.Access.stmt_id = d.Analyze.dst.Access.stmt_id)
+           serial))
+    [ Analyze.Delinearize; Analyze.Classic; Analyze.ExactMode ];
+  (* Classic runs GCD+Banerjee on the unbroken 2^40-coefficient
+     equations, so its rows must carry overflow provenance. *)
+  let classic = Analyze.deps_of_program ~mode:Analyze.Classic ~jobs:1 prog in
+  Alcotest.(check bool)
+    "classic rows degraded by overflow" true
+    (List.for_all
+       (fun (d : Analyze.dep) ->
+         List.exists
+           (fun (_, reason) ->
+             String.length reason >= 9 && String.sub reason 0 9 = "overflow:")
+           d.Analyze.degraded)
+       classic)
+
+let test_overflow_counted_in_stats () =
+  with_chaos None @@ fun () ->
+  let prog = prepare Fragments.overflow_stress_program in
+  let accs, env = Access.of_program prog in
+  let stats = Stats.create () in
+  let cache = Query.create_cache () in
+  ignore
+    (Engine.query_all ~cascade:Cascade.classic ~stats ~cache ~env accs);
+  Alcotest.(check bool) "degradations recorded" true (Stats.degradations stats > 0);
+  List.iter
+    (fun ((_, reason), _) ->
+      Alcotest.(check string) "reason is overflow:mul" "overflow:mul" reason)
+    (Stats.degradation_rows stats)
+
+(* --- budget containment --------------------------------------------------- *)
+
+let test_tiny_fuel_terminates_conservatively () =
+  List.iter
+    (fun prog ->
+      let budget = Budget.create ~fuel:5 () in
+      let deps = Analyze.deps_of_program ~budget ~jobs:1 prog in
+      (* Clean rows on the same program, for comparison. *)
+      let clean = Analyze.deps_of_program ~jobs:1 prog in
+      (* Terminated (we are here), and no dependence disappeared: a
+         starved strategy may only add conservative rows, never prove
+         independence. *)
+      List.iter
+        (fun (c : Analyze.dep) ->
+          Alcotest.(check bool)
+            "every clean dependence survives starvation" true
+            (List.exists
+               (fun (d : Analyze.dep) ->
+                 d.Analyze.src.Access.stmt_id = c.Analyze.src.Access.stmt_id
+                 && d.Analyze.dst.Access.stmt_id = c.Analyze.dst.Access.stmt_id)
+               deps))
+        clean)
+    (workload_programs ())
+
+let test_exhausted_budget_degrades_without_running () =
+  let prog = prepare Fragments.mhl_program in
+  let ps, env = problems_of_prog prog in
+  let budget = Budget.create ~fuel:0 () in
+  let stats = Stats.create () in
+  List.iter
+    (fun p ->
+      let r =
+        with_chaos None (fun () ->
+            Cascade.run ~stats ~budget ~env Cascade.delin p)
+      in
+      Alcotest.(check bool)
+        "verdict conservative" true
+        (r.Strategy.verdict <> Verdict.Independent);
+      Alcotest.(check bool)
+        "budget provenance attached" true
+        (List.exists (fun (_, reason) -> reason = "budget:fuel")
+           r.Strategy.degraded))
+    ps;
+  Alcotest.(check bool)
+    "short-circuit: one degradation per strategy per query" true
+    (Stats.degradations stats <= List.length ps * List.length Cascade.delin.Cascade.steps)
+
+(* --- chaos: termination and conservativeness ------------------------------ *)
+
+let chaos_cfg seed = Chaos.make ~seed ~rate:0.3
+
+let test_chaos_verdicts_only_degrade () =
+  List.iter
+    (fun prog ->
+      let ps, env = problems_of_prog prog in
+      let clean_cache = Query.create_cache () in
+      let chaos_cache = Query.create_cache () in
+      let stats = Stats.create () in
+      let chaos = chaos_cfg 99L in
+      List.iter
+        (fun p ->
+          let clean =
+            with_chaos None (fun () ->
+                Engine.query ~stats ~cache:clean_cache ~env p)
+          in
+          let chaotic =
+            Engine.query ~stats ~cache:chaos_cache ~chaos ~env p
+          in
+          (* Independence under injection must be backed by a clean
+             proof: faults only ever move verdicts toward dependent. *)
+          if chaotic.Strategy.verdict = Verdict.Independent then
+            Alcotest.(check bool)
+              "chaos Independent implies clean Independent" true
+              (clean.Strategy.verdict = Verdict.Independent))
+        ps)
+    (workload_programs ())
+
+let test_chaos_parallel_equals_serial () =
+  List.iter
+    (fun seed ->
+      let run jobs =
+        with_chaos
+          (Some (chaos_cfg seed))
+          (fun () ->
+            Engine.reset_metrics ();
+            List.concat_map
+              (fun prog -> Analyze.deps_of_program ~jobs prog)
+              (workload_programs ()))
+      in
+      let serial = run 1 in
+      let par = run test_jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: jobs %d = jobs 1" seed test_jobs)
+        true (serial = par))
+    [ 7L; 1234L ]
+
+(* --- chaos: exact fault accounting ---------------------------------------- *)
+
+let chaos_reasons = [ "chaos:raise"; "chaos:unknown"; "overflow:chaos"; "budget:chaos" ]
+
+let chaos_attributed stats =
+  List.fold_left
+    (fun acc ((_, reason), n) ->
+      if List.mem reason chaos_reasons then acc + n else acc)
+    0
+    (Stats.degradation_rows stats)
+
+let test_every_strike_accounted () =
+  let chaos = chaos_cfg 2024L in
+  let stats = Stats.create () in
+  let cache = Query.create_cache () in
+  List.iter
+    (fun prog ->
+      let ps, env = problems_of_prog prog in
+      List.iter
+        (fun p -> ignore (Engine.query ~stats ~cache ~chaos ~env p))
+        ps)
+    (workload_programs ());
+  let strikes = Chaos.strikes chaos in
+  Alcotest.(check bool) "the seed actually struck" true (strikes > 0);
+  Alcotest.(check int)
+    "stats degradations = injected faults" strikes (chaos_attributed stats)
+
+let test_accounting_survives_domains () =
+  let chaos = chaos_cfg 4242L in
+  let stats = Stats.create () in
+  let cache = Query.create_cache () in
+  List.iter
+    (fun prog ->
+      let accs, env = Access.of_program prog in
+      Pool.with_pool ~domains:test_jobs (fun pool ->
+          ignore (Engine.query_all ~stats ~cache ~chaos ~pool ~env accs)))
+    (workload_programs ());
+  let strikes = Chaos.strikes chaos in
+  Alcotest.(check bool) "struck" true (strikes > 0);
+  Alcotest.(check int)
+    "atomic counters agree across domains" strikes (chaos_attributed stats)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "of_string round-trips" `Quick
+            test_of_string_roundtrip;
+          Alcotest.test_case "of_string rejects garbage" `Quick
+            test_of_string_rejects_garbage;
+          Alcotest.test_case "rate clamped to [0,1]" `Quick test_rate_clamped;
+        ] );
+      ( "overflow",
+        [
+          Alcotest.test_case "contained in every mode, serial and parallel"
+            `Quick test_overflow_contained_every_mode;
+          Alcotest.test_case "counted in stats" `Quick
+            test_overflow_counted_in_stats;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "tiny fuel terminates conservatively" `Quick
+            test_tiny_fuel_terminates_conservatively;
+          Alcotest.test_case "exhausted budget short-circuits" `Quick
+            test_exhausted_budget_degrades_without_running;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "verdicts only degrade" `Quick
+            test_chaos_verdicts_only_degrade;
+          Alcotest.test_case "jobs N = jobs 1 under injection" `Quick
+            test_chaos_parallel_equals_serial;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "every strike is one degradation" `Quick
+            test_every_strike_accounted;
+          Alcotest.test_case "accounting survives domains" `Quick
+            test_accounting_survives_domains;
+        ] );
+    ]

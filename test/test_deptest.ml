@@ -668,10 +668,10 @@ let omega_units =
                  ( (if i mod 2 = 0 then 7 else -5),
                    var ~level:(i + 1) (Printf.sprintf "v%d" i) 30 )))
         in
-        match Omega.solve ~budget:3 [ eq ] with
+        match Omega.solve ~fuel:3 [ eq ] with
         | Omega.Unknown ->
             Alcotest.(check bool) "dependent" true
-              (Omega.test ~budget:3 [ eq ] = Verdict.Dependent)
+              (Omega.test ~fuel:3 [ eq ] = Verdict.Dependent)
         | _ -> () (* may still finish: fine *));
   ]
 
