@@ -24,6 +24,7 @@ module Algo = Dlz_core.Algo
 module Symalgo = Dlz_core.Symalgo
 module An = Dlz_engine.Analyze
 module Budget = Dlz_base.Budget
+module Trace = Dlz_base.Trace
 module Chaos = Dlz_engine.Chaos
 module Codegen = Dlz_vec.Codegen
 module Corpus = Dlz_corpus.Corpus
@@ -32,6 +33,11 @@ module Workload = Dlz_driver.Workload
 module Experiments = Dlz_driver.Experiments
 
 let stage = Staged.stage
+
+(* The one wall-clock source for every companion arm (engine, parallel,
+   robustness, trace): the same monotonic clock the budgets and the
+   recorder use. *)
+let now_s () = Int64.to_float (Trace.now_ns ()) /. 1e9
 
 (* --- prebuilt inputs (allocation outside the timed region) ------------- *)
 
@@ -295,7 +301,7 @@ let engine_report () =
   let progs = family @ [ fig3_prog; mhl_prog; ib_prog ] in
   Dlz_engine.Engine.reset_metrics ();
   let reps = 20 in
-  let t0 = Sys.time () in
+  let t0 = now_s () in
   for _ = 1 to reps do
     List.iter
       (fun p ->
@@ -303,7 +309,7 @@ let engine_report () =
         ignore (An.deps_of_program ~mode:An.Classic p))
       progs
   done;
-  let elapsed = Sys.time () -. t0 in
+  let elapsed = now_s () -. t0 in
   let st = Dlz_engine.Stats.global in
   let qps =
     if elapsed > 0. then
@@ -363,11 +369,11 @@ let parallel_report () =
     Dlz_engine.Engine.reset_metrics ();
     let elapsed =
       Dlz_base.Pool.with_pool ~domains:jobs (fun pool ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = now_s () in
           for _ = 1 to reps do
             List.iter (fun p -> ignore (An.deps_of_program ~pool p)) progs
           done;
-          Unix.gettimeofday () -. t0)
+          now_s () -. t0)
     in
     let st = Dlz_engine.Stats.global in
     let queries = Dlz_engine.Stats.queries st in
@@ -456,12 +462,12 @@ let robustness_report () =
     let saved = Chaos.current () in
     Chaos.set_current chaos;
     Fun.protect ~finally:(fun () -> Chaos.set_current saved) @@ fun () ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = now_s () in
     for _ = 1 to reps do
       Dlz_engine.Engine.reset_metrics ();
       List.iter (fun p -> ignore (An.deps_of_program ?budget p)) progs
     done;
-    Unix.gettimeofday () -. t0
+    now_s () -. t0
   in
   let configs =
     [|
@@ -512,6 +518,114 @@ let robustness_report () =
   close_out oc;
   print_endline json
 
+(* --- tracing overhead + latency profile (BENCH_trace.json) ---------------- *)
+
+(* The recorder must be invisible when off and cheap when on.  The
+   effect being measured is ~100 ns per query against a ~10 ms pass —
+   smaller than the machine's own drift (turbo and thermal state move
+   the baseline by several percent over a multi-second run), so the
+   best-of-interleaved-trials scheme of the other arms cannot resolve
+   it.  Instead each enabled pass is paired with an immediately
+   adjacent Off pass (the pair sees the same machine state) and the
+   reported overhead is the {e median} of the per-pair ratios: immune
+   to drift, robust to GC outliers.  The cache is cleared per pass
+   (reset_metrics), so the measured path includes the instrumented
+   miss path.  Alongside the overhead ratios, a Full-level pass yields
+   the per-strategy latency profile — the per-query cost evidence for
+   the paper's "delinearization is cheap" claim. *)
+let trace_report () =
+  let progs = parallel_workload () in
+  let pairs = 31 in
+  let saved_level = Trace.level () in
+  Fun.protect ~finally:(fun () -> Trace.set_level saved_level) @@ fun () ->
+  let pass level =
+    Trace.set_level level;
+    let t0 = now_s () in
+    Dlz_engine.Engine.reset_metrics ();
+    List.iter (fun p -> ignore (An.deps_of_program p)) progs;
+    let dt = now_s () -. t0 in
+    Trace.set_level Trace.Off;
+    dt
+  in
+  for _ = 1 to 6 do ignore (pass Trace.Off) done;
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* Best-of-two on each side of a pair shaves one-off hiccups without
+     widening the window the pair spans. *)
+  let ratios level =
+    Array.init pairs (fun _ ->
+        let off = Float.min (pass Trace.Off) (pass Trace.Off) in
+        let on_ = Float.min (pass level) (pass level) in
+        (off, on_ /. off))
+  in
+  let rt = ratios Trace.Timing in
+  let rf = ratios Trace.Full in
+  let baseline = median (Array.map fst (Array.append rt rf)) in
+  let timing_ratio = median (Array.map snd rt) in
+  let full_ratio = median (Array.map snd rf) in
+  let t =
+    Tbl.create
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right ]
+      [ "recording level"; "pass (ms)"; "vs off" ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Tbl.add_row t
+        [
+          name;
+          Printf.sprintf "%.3f" (baseline *. r *. 1e3);
+          Printf.sprintf "%.3fx" r;
+        ])
+    [ ("off", 1.); ("timing", timing_ratio); ("full", full_ratio) ];
+  print_string (Tbl.render t);
+  (* One instrumented pass for the latency profile and the event
+     volume (events/dropped come from a Full pass). *)
+  ignore (pass Trace.Full);
+  let events = List.length (Trace.events ()) in
+  let dropped = Trace.dropped () in
+  let profile =
+    List.filter
+      (fun (_, h) -> Trace.Hist.count h > 0)
+      (("query", Dlz_engine.Stats.query_hist ()) :: Trace.hist_rows ())
+  in
+  let json =
+    Printf.sprintf
+      "{\"workload\":\"corpus+paper-family\",\"programs\":%d,\"pairs\":%d,\
+       \"off_pass_sec\":%.6f,\
+       \"enabled_overhead\":%.4f,\"full_overhead\":%.4f,\
+       \"target_overhead\":0.03,\"events\":%d,\"dropped\":%d,\
+       \"latency_profile\":[%s]}"
+      (List.length progs) pairs baseline
+      (timing_ratio -. 1.) (full_ratio -. 1.) events dropped
+      (String.concat ","
+         (List.map
+            (fun (name, h) ->
+              Printf.sprintf
+                "{\"name\":\"%s\",\"count\":%d,\"p50_ns\":%.0f,\
+                 \"p90_ns\":%.0f,\"p99_ns\":%.0f,\"max_ns\":%Ld,\
+                 \"total_ns\":%Ld}"
+                name (Trace.Hist.count h)
+                (Trace.Hist.percentile h 0.50)
+                (Trace.Hist.percentile h 0.90)
+                (Trace.Hist.percentile h 0.99)
+                (Trace.Hist.max_ns h) (Trace.Hist.total_ns h))
+            profile))
+  in
+  (* The profile pass left metrics behind; leave a clean slate. *)
+  Dlz_engine.Engine.reset_metrics ();
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline json
+
+let run_trace_only () =
+  print_endline "== Tracing overhead (written to BENCH_trace.json) ==";
+  trace_report ()
+
 let run_robustness_only () =
   print_endline
     "== Containment overhead (written to BENCH_robustness.json) ==";
@@ -558,15 +672,19 @@ let run_full () =
   print_newline ();
   run_parallel_only ();
   print_newline ();
-  run_robustness_only ()
+  run_robustness_only ();
+  print_newline ();
+  run_trace_only ()
 
 let () =
-  (* `dune exec bench/main.exe -- parallel` (or `-- robustness`)
-     regenerates one table alone, without the full Bechamel sweep. *)
+  (* `dune exec bench/main.exe -- parallel` (or `-- robustness`,
+     `-- trace`) regenerates one table alone, without the full
+     Bechamel sweep. *)
   match Array.to_list Sys.argv with
   | _ :: "parallel" :: _ -> run_parallel_only ()
   | _ :: "robustness" :: _ -> run_robustness_only ()
+  | _ :: "trace" :: _ -> run_trace_only ()
   | _ :: [] -> run_full ()
   | _ ->
-      prerr_endline "usage: bench/main.exe [parallel|robustness]";
+      prerr_endline "usage: bench/main.exe [parallel|robustness|trace]";
       exit 2

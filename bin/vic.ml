@@ -8,6 +8,7 @@
 open Cmdliner
 module Ast = Dlz_ir.Ast
 module Assume = Dlz_symbolic.Assume
+module Trace = Dlz_base.Trace
 module Analyze = Dlz_engine.Analyze
 module Reshape = Dlz_core.Reshape
 module Codegen = Dlz_vec.Codegen
@@ -27,9 +28,19 @@ let load ~lang path =
     | Some l -> l
     | None -> if Filename.check_suffix path ".c" then `C else `F77
   in
+  Trace.with_span ~cat:"frontend"
+    ~args:
+      [ ("file", path); ("lang", match lang with `C -> "c" | `F77 -> "f77") ]
+    "parse"
+  @@ fun () ->
   match lang with
   | `F77 -> Dlz_passes.Inline.expand (Dlz_frontend.F77_parser.parse_units src)
   | `C -> Dlz_passes.Pointers.lower (Dlz_frontend.C_parser.parse src)
+
+let prepare ~lang path =
+  let prog = load ~lang path in
+  Trace.with_span ~cat:"passes" "normalize" @@ fun () ->
+  Dlz_passes.Pipeline.prepare_program prog
 
 let with_diagnostics f =
   try f () with
@@ -153,6 +164,116 @@ let set_chaos spec =
           prerr_endline ("--chaos: " ^ msg);
           exit 1)
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a structured execution trace (spans for every\n\
+                 query, strategy attempt, parse/normalize phase and\n\
+                 pool chunk, one track per domain) and write it to\n\
+                 FILE in the Chrome trace_event JSON format — open it\n\
+                 in chrome://tracing or https://ui.perfetto.dev.")
+
+let trace_sample_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-sample" ] ~docv:"[SEED:]RATE"
+           ~doc:"Keep each query span with probability RATE\n\
+                 (deterministic in SEED; default 1 = keep all).\n\
+                 Overrides DLZ_TRACE_SAMPLE.  Only span recording is\n\
+                 sampled; histograms always see every query.")
+
+let sort_arg =
+  let sort_conv =
+    Arg.enum
+      (List.map
+         (fun name ->
+           match Dlz_engine.Stats.sort_of_string name with
+           | Some s -> (name, s)
+           | None -> assert false)
+         [ "name"; "attempts"; "time" ])
+  in
+  Arg.(value & opt sort_conv Dlz_engine.Stats.By_name
+       & info [ "sort" ] ~docv:"KEY"
+           ~doc:"Order of the --stats strategy and latency tables:\n\
+                 'name' (default), 'attempts', or 'time' (total\n\
+                 recorded latency, descending).")
+
+let set_trace_sample spec =
+  match spec with
+  | None -> ()
+  | Some s -> (
+      match Trace.sampling_of_string s with
+      | Ok (seed, rate) -> Trace.set_sampling ~seed rate
+      | Error msg ->
+          prerr_endline ("--trace-sample: " ^ msg);
+          exit 1)
+
+(* --stats wants latency percentiles even without span recording, so
+   it turns on Timing; --trace needs the full event stream. *)
+let setup_telemetry ~stats ~trace_out ~trace_sample =
+  set_trace_sample trace_sample;
+  match trace_out with
+  | Some _ -> Trace.set_level Trace.Full
+  | None -> if stats then Trace.set_level Trace.Timing
+
+let ns_string ns =
+  if ns < 1_000. then Printf.sprintf "%.0fns" ns
+  else if ns < 1_000_000. then Printf.sprintf "%.1fus" (ns /. 1_000.)
+  else if ns < 1_000_000_000. then Printf.sprintf "%.2fms" (ns /. 1_000_000.)
+  else Printf.sprintf "%.3fs" (ns /. 1_000_000_000.)
+
+let print_latency_table ~sort () =
+  let module Tbl = Dlz_base.Table in
+  (* The hot path records each query once, per cache disposition; the
+     end-to-end "query" row is the merge of those. *)
+  let query = Dlz_engine.Stats.query_hist () in
+  let rows =
+    List.filter (fun (_, h) -> Trace.Hist.count h > 0)
+      (("query", query) :: Trace.hist_rows ())
+  in
+  let rows =
+    match sort with
+    | Dlz_engine.Stats.By_time ->
+        List.sort
+          (fun (na, a) (nb, b) ->
+            match Int64.compare (Trace.Hist.total_ns b) (Trace.Hist.total_ns a)
+            with
+            | 0 -> String.compare na nb
+            | c -> c)
+          rows
+    | _ -> rows
+  in
+  if rows <> [] then begin
+    let t =
+      Tbl.create
+        ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+                  Tbl.Right; Tbl.Right ]
+        [ "latency"; "count"; "p50"; "p90"; "p99"; "max"; "total" ]
+    in
+    List.iter
+      (fun (name, h) ->
+        Tbl.add_row t
+          [
+            name;
+            string_of_int (Trace.Hist.count h);
+            ns_string (Trace.Hist.percentile h 0.50);
+            ns_string (Trace.Hist.percentile h 0.90);
+            ns_string (Trace.Hist.percentile h 0.99);
+            ns_string (Int64.to_float (Trace.Hist.max_ns h));
+            ns_string (Int64.to_float (Trace.Hist.total_ns h));
+          ])
+      rows;
+    print_string (Tbl.render t)
+  end
+
+let write_trace trace_out =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      let events = List.length (Trace.events ()) in
+      Trace.export_chrome path;
+      Printf.printf "trace: wrote %s (%d events, %d dropped)\n" path events
+        (Trace.dropped ())
+
 let jobs_arg =
   Arg.(value & opt int 1
        & info [ "jobs"; "j" ] ~docv:"N"
@@ -181,17 +302,18 @@ let ranges_arg =
 
 let analyze_cmd =
   let run file lang mode assumes ranges cascade stats jobs fuel timeout_ms
-      chaos =
+      chaos trace_out trace_sample sort =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
         let cascade = cascade_of cascade in
         set_chaos chaos;
+        setup_telemetry ~stats ~trace_out ~trace_sample;
         let budget = budget_of ~fuel ~timeout_ms in
-        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        Dlz_engine.Engine.reset_metrics ();
+        let prog = prepare ~lang file in
         print_endline (Ast.to_string prog);
         print_newline ();
         let env = env_of assumes in
-        Dlz_engine.Engine.reset_metrics ();
         let deps =
           Analyze.deps_of_program ~mode ?cascade ?budget ~jobs ~env prog
         in
@@ -236,7 +358,10 @@ let analyze_cmd =
           (Dlz_vec.Parallel.report ~mode ?cascade ?budget ~jobs ~env prog);
         if stats then begin
           print_newline ();
-          Format.printf "%a@." Dlz_engine.Stats.pp Dlz_engine.Stats.global;
+          Format.printf "%a@."
+            (Dlz_engine.Stats.pp ~sort)
+            Dlz_engine.Stats.global;
+          print_latency_table ~sort ();
           let module Query = Dlz_engine.Query in
           let cache = Query.global_cache in
           let ints a =
@@ -257,18 +382,19 @@ let analyze_cmd =
                 (Dlz_engine.Chaos.seed c) (Dlz_engine.Chaos.rate c)
                 (Dlz_engine.Chaos.strikes c)
           | None -> ()
-        end)
+        end;
+        write_trace trace_out)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Normalize a program and report its dependences.")
     Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg
           $ cascade_arg $ stats_arg $ jobs_arg $ fuel_arg $ timeout_arg
-          $ chaos_arg)
+          $ chaos_arg $ trace_out_arg $ trace_sample_arg $ sort_arg)
 
 let vectorize_cmd =
   let run file lang mode assumes =
     with_diagnostics (fun () ->
-        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        let prog = prepare ~lang file in
         let r = Codegen.run ~mode ~env:(env_of assumes) prog in
         print_string r.Codegen.text;
         print_newline ();
@@ -293,7 +419,7 @@ let vectorize_cmd =
 let delinearize_cmd =
   let run file lang assumes =
     with_diagnostics (fun () ->
-        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        let prog = prepare ~lang file in
         let prog', plans = Reshape.apply ~env:(env_of assumes) prog in
         if plans = [] then
           print_endline "No array could be reshaped (see --assume)."
@@ -313,7 +439,7 @@ let delinearize_cmd =
 let trace_cmd =
   let run file lang assumes =
     with_diagnostics (fun () ->
-        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        let prog = prepare ~lang file in
         let env = env_of assumes in
         let accs, env = Dlz_ir.Access.of_program ~env prog in
         let module Access = Dlz_ir.Access in
@@ -415,7 +541,10 @@ let graph_cmd =
   let run file lang mode assumes dot jobs =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
-        let prog = Dlz_passes.Pipeline.prepare_program (load ~lang file) in
+        (* Same scoping discipline as analyze: metrics cover exactly
+           this invocation's work. *)
+        Dlz_engine.Engine.reset_metrics ();
+        let prog = prepare ~lang file in
         let g =
           Dlz_vec.Depgraph.build ~mode ~jobs ~env:(env_of assumes) prog
         in
@@ -453,6 +582,9 @@ let experiments_cmd =
   let run id jobs =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
+        (* Same scoping discipline as analyze: metrics cover exactly
+           this invocation's work. *)
+        Dlz_engine.Engine.reset_metrics ();
         match id with
         | None ->
             List.iter

@@ -15,7 +15,14 @@ type t = node option
 (* [None] is the unlimited budget: spending on it touches nothing. *)
 
 let unlimited : t = None
-let now_ns () = Monotonic_clock.now ()
+let now_ns = Trace.now_ns
+
+(* The exhaustion mark in the trace stream: one instant event per
+   trip, placed where the fault actually fired (inside the failing
+   strategy's span when tracing is on). *)
+let trip reason =
+  Trace.instant ~cat:"budget" ~args:[ ("reason", reason) ] "budget.exhausted";
+  raise (Exhausted reason)
 
 (* Probe the clock once every [mask+1] spends; deadlines are soft
    bounds on work between strategy boundaries, not hard realtime. *)
@@ -64,9 +71,7 @@ let deadline_passed n =
 let rec drain cost n =
   (match n.fuel with
   | None -> ()
-  | Some f ->
-      if Atomic.fetch_and_add f (-cost) - cost < 0 then
-        raise (Exhausted "fuel"));
+  | Some f -> if Atomic.fetch_and_add f (-cost) - cost < 0 then trip "fuel");
   match n.parent with None -> () | Some p -> drain cost p
 
 let spend ?(cost = 1) (t : t) =
@@ -82,8 +87,7 @@ let spend ?(cost = 1) (t : t) =
       | Some _ ->
           let k = n.ticks in
           n.ticks <- k + 1;
-          if k land tick_mask = 0 then
-            if deadline_passed n then raise (Exhausted "deadline"))
+          if k land tick_mask = 0 then if deadline_passed n then trip "deadline")
 
 let exhausted (t : t) =
   match t with
@@ -98,7 +102,7 @@ let exhausted (t : t) =
       else None
 
 let check (t : t) =
-  match exhausted t with None -> () | Some reason -> raise (Exhausted reason)
+  match exhausted t with None -> () | Some reason -> trip reason
 
 let remaining_fuel (t : t) =
   let rec go acc n =

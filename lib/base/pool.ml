@@ -16,6 +16,7 @@ let take_job p =
   j
 
 let worker p =
+  Trace.with_span ~cat:"pool" "pool.worker" @@ fun () ->
   let rec loop () =
     Mutex.lock p.m;
     let rec next () =
@@ -101,19 +102,36 @@ let map_chunked t ~chunk f arr =
         let dm = Mutex.create () in
         let finished = Condition.create () in
         let remaining = ref nchunks in
+        let enqueued_ns = if Trace.timing_on () then Trace.now_ns () else 0L in
         let run_chunk c () =
           (* Exceptions are contained per element, not per chunk: a
              poisoned job can neither kill its worker domain nor starve
              the elements sharing its chunk.  Failures are re-surfaced
              deterministically after the full map completes. *)
-          let lo = c * chunk in
-          let hi = min n (lo + chunk) in
-          for i = lo to hi - 1 do
-            out.(i) <-
-              Some
-                (try Ok (f arr.(i))
-                 with e -> Error (e, Printexc.get_raw_backtrace ()))
-          done;
+          let work () =
+            let lo = c * chunk in
+            let hi = min n (lo + chunk) in
+            for i = lo to hi - 1 do
+              out.(i) <-
+                Some
+                  (try Ok (f arr.(i))
+                   with e -> Error (e, Printexc.get_raw_backtrace ()))
+            done
+          in
+          (if not (Trace.timing_on ()) then work ()
+           else begin
+             (* Queue wait = dispatch-to-start latency of this chunk on
+                whichever domain picked it up. *)
+             let wait = Int64.sub (Trace.now_ns ()) enqueued_ns in
+             Trace.Hist.observe (Trace.hist "pool.queue_wait") wait;
+             Trace.with_span ~cat:"pool"
+               ~args:
+                 [
+                   ("chunk", string_of_int c);
+                   ("queue_wait_ns", Int64.to_string wait);
+                 ]
+               "pool.chunk" work
+           end);
           Mutex.lock dm;
           decr remaining;
           if !remaining = 0 then Condition.broadcast finished;

@@ -150,6 +150,10 @@ let deps_of_pair ?budget ~cascade ~env (pr : Engine.pair) =
 
 let deps_of_accesses ?mode ?cascade ?budget ?(jobs = 1) ?pool ~env accs =
   let cascade = resolve_cascade ?mode ?cascade () in
+  Dlz_base.Trace.with_span ~cat:"driver"
+    ~args:[ ("cascade", cascade.Cascade.name) ]
+    "analyze.accesses"
+  @@ fun () ->
   Pool.with_jobs ?pool ~jobs (fun pool ->
       List.concat
         (Engine.map_pairs ?pool (deps_of_pair ?budget ~cascade ~env) accs))

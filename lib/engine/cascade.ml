@@ -1,7 +1,9 @@
 module Assume = Dlz_symbolic.Assume
 module Problem = Dlz_deptest.Problem
+module Verdict = Dlz_deptest.Verdict
 module Budget = Dlz_base.Budget
 module Intx = Dlz_base.Intx
+module Trace = Dlz_base.Trace
 
 type t = { name : string; steps : Strategy.t list }
 
@@ -50,13 +52,36 @@ let run ?(stats = Stats.global) ?(budget = Budget.unlimited) ?chaos ~env t
         | Some why ->
             (* The enclosing budget is spent: every remaining strategy
                would only raise, so settle for the conservative result
-               now (one degradation, not one per remaining step). *)
+               now (one degradation, not one per remaining step).  No
+               raise fired here, so mark the trip point explicitly. *)
+            Trace.instant ~cat:"budget"
+              ~args:[ ("reason", why); ("at", s.name) ]
+              "budget.exhausted";
             note s.name ("budget:" ^ why);
             Strategy.conservative ~degraded:(List.rev !degraded) p
         | None ->
             if not (s.applies ~env p) then go rest
             else begin
               Stats.record_attempt stats s.name;
+              (* One child span per attempt, nested under the query
+                 span; the outcome attribute mirrors the provenance the
+                 result will carry (decided:* ↔ decided_by, degraded:*
+                 ↔ degraded_by), and the attempt latency feeds the
+                 per-strategy histogram. *)
+              let sp = Trace.start ~cat:"strategy" s.name in
+              let t0 = if Trace.timing_on () then Trace.now_ns () else 0L in
+              (* [outcome] is a thunk: the attribute string is only
+                 materialized when this span actually lands in the
+                 stream. *)
+              let attempted outcome =
+                if Trace.timing_on () then
+                  Trace.Hist.observe
+                    (Trace.hist ("strategy." ^ s.name))
+                    (Int64.sub (Trace.now_ns ()) t0);
+                if Trace.is_live sp then
+                  Trace.finish sp ~args:[ ("outcome", outcome ()) ]
+                else Trace.finish sp
+              in
               match
                 (match chaos with
                 | Some c -> Chaos.strike c ~strategy:s.name p
@@ -70,16 +95,23 @@ let run ?(stats = Stats.global) ?(budget = Budget.unlimited) ?chaos ~env t
                       s.name status
                   with
                   | Some r ->
+                      attempted (fun () ->
+                          "decided:" ^ Verdict.to_string r.Strategy.verdict);
                       Stats.record_decision stats s.name r.Strategy.verdict;
                       r
                   | None ->
+                      attempted (fun () -> "pass");
                       Stats.record_pass stats s.name;
                       go rest)
               | exception ((Out_of_memory | Sys.Break) as e) ->
-                  (* Process-level conditions are not query faults. *)
+                  (* Process-level conditions are not query faults; the
+                     span still closes so the stream stays balanced. *)
+                  attempted (fun () -> "fatal");
                   raise e
               | exception e ->
-                  note s.name (reason_of_exn e);
+                  let reason = reason_of_exn e in
+                  attempted (fun () -> "degraded:" ^ reason);
+                  note s.name reason;
                   go rest
             end)
   in

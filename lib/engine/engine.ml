@@ -108,4 +108,6 @@ let query_all ?cascade ?stats ?cache ?budget ?chaos ?pool ?chunk ~env accs =
 
 let reset_metrics () =
   Stats.reset Stats.global;
-  Query.clear Query.global_cache
+  Query.clear Query.global_cache;
+  Dlz_base.Trace.reset_hists ();
+  Dlz_base.Trace.clear ()

@@ -81,5 +81,7 @@ val query_all :
 (** {!map_pairs} composed with {!query}. *)
 
 val reset_metrics : unit -> unit
-(** Clears the global stats and the global cache (used by the CLI and
-    the benches to scope their reports). *)
+(** Clears the global stats, the global cache, the latency histograms
+    and the trace buffers (used by the CLI and the benches to scope
+    their reports — every reporting entry point must call this before
+    the work it reports on). *)

@@ -1,4 +1,5 @@
 module Numth = Dlz_base.Numth
+module Trace = Dlz_base.Trace
 module Depeq = Dlz_deptest.Depeq
 module Problem = Dlz_deptest.Problem
 
@@ -142,50 +143,101 @@ let size cache = Array.fold_left ( + ) 0 (shard_sizes cache)
 let shard_of cache key =
   cache.shards.(Hashtbl.hash key mod Array.length cache.shards)
 
+(* Histogram handles resolved once: [Engine.reset_metrics] resets
+   histograms in place, so the handles stay valid for the process
+   lifetime and the per-query path never touches the registry.  Each
+   query lands in exactly one of these; the end-to-end "query" row is
+   their merge ([Stats.query_hist]), so the hot path pays a single
+   observation. *)
+let h_hit = Trace.hist "cache.hit"
+let h_miss = Trace.hist "cache.miss"
+let h_uncacheable = Trace.hist "cache.uncacheable"
+
 let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
     ~env run p =
   Stats.record_query stats;
-  match key_of ~cascade:cascade_name p with
-  | None ->
-      Stats.record_uncacheable stats;
-      run ~env p
-  | Some key -> (
-      let sh = shard_of cache key in
-      Mutex.lock sh.s_lock;
-      match Hashtbl.find_opt sh.s_table key with
-      | Some r ->
-          Mutex.unlock sh.s_lock;
-          Stats.record_hit stats;
-          r
-      | None ->
-          (* Solve outside the lock: queries on other keys of this
-             shard proceed while this one runs.  Two domains racing on
-             the same fresh key may both solve; canonicalization makes
-             the results interchangeable, and each call still records
-             exactly one of hit/miss/uncacheable. *)
-          Mutex.unlock sh.s_lock;
-          Stats.record_miss stats;
-          let r = run ~env p in
-          if r.Strategy.degraded <> [] then
-            (* A degraded result reflects a contained fault (budget,
-               chaos, overflow), not the problem's answer; caching it
-               would let one faulted run poison every later query on
-               the same key.  Re-solving is deterministic: the same
-               fault conditions reproduce the same degradation. *)
-            r
-          else begin
-          Mutex.lock sh.s_lock;
-          if not (Hashtbl.mem sh.s_table key) then begin
-            if Hashtbl.length sh.s_table >= cache.shard_capacity then begin
-              (* Bounded: flush the shard wholesale rather than track
-                 recency — it rebuilds in one pass over any workload,
-                 and the other shards keep their entries. *)
-              Hashtbl.reset sh.s_table;
-              Atomic.incr sh.s_flushes;
-              Stats.record_flush stats
-            end;
-            Hashtbl.add sh.s_table key r
-          end;
-          Mutex.unlock sh.s_lock;
-          r
-          end)
+  (* One span per query (the high-volume span class — subject to the
+     sampling knob); cache disposition and verdict provenance land as
+     end-of-span attributes, latencies in the "query"/"cache.*"
+     histograms.  A span sampled out here suppresses the nested
+     strategy spans too, so the stream never shows orphan children. *)
+  let sp =
+    if Trace.recording_on () then
+      Trace.start ~cat:"engine" ~sample:true
+        ~args:[ ("cascade", cascade_name) ]
+        "query"
+    else Trace.null_span
+  in
+  let t0 = if Trace.timing_on () then Trace.now_ns () else 0L in
+  let settled disposition h (r : Strategy.result) =
+    if Trace.timing_on () then
+      Trace.Hist.observe h (Int64.sub (Trace.now_ns ()) t0);
+    if Trace.is_live sp then
+      Trace.finish sp
+        ~args:
+          (("cache", disposition)
+          :: ("decided_by", r.Strategy.decided_by)
+          ::
+          (match r.Strategy.degraded with
+          | [] -> []
+          | ds ->
+              [
+                ( "degraded_by",
+                  String.concat ";"
+                    (List.map (fun (s, why) -> s ^ ":" ^ why) ds) );
+              ]))
+    else Trace.finish sp;
+    r
+  in
+  try
+    match key_of ~cascade:cascade_name p with
+    | None ->
+        Stats.record_uncacheable stats;
+        settled "uncacheable" h_uncacheable (run ~env p)
+    | Some key -> (
+        let sh = shard_of cache key in
+        Mutex.lock sh.s_lock;
+        match Hashtbl.find_opt sh.s_table key with
+        | Some r ->
+            Mutex.unlock sh.s_lock;
+            Stats.record_hit stats;
+            settled "hit" h_hit r
+        | None ->
+            (* Solve outside the lock: queries on other keys of this
+               shard proceed while this one runs.  Two domains racing on
+               the same fresh key may both solve; canonicalization makes
+               the results interchangeable, and each call still records
+               exactly one of hit/miss/uncacheable. *)
+            Mutex.unlock sh.s_lock;
+            Stats.record_miss stats;
+            let r = run ~env p in
+            if r.Strategy.degraded <> [] then
+              (* A degraded result reflects a contained fault (budget,
+                 chaos, overflow), not the problem's answer; caching it
+                 would let one faulted run poison every later query on
+                 the same key.  Re-solving is deterministic: the same
+                 fault conditions reproduce the same degradation. *)
+              settled "miss" h_miss r
+            else begin
+              Mutex.lock sh.s_lock;
+              if not (Hashtbl.mem sh.s_table key) then begin
+                if Hashtbl.length sh.s_table >= cache.shard_capacity then begin
+                  (* Bounded: flush the shard wholesale rather than track
+                     recency — it rebuilds in one pass over any workload,
+                     and the other shards keep their entries. *)
+                  Hashtbl.reset sh.s_table;
+                  Atomic.incr sh.s_flushes;
+                  Stats.record_flush stats
+                end;
+                Hashtbl.add sh.s_table key r
+              end;
+              Mutex.unlock sh.s_lock;
+              settled "miss" h_miss r
+            end)
+  with e ->
+    (* Only process-level conditions escape the cascade; keep the
+       exported stream balanced even then. *)
+    let bt = Printexc.get_raw_backtrace () in
+    if Trace.is_live sp then Trace.finish sp ~args:[ ("cache", "error") ]
+    else Trace.finish sp;
+    Printexc.raise_with_backtrace e bt

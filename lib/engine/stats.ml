@@ -1,4 +1,5 @@
 module Verdict = Dlz_deptest.Verdict
+module Trace = Dlz_base.Trace
 
 (* Internal counters are Atomic.t so concurrent domains can record
    without losing increments; the strategies table is guarded by a
@@ -129,7 +130,25 @@ let hit_ratio t =
   let total = cache_hits t + cache_misses t in
   if total = 0 then 0.0 else float_of_int (cache_hits t) /. float_of_int total
 
-let rows t =
+type sort = By_name | By_attempts | By_time
+
+let sort_of_string = function
+  | "name" -> Some By_name
+  | "attempts" -> Some By_attempts
+  | "time" -> Some By_time
+  | _ -> None
+
+(* Total recorded latency of a strategy, from the trace subsystem's
+   histogram (0 when timing was off — By_time then degenerates to the
+   name order, deterministically). *)
+let strategy_time_ns name = Trace.Hist.total_ns (Trace.hist ("strategy." ^ name))
+
+let query_hist () =
+  Trace.Hist.merged
+    [ Trace.hist "cache.hit"; Trace.hist "cache.miss";
+      Trace.hist "cache.uncacheable" ]
+
+let rows ?(sort = By_name) t =
   Mutex.lock t.lock;
   let snap =
     Hashtbl.fold
@@ -145,9 +164,28 @@ let rows t =
       t.strategies []
   in
   Mutex.unlock t.lock;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) snap
+  let by_name (a, _) (b, _) = String.compare a b in
+  match sort with
+  | By_name -> List.sort by_name snap
+  | By_attempts ->
+      List.sort
+        (fun ((_, a) as x) ((_, b) as y) ->
+          match compare b.attempts a.attempts with
+          | 0 -> by_name x y
+          | c -> c)
+        snap
+  | By_time ->
+      (* Snapshot the histogram totals once, not per comparison. *)
+      let keyed =
+        List.map (fun ((name, _) as row) -> (strategy_time_ns name, row)) snap
+      in
+      List.sort
+        (fun (ta, x) (tb, y) ->
+          match Int64.compare tb ta with 0 -> by_name x y | c -> c)
+        keyed
+      |> List.map snd
 
-let pp ppf t =
+let pp ?sort ppf t =
   Format.fprintf ppf "@[<v>engine: %d queries, cache %d hit / %d miss"
     (queries t) (cache_hits t) (cache_misses t);
   if cache_uncacheable t > 0 then
@@ -160,7 +198,7 @@ let pp ppf t =
       Format.fprintf ppf
         "@,  %-14s attempts %5d  independent %5d  dependent %5d  passed %5d"
         name c.attempts c.independent c.dependent c.passed)
-    (rows t);
+    (rows ?sort t);
   List.iter
     (fun ((name, reason), n) ->
       Format.fprintf ppf "@,  degraded %-14s %-18s %5d" name reason n)

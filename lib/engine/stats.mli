@@ -56,8 +56,18 @@ val consistent : t -> bool
 val hit_ratio : t -> float
 (** Hits over (hits + misses); [0.] before any cacheable query. *)
 
-val rows : t -> (string * strategy_counters) list
-(** Per-strategy counter snapshots, sorted by name. *)
+type sort = By_name | By_attempts | By_time
+(** Row orderings for the per-strategy table: alphabetical, by attempt
+    count (descending), or by total recorded latency (descending, from
+    the {!Dlz_base.Trace} "strategy.*" histograms — requires timing to
+    have been on; ties and the timing-off case fall back to names). *)
+
+val sort_of_string : string -> sort option
+(** ["name"], ["attempts"], ["time"]. *)
+
+val rows : ?sort:sort -> t -> (string * strategy_counters) list
+(** Per-strategy counter snapshots, sorted by [sort] (default
+    {!By_name}). *)
 
 val degradation_rows : t -> ((string * string) * int) list
 (** [((strategy, reason), count)] for every recorded degradation,
@@ -66,7 +76,12 @@ val degradation_rows : t -> ((string * string) * int) list
 val degradations : t -> int
 (** Total contained faults: the sum over {!degradation_rows}. *)
 
-val pp : Format.formatter -> t -> unit
+val query_hist : unit -> Dlz_base.Trace.Hist.t
+(** End-to-end query latency: a snapshot merge of the per-disposition
+    "cache.hit" / "cache.miss" / "cache.uncacheable" histograms (the
+    hot path records each query into exactly one of those). *)
+
+val pp : ?sort:sort -> Format.formatter -> t -> unit
 
 val to_json : t -> string
 (** One-line JSON object (queries, cache counters, per-strategy rows). *)

@@ -74,6 +74,7 @@ let edges_of_pair ?mode ?cascade ?budget ~env (pr : Engine.pair) =
       basics
 
 let build ?mode ?cascade ?budget ?(jobs = 1) ?pool ?(env = Assume.empty) prog =
+  Dlz_base.Trace.with_span ~cat:"driver" "depgraph.build" @@ fun () ->
   let accs, env = Access.of_program ~env prog in
   let nstmts =
     List.fold_left (fun m a -> max m (a.Access.stmt_id + 1)) 0 accs
