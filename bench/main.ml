@@ -622,6 +622,92 @@ let trace_report () =
   close_out oc;
   print_endline json
 
+(* --- differential oracle throughput (BENCH_oracle.json) -------------------- *)
+
+(* How fast the cross-check harness grinds through cases: the mixed
+   generated batch (every family) serially and at width 4, plus a
+   corpus slice.  Throughput is what bounds how many random programs a
+   fuzzing session can afford, so it is tracked like any other perf
+   surface; the arm also re-asserts the zero-divergence acceptance bar
+   on everything it runs. *)
+let oracle_report () =
+  let module Eqgen = Dlz_oracle.Eqgen in
+  let module Differ = Dlz_oracle.Differ in
+  let batch = Eqgen.all ~seed:1L ~count:600 in
+  let corpus_slice =
+    List.filteri (fun i _ -> i mod 5 = 0) (Eqgen.corpus ())
+  in
+  let measure ~jobs cases =
+    let t0 = now_s () in
+    let report = Differ.run ~jobs cases in
+    let elapsed = now_s () -. t0 in
+    let unsound = Differ.count_class report Differ.Unsound in
+    let internal = Differ.count_class report Differ.Internal in
+    if unsound > 0 || internal > 0 then
+      failwith
+        (Printf.sprintf
+           "bench: differential sweep found %d UNSOUND / %d INTERNAL"
+           unsound internal);
+    (report, elapsed)
+  in
+  let rows =
+    List.map
+      (fun (name, jobs, cases) ->
+        let report, elapsed = measure ~jobs cases in
+        let checks = report.Differ.r_tally.Differ.t_checks in
+        ( name,
+          jobs,
+          report.Differ.r_cases,
+          checks,
+          elapsed,
+          if elapsed > 0. then float_of_int checks /. elapsed else 0. ))
+      [
+        ("mixed", 1, batch);
+        ("mixed", 4, batch);
+        ("corpus-slice", 4, corpus_slice);
+      ]
+  in
+  let t =
+    Tbl.create
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "workload"; "jobs"; "cases"; "checks"; "elapsed (s)"; "checks/sec" ]
+  in
+  List.iter
+    (fun (name, jobs, cases, checks, elapsed, cps) ->
+      Tbl.add_row t
+        [
+          name;
+          string_of_int jobs;
+          string_of_int cases;
+          string_of_int checks;
+          Printf.sprintf "%.3f" elapsed;
+          Printf.sprintf "%.0f" cps;
+        ])
+    rows;
+  print_string (Tbl.render t);
+  let json =
+    Printf.sprintf "{\"seed\":1,\"runs\":[%s]}"
+      (String.concat ","
+         (List.map
+            (fun (name, jobs, cases, checks, elapsed, cps) ->
+              Printf.sprintf
+                "{\"workload\":\"%s\",\"jobs\":%d,\"cases\":%d,\
+                 \"checks\":%d,\"elapsed_sec\":%.6f,\"checks_per_sec\":%.1f,\
+                 \"unsound\":0,\"internal\":0}"
+                name jobs cases checks elapsed cps)
+            rows))
+  in
+  let oc = open_out "BENCH_oracle.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline json
+
+let run_oracle_only () =
+  print_endline
+    "== Differential oracle throughput (written to BENCH_oracle.json) ==";
+  oracle_report ()
+
 let run_trace_only () =
   print_endline "== Tracing overhead (written to BENCH_trace.json) ==";
   trace_report ()
@@ -674,17 +760,20 @@ let run_full () =
   print_newline ();
   run_robustness_only ();
   print_newline ();
-  run_trace_only ()
+  run_trace_only ();
+  print_newline ();
+  run_oracle_only ()
 
 let () =
   (* `dune exec bench/main.exe -- parallel` (or `-- robustness`,
-     `-- trace`) regenerates one table alone, without the full
-     Bechamel sweep. *)
+     `-- trace`, `-- oracle`) regenerates one table alone, without the
+     full Bechamel sweep. *)
   match Array.to_list Sys.argv with
   | _ :: "parallel" :: _ -> run_parallel_only ()
   | _ :: "robustness" :: _ -> run_robustness_only ()
   | _ :: "trace" :: _ -> run_trace_only ()
+  | _ :: "oracle" :: _ -> run_oracle_only ()
   | _ :: [] -> run_full ()
   | _ ->
-      prerr_endline "usage: bench/main.exe [parallel|robustness|trace]";
+      prerr_endline "usage: bench/main.exe [parallel|robustness|trace|oracle]";
       exit 2

@@ -635,12 +635,121 @@ let corpus_cmd =
     (Cmd.info "corpus" ~doc:"Generate and measure the synthetic corpus.")
     Term.(const run $ dump_arg)
 
+let fuzz_cmd =
+  let module Eqgen = Dlz_oracle.Eqgen in
+  let module Differ = Dlz_oracle.Differ in
+  let seed_arg =
+    Arg.(value & opt int64 1L
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Generator seed; the run is fully deterministic in it.")
+  in
+  let count_arg =
+    Arg.(value & opt int 500
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Number of generated cases (mixed families: random,\n\
+                   linearized, symbolic-coefficient, near-overflow, whole\n\
+                   programs).")
+  in
+  let shrink_arg =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"Minimize every UNSOUND/INTERNAL divergence to a\n\
+                   canonical counterexample before reporting.")
+  in
+  let corpus_flag =
+    Arg.(value & flag
+         & info [ "corpus" ]
+             ~doc:"Also cross-check every testable reference pair of the\n\
+                   synthetic RiCEPS corpus.")
+  in
+  let limit_arg =
+    Arg.(value & opt int Dlz_oracle.Differ.default_limit
+         & info [ "limit" ] ~docv:"POINTS"
+             ~doc:"Oracle box-size cap: systems with more integer points\n\
+                   are reported as unknown rather than enumerated.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the divergences' replayable s-expressions\n\
+                   to FILE (one per divergence).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Instead of generating, read one counterexample\n\
+                   s-expression from FILE and cross-check just that\n\
+                   system.")
+  in
+  let run seed count shrink corpus limit out replay stats jobs fuel chaos
+      trace_out trace_sample sort =
+    with_diagnostics (fun () ->
+        let jobs = check_jobs jobs in
+        set_chaos chaos;
+        setup_telemetry ~stats ~trace_out ~trace_sample;
+        Dlz_engine.Engine.reset_metrics ();
+        let cases =
+          match replay with
+          | Some path -> (
+              match Dlz_oracle.Sexp.problem_of_string (read_file path) with
+              | Ok np ->
+                  [ { Eqgen.id = "replay:0"; family = "replay";
+                      problem = Dlz_deptest.Problem.synthetic np;
+                      ground = np; env = Assume.empty } ]
+              | Error msg ->
+                  prerr_endline ("--replay: " ^ msg);
+                  exit 1)
+          | None ->
+              Eqgen.all ~seed ~count
+              @ (if corpus then Eqgen.corpus () else [])
+        in
+        let report =
+          Differ.run ~stats:Dlz_engine.Stats.global ~jobs ?fuel ~limit ~shrink
+            cases
+        in
+        print_string (Differ.report_to_string report);
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            List.iter
+              (fun (d : Differ.divergence) ->
+                output_string oc
+                  (Printf.sprintf "; %s %s %s\n%s\n"
+                     (Differ.cls_to_string d.Differ.d_class)
+                     d.Differ.d_strategy d.Differ.d_case d.Differ.d_replay))
+              report.Differ.r_divergences;
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        if stats then begin
+          print_newline ();
+          Format.printf "%a@."
+            (Dlz_engine.Stats.pp ~sort)
+            Dlz_engine.Stats.global;
+          print_latency_table ~sort ()
+        end;
+        write_trace trace_out;
+        let bad =
+          Differ.count_class report Differ.Unsound
+          + Differ.count_class report Differ.Internal
+        in
+        if bad > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential soundness fuzzing: cross-check every registered\n\
+             strategy against a brute-force oracle (and against each\n\
+             other) over generated dependence equations.")
+    Term.(const run $ seed_arg $ count_arg $ shrink_arg $ corpus_flag
+          $ limit_arg $ out_arg $ replay_arg $ stats_arg $ jobs_arg $ fuel_arg
+          $ chaos_arg $ trace_out_arg $ trace_sample_arg $ sort_arg)
+
 let main_cmd =
   let doc = "delinearization-based dependence analysis (Maslov, PLDI 1992)" in
   Cmd.group (Cmd.info "vic" ~version:"1.0.0" ~doc)
     [
       analyze_cmd; vectorize_cmd; delinearize_cmd; trace_cmd; graph_cmd;
-      experiments_cmd; corpus_cmd;
+      experiments_cmd; corpus_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

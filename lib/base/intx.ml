@@ -1,6 +1,8 @@
 exception Overflow of string
+exception Div_by_zero of string
 
 let overflow op = raise (Overflow op)
+let div_by_zero op = raise (Div_by_zero op)
 
 let add a b =
   let s = a + b in

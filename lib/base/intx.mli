@@ -11,6 +11,15 @@ exception Overflow of string
 (** Raised when a checked operation overflows.  The payload names the
     operation, e.g. ["mul"]. *)
 
+exception Div_by_zero of string
+(** Raised by division-like helpers (see {!Numth}) on a zero divisor,
+    instead of the untyped [Stdlib.Division_by_zero] that would escape
+    the engine's fault taxonomy.  The payload names the operation,
+    e.g. ["fdiv"]. *)
+
+val div_by_zero : string -> 'a
+(** [div_by_zero op] raises {!Div_by_zero} with the operation name. *)
+
 val add : int -> int -> int
 (** [add a b] is [a + b]; raises {!Overflow} if the sum does not fit. *)
 

@@ -4,33 +4,54 @@ let gcd_list xs = List.fold_left gcd 0 xs
 let lcm a b =
   if a = 0 || b = 0 then 0 else Intx.abs (Intx.mul (a / gcd a b) b)
 
+let fdiv a b =
+  if b = 0 then Intx.div_by_zero "fdiv";
+  (* Native division wraps silently on this one pair: the mathematical
+     quotient is [max_int + 1]. *)
+  if a = min_int && b = -1 then raise (Intx.Overflow "fdiv");
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b < 0 then q - 1 else q
+
+let fmod a b = if b = 0 then Intx.div_by_zero "fmod" else a - (b * fdiv a b)
+
+let cdiv a b =
+  if b = 0 then Intx.div_by_zero "cdiv";
+  if a = min_int && b = -1 then raise (Intx.Overflow "cdiv");
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b >= 0 then q + 1 else q
+
+(* Checked arithmetic throughout: the Bezout coefficients feed exact
+   substitutions (Omega's unimodular reduction), where a silently
+   wrapped intermediate would corrupt the solution set instead of
+   faulting into the containment path. *)
 let egcd a b =
   let rec go r0 x0 y0 r1 x1 y1 =
     if r1 = 0 then (r0, x0, y0)
     else
-      let q = r0 / r1 in
-      go r1 x1 y1 (r0 - (q * r1)) (x0 - (q * x1)) (y0 - (q * y1))
+      let q = fdiv r0 r1 in
+      go r1 x1 y1
+        (Intx.sub r0 (Intx.mul q r1))
+        (Intx.sub x0 (Intx.mul q x1))
+        (Intx.sub y0 (Intx.mul q y1))
   in
   let g, x, y = go a 1 0 b 0 1 in
-  if g < 0 then (-g, -x, -y) else (g, x, y)
-
-let fdiv a b =
-  let q = a / b and r = a mod b in
-  if r <> 0 && r lxor b < 0 then q - 1 else q
-
-let fmod a b = a - (b * fdiv a b)
-let cdiv a b = -fdiv (-a) b
+  if g < 0 then (Intx.neg g, Intx.neg x, Intx.neg y) else (g, x, y)
 
 let symmetric_mod a g =
-  assert (g > 0);
+  if g <= 0 then Intx.div_by_zero "symmetric_mod";
   let r = fmod a g in
-  if 2 * r > g then r - g else r
+  (* [2*r > g] phrased without the doubling, which wraps when
+     [g > max_int/2]; [g - r] never overflows since 0 <= r < g. *)
+  if r > Intx.sub g r then Intx.sub r g else r
 
 let nearest_residue a g target =
-  assert (g > 0);
-  let r = fmod (a - target) g in
-  (* r is the offset of the class representative just above [target]. *)
-  let lo = target + r - g and hi = target + r in
-  if target - lo < hi - target then lo else hi
+  if g <= 0 then Intx.div_by_zero "nearest_residue";
+  let r = fmod (Intx.sub a target) g in
+  (* r is the offset of the class representative just above [target];
+     the representative below is [g - r] away.  Pick the side first and
+     only then materialize it: the rejected representative may not fit
+     in an [int] even when the chosen one does. *)
+  if Intx.sub g r < r then Intx.sub target (Intx.sub g r)
+  else Intx.add target r
 
 let divides d a = if d = 0 then a = 0 else a mod d = 0

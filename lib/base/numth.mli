@@ -15,25 +15,33 @@ val egcd : int -> int -> int * int * int
     [a*x + b*y = g]. *)
 
 val fdiv : int -> int -> int
-(** [fdiv a b] is the floor division of [a] by [b] ([b <> 0]):
-    the unique [q] with [b*q <= a < b*(q+1)] for [b > 0]. *)
+(** [fdiv a b] is the floor division of [a] by [b]:
+    the unique [q] with [b*q <= a < b*(q+1)] for [b > 0].
+    Raises {!Dlz_base.Intx.Div_by_zero} when [b = 0]. *)
 
 val fmod : int -> int -> int
 (** [fmod a b] is the floor remainder: [a - b * fdiv a b], which for
-    [b > 0] lies in [[0, b-1]]. *)
+    [b > 0] lies in [[0, b-1]].  Raises {!Dlz_base.Intx.Div_by_zero}
+    when [b = 0]. *)
 
 val cdiv : int -> int -> int
-(** [cdiv a b] is the ceiling division of [a] by [b] ([b <> 0]). *)
+(** [cdiv a b] is the ceiling division of [a] by [b].
+    Raises {!Dlz_base.Intx.Div_by_zero} when [b = 0]. *)
 
 val symmetric_mod : int -> int -> int
-(** [symmetric_mod a g] is the representative of [a (mod g)] ([g > 0])
-    with least absolute value, ties broken toward the positive
-    representative: the result lies in [(-g/2, g/2]]. *)
+(** [symmetric_mod a g] is the representative of [a (mod g)] with least
+    absolute value, ties broken toward the positive representative: the
+    result lies in [(-g/2, g/2]].  Exact for every [g > 0] up to
+    [max_int] (no intermediate doubling).  Raises
+    {!Dlz_base.Intx.Div_by_zero} when [g <= 0]. *)
 
 val nearest_residue : int -> int -> int -> int
 (** [nearest_residue a g target] is the representative of [a (mod g)]
     ([g > 0]) closest to [target] (ties toward the larger).  Used to pick
-    the split constant [r] in the delinearization algorithm. *)
+    the split constant [r] in the delinearization algorithm.  Raises
+    {!Dlz_base.Intx.Div_by_zero} when [g <= 0], and
+    {!Dlz_base.Intx.Overflow} when the nearest representative does not
+    fit in an [int]. *)
 
 val divides : int -> int -> bool
 (** [divides d a] is [true] iff [d] divides [a]; [divides 0 a = (a = 0)]. *)

@@ -7,6 +7,17 @@
     their exact linear-programming extrema by vertex enumeration, which
     coincides with Banerjee's closed-form direction bounds. *)
 
+val pair_interval : int -> int -> int -> int -> Dirvec.dir -> Dlz_base.Ivl.t
+(** [pair_interval a ub_a b ub_b dir] is the exact range of
+    [a*α + b*β] over the part of the box [0 ≤ α ≤ ub_a, 0 ≤ β ≤ ub_b]
+    selected by [dir], by vertex enumeration. *)
+
+val pair_interval_closed :
+  int -> int -> int -> int -> Dirvec.dir -> Dlz_base.Ivl.t
+(** The same range from Banerjee's closed-form [c⁺]/[c⁻] direction
+    bounds.  Exposed, like {!pair_interval}, so the test suite can check
+    the two derivations against each other exhaustively. *)
+
 val interval : ?dirs:(int -> Dirvec.dir) -> Depeq.t -> Dlz_base.Ivl.t
 (** Exact range of the left-hand side over the (integer-vertexed) region
     selected by [dirs]; the empty interval when some direction is

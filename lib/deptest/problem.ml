@@ -73,6 +73,37 @@ let to_numeric (p : t) =
       opaque_dims = p.opaque_dims;
     }
 
+let synthetic (np : numeric) =
+  let loops =
+    List.init np.n_common (fun i ->
+        {
+          Access.l_var = Printf.sprintf "z%d" (i + 1);
+          l_ub = Poly.const np.common_ubs.(i);
+        })
+  in
+  let access acc_id stmt_name rw =
+    { Access.acc_id; stmt_id = acc_id; stmt_name; array = "synthetic";
+      rw; loops; subs = [] }
+  in
+  let lift_eq (eq : Depeq.t) =
+    Symeq.make (Poly.const eq.Depeq.c0)
+      (List.map
+         (fun (t : Depeq.term) ->
+           ( Poly.const t.Depeq.coeff,
+             Symeq.var ~side:t.Depeq.var.v_side ~level:t.Depeq.var.v_level
+               t.Depeq.var.v_name
+               (Poly.const t.Depeq.var.v_ub) ))
+         eq.Depeq.terms)
+  in
+  {
+    src = access 0 "Ssrc" `Write;
+    dst = access 1 "Sdst" `Read;
+    n_common = np.n_common;
+    common_ubs = List.map Poly.const (Array.to_list np.common_ubs);
+    equations = List.map lift_eq np.eqs;
+    opaque_dims = np.opaque_dims;
+  }
+
 let instantiate env (p : t) =
   {
     n_common = p.n_common;

@@ -37,4 +37,11 @@ val to_numeric : t -> numeric option
 
 val instantiate : (string -> int) -> t -> numeric
 val numeric_of_equations : n_common:int -> common_ubs:int array -> Depeq.t list -> numeric
+
+val synthetic : numeric -> t
+(** Lifts a numeric problem into a full [t] with placeholder accesses
+    (constant-polynomial coefficients and bounds), so generated
+    equations can be fed to any strategy.  Round-trips:
+    [to_numeric (synthetic np)] re-yields [np] up to term order. *)
+
 val pp : Format.formatter -> t -> unit

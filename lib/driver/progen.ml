@@ -2,8 +2,34 @@ module Ast = Dlz_ir.Ast
 module Expr = Dlz_ir.Expr
 module Prng = Dlz_base.Prng
 
+type profile = {
+  p_depth : int * int;  (* nest depth range *)
+  p_trip : int * int;  (* per-loop trip count (ub) range *)
+  p_stmts : int * int;  (* statements per program *)
+  p_coeffs : int array;  (* the "large magnitude" coefficient pool *)
+}
+
+let default_profile =
+  {
+    p_depth = (1, 3);
+    p_trip = (1, 4);
+    p_stmts = (1, 3);
+    p_coeffs = [| -12; -10; -4; -2; 2; 4; 10; 12 |];
+  }
+
+(* Deeper nests with trip-count-scale strides: subscripts frequently
+   look hand-linearized (mixed coefficient magnitudes), the family the
+   differential oracle wants in bulk. *)
+let linearized_profile =
+  {
+    p_depth = (2, 3);
+    p_trip = (2, 5);
+    p_stmts = (1, 3);
+    p_coeffs = [| -30; -20; -12; -5; 5; 12; 20; 30 |];
+  }
+
 (* An affine subscript over the loop variables, with its value hull. *)
-let random_subscript g loops =
+let random_subscript pr g loops =
   (* loops: (var, ub) list *)
   let terms =
     List.filter_map
@@ -12,7 +38,7 @@ let random_subscript g loops =
         | 0 -> None
         | 1 -> Some (1, v, ub)
         | 2 -> Some (Prng.int_in g (-3) 3, v, ub)
-        | _ -> Some (Prng.choose g [| -12; -10; -4; -2; 2; 4; 10; 12 |], v, ub))
+        | _ -> Some (Prng.choose g pr.p_coeffs, v, ub))
       loops
   in
   let c0 = Prng.int_in g (-6) 6 in
@@ -36,19 +62,21 @@ let random_subscript g loops =
   in
   (Expr.fold_consts expr, lo, hi)
 
-let random g =
-  let depth = Prng.int_in g 1 3 in
+let random_profiled pr g =
+  let dlo, dhi = pr.p_depth and tlo, thi = pr.p_trip in
+  let depth = Prng.int_in g dlo dhi in
   let loop_names = [| "I"; "J"; "K" |] in
   let loops =
-    List.init depth (fun i -> (loop_names.(i), Prng.int_in g 1 4))
+    List.init depth (fun i -> (loop_names.(i), Prng.int_in g tlo thi))
   in
   let arrays = if Prng.bool g then [ "A" ] else [ "A"; "B" ] in
   let hulls = Hashtbl.create 4 in
   List.iter (fun a -> Hashtbl.replace hulls a (0, 0)) arrays;
-  let nstmts = Prng.int_in g 1 3 in
+  let slo, shi = pr.p_stmts in
+  let nstmts = Prng.int_in g slo shi in
   let mk_ref () =
     let a = Prng.choose g (Array.of_list arrays) in
-    let e, lo, hi = random_subscript g loops in
+    let e, lo, hi = random_subscript pr g loops in
     let clo, chi = Hashtbl.find hulls a in
     Hashtbl.replace hulls a (min clo lo, max chi hi);
     Expr.Call (a, [ e ])
@@ -86,3 +114,5 @@ let random g =
       arrays
   in
   { Ast.p_name = "RANDOM"; decls; body }
+
+let random g = random_profiled default_profile g

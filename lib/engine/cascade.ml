@@ -33,6 +33,7 @@ let preset name = List.assoc_opt name presets
 let reason_of_exn = function
   | Chaos.Injected kind -> "chaos:" ^ kind
   | Intx.Overflow op -> "overflow:" ^ op
+  | Intx.Div_by_zero op -> "div0:" ^ op
   | Budget.Exhausted why -> "budget:" ^ why
   | Stack_overflow -> "stack_overflow"
   | e -> "exn:" ^ Printexc.to_string e

@@ -55,10 +55,11 @@ let strike t ~strategy (p : Problem.t) =
     let g = Prng.create (Int64.logxor t.seed (Int64.of_int h)) in
     if Prng.int g 1_000_000 < t.rate_ppm then begin
       Atomic.incr t.hits;
-      match Prng.int g 4 with
+      match Prng.int g 5 with
       | 0 -> raise (Injected "raise")
       | 1 -> raise (Intx.Overflow "chaos")
       | 2 -> raise (Budget.Exhausted "chaos")
+      | 3 -> raise (Intx.Div_by_zero "chaos")
       | _ -> raise (Injected "unknown")
     end
   end

@@ -10,6 +10,7 @@ module Banerjee = Dlz_deptest.Banerjee
 module Svpc = Dlz_deptest.Svpc
 module Acyclic = Dlz_deptest.Acyclic
 module Residue = Dlz_deptest.Residue
+module Fm = Dlz_deptest.Fm
 module Exact = Dlz_deptest.Exact
 module Omega = Dlz_deptest.Omega
 module Algo = Dlz_core.Algo
@@ -130,7 +131,9 @@ let exact =
 let numeric_applies ~env:_ (p : Problem.t) = Problem.to_numeric p <> None
 
 (* A whole-problem verdict from a sound single-equation test: the system
-   is infeasible as soon as one conjunct is. *)
+   is infeasible as soon as one conjunct is.  The per-equation test gets
+   the cascade budget so tests with their own search loops (FM
+   elimination) stay bounded. *)
 let filter_of_eq_test name test =
   let run ~env:_ ~budget (p : Problem.t) =
     match Problem.to_numeric p with
@@ -140,18 +143,25 @@ let filter_of_eq_test name test =
           List.exists
             (fun eq ->
               Dlz_base.Budget.spend budget;
-              Verdict.conservative (test eq) = Verdict.Independent)
+              Verdict.conservative (test ~budget eq) = Verdict.Independent)
             np.Problem.eqs
         in
         if indep then Strategy.decided Verdict.Independent else Strategy.Pass
   in
   { Strategy.name; applies = numeric_applies; run }
 
-let gcd = filter_of_eq_test "gcd" (fun eq -> Gcd_test.test eq)
-let banerjee = filter_of_eq_test "banerjee" (fun eq -> Banerjee.test eq)
-let svpc = filter_of_eq_test "svpc" Svpc.test
-let acyclic = filter_of_eq_test "acyclic" Acyclic.test
-let residue = filter_of_eq_test "residue" Residue.test
+let gcd = filter_of_eq_test "gcd" (fun ~budget:_ eq -> Gcd_test.test eq)
+let banerjee = filter_of_eq_test "banerjee" (fun ~budget:_ eq -> Banerjee.test eq)
+let svpc = filter_of_eq_test "svpc" (fun ~budget:_ eq -> Svpc.test eq)
+let acyclic = filter_of_eq_test "acyclic" (fun ~budget:_ eq -> Acyclic.test eq)
+let residue = filter_of_eq_test "residue" (fun ~budget:_ eq -> Residue.test eq)
+
+(* Pugh-tightened Fourier-Motzkin: integer-sound (every division of a
+   derived row by the coefficient gcd with a floored bound is implied
+   for integer points), so an infeasibility verdict proves
+   independence. *)
+let fm =
+  filter_of_eq_test "fm" (fun ~budget eq -> Fm.test ~budget Fm.Tightened eq)
 
 let omega =
   let run ~env:_ ~budget (p : Problem.t) =
@@ -176,7 +186,11 @@ let names () =
   Hashtbl.fold (fun name _ acc -> name :: acc) table []
   |> List.sort String.compare
 
+let all () =
+  Hashtbl.fold (fun _ s acc -> s :: acc) table []
+  |> List.sort (fun (a : Strategy.t) b -> String.compare a.name b.name)
+
 let () =
   List.iter register
     [ delinearize; classic; exact; gcd; banerjee; svpc; acyclic; residue;
-      omega ]
+      fm; omega ]

@@ -11,10 +11,11 @@
     - ["exact"] — realized direction vectors from the exact integer
       solver; passes on symbolic problems and on overflow, so cascades
       can fall through to a total strategy.
-    - ["gcd"], ["banerjee"], ["svpc"], ["acyclic"], ["residue"],
+    - ["gcd"], ["banerjee"], ["svpc"], ["acyclic"], ["residue"], ["fm"],
       ["omega"] — conservative filters: decide only when they prove
       independence of some dependence equation, pass otherwise.  Useful
-      as cheap screens in front of more expensive strategies.
+      as cheap screens in front of more expensive strategies.  ["fm"]
+      is Pugh-tightened Fourier-Motzkin, which is integer-sound.
 
     New strategies can be {!register}ed at any time; cascades resolve
     names at construction. *)
@@ -24,6 +25,10 @@ val register : Strategy.t -> unit
 
 val find : string -> Strategy.t option
 val names : unit -> string list
+
+val all : unit -> Strategy.t list
+(** Every registered strategy, sorted by name — the introspection hook
+    the differential oracle iterates over. *)
 
 (** The built-in strategies, also available directly. *)
 
@@ -35,4 +40,5 @@ val banerjee : Strategy.t
 val svpc : Strategy.t
 val acyclic : Strategy.t
 val residue : Strategy.t
+val fm : Strategy.t
 val omega : Strategy.t

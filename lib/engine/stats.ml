@@ -25,9 +25,11 @@ type t = {
   q_misses : int Atomic.t;
   q_uncacheable : int Atomic.t;
   q_flushes : int Atomic.t;
-  lock : Mutex.t;  (* guards [strategies] and [degradations] *)
+  o_checks : int Atomic.t;
+  lock : Mutex.t;  (* guards [strategies], [degradations], [divergences] *)
   strategies : (string, atomic_counters) Hashtbl.t;
   degradations : (string * string, int Atomic.t) Hashtbl.t;
+  divergences : (string * string, int Atomic.t) Hashtbl.t;
 }
 
 let create () =
@@ -37,9 +39,11 @@ let create () =
     q_misses = Atomic.make 0;
     q_uncacheable = Atomic.make 0;
     q_flushes = Atomic.make 0;
+    o_checks = Atomic.make 0;
     lock = Mutex.create ();
     strategies = Hashtbl.create 16;
     degradations = Hashtbl.create 16;
+    divergences = Hashtbl.create 16;
   }
 
 let global = create ()
@@ -50,9 +54,11 @@ let reset t =
   Atomic.set t.q_misses 0;
   Atomic.set t.q_uncacheable 0;
   Atomic.set t.q_flushes 0;
+  Atomic.set t.o_checks 0;
   Mutex.lock t.lock;
   Hashtbl.reset t.strategies;
   Hashtbl.reset t.degradations;
+  Hashtbl.reset t.divergences;
   Mutex.unlock t.lock
 
 let counters t name =
@@ -116,6 +122,36 @@ let degradation_rows t =
 
 let degradations t =
   List.fold_left (fun acc (_, n) -> acc + n) 0 (degradation_rows t)
+
+let record_oracle_check t = Atomic.incr t.o_checks
+let oracle_checks t = Atomic.get t.o_checks
+
+let record_divergence t name ~cls =
+  let key = (name, cls) in
+  Mutex.lock t.lock;
+  let c =
+    match Hashtbl.find_opt t.divergences key with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add t.divergences key c;
+        c
+  in
+  Mutex.unlock t.lock;
+  Atomic.incr c
+
+let divergence_rows t =
+  Mutex.lock t.lock;
+  let snap =
+    Hashtbl.fold
+      (fun key c acc -> (key, Atomic.get c) :: acc)
+      t.divergences []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) snap
+
+let divergences t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (divergence_rows t)
 
 let queries t = Atomic.get t.q_queries
 let cache_hits t = Atomic.get t.q_hits
@@ -203,6 +239,12 @@ let pp ?sort ppf t =
     (fun ((name, reason), n) ->
       Format.fprintf ppf "@,  degraded %-14s %-18s %5d" name reason n)
     (degradation_rows t);
+  if oracle_checks t > 0 then
+    Format.fprintf ppf "@,  oracle checks %d" (oracle_checks t);
+  List.iter
+    (fun ((name, cls), n) ->
+      Format.fprintf ppf "@,  divergence %-14s %-10s %5d" name cls n)
+    (divergence_rows t);
   Format.fprintf ppf "@]"
 
 let to_json t =
@@ -230,5 +272,15 @@ let to_json t =
         (Printf.sprintf "{\"strategy\":\"%s\",\"reason\":\"%s\",\"count\":%d}"
            name reason n))
     (degradation_rows t);
-  Buffer.add_string buf "]}";
+  Buffer.add_string buf
+    (Printf.sprintf "],\"oracle\":{\"checks\":%d,\"divergences\":["
+       (oracle_checks t));
+  List.iteri
+    (fun i ((name, cls), n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"strategy\":\"%s\",\"class\":\"%s\",\"count\":%d}"
+           name cls n))
+    (divergence_rows t);
+  Buffer.add_string buf "]}}";
   Buffer.contents buf

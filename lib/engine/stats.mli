@@ -76,6 +76,22 @@ val degradation_rows : t -> ((string * string) * int) list
 val degradations : t -> int
 (** Total contained faults: the sum over {!degradation_rows}. *)
 
+val record_oracle_check : t -> unit
+(** One differential-oracle cross-check completed (any outcome). *)
+
+val oracle_checks : t -> int
+
+val record_divergence : t -> string -> cls:string -> unit
+(** The named strategy diverged from the oracle with class [cls]
+    ("unsound", "imprecise", or "internal"). *)
+
+val divergence_rows : t -> ((string * string) * int) list
+(** [((strategy, class), count)] for every recorded divergence,
+    sorted. *)
+
+val divergences : t -> int
+(** Total recorded divergences: the sum over {!divergence_rows}. *)
+
 val query_hist : unit -> Dlz_base.Trace.Hist.t
 (** End-to-end query latency: a snapshot merge of the per-disposition
     "cache.hit" / "cache.miss" / "cache.uncacheable" histograms (the

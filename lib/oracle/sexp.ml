@@ -1,0 +1,153 @@
+module Depeq = Dlz_deptest.Depeq
+module Problem = Dlz_deptest.Problem
+
+(* Replayable counterexamples: a tiny s-expression codec for
+   [Problem.numeric], stable enough to check minimized equations into
+   the test suite and read them back byte-for-byte.
+
+     (problem
+      (n-common 2)
+      (common-ubs 4 9)
+      (opaque 0)
+      (eq (c0 -5)
+       (term 1 src 1 4 i1)
+       (term -10 dst 2 9 j2)))
+
+   A term is [coeff side level ub name]. *)
+
+let side_to_string = function `Src -> "src" | `Dst -> "dst"
+
+let problem_to_string (np : Problem.numeric) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "(problem\n";
+  Buffer.add_string buf (Printf.sprintf " (n-common %d)\n" np.Problem.n_common);
+  Buffer.add_string buf " (common-ubs";
+  Array.iter (fun u -> Buffer.add_string buf (Printf.sprintf " %d" u))
+    np.Problem.common_ubs;
+  Buffer.add_string buf ")\n";
+  Buffer.add_string buf (Printf.sprintf " (opaque %d)\n" np.Problem.opaque_dims);
+  List.iter
+    (fun (eq : Depeq.t) ->
+      Buffer.add_string buf (Printf.sprintf " (eq (c0 %d)" eq.Depeq.c0);
+      List.iter
+        (fun (t : Depeq.term) ->
+          let v = t.Depeq.var in
+          Buffer.add_string buf
+            (Printf.sprintf "\n  (term %d %s %d %d %s)" t.Depeq.coeff
+               (side_to_string v.v_side) v.v_level v.v_ub v.v_name))
+        eq.Depeq.terms;
+      Buffer.add_string buf ")\n")
+    np.Problem.eqs;
+  Buffer.add_string buf ")";
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+type sx = Atom of string | List of sx list
+
+exception Bad of string
+
+let tokenize s =
+  let toks = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '(' -> toks := "(" :: !toks; incr i
+    | ')' -> toks := ")" :: !toks; incr i
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | _ ->
+        let j = ref !i in
+        while
+          !j < n
+          && not (List.mem s.[!j] [ '('; ')'; ' '; '\t'; '\n'; '\r' ])
+        do
+          incr j
+        done;
+        toks := String.sub s !i (!j - !i) :: !toks;
+        i := !j);
+  done;
+  List.rev !toks
+
+let parse_sx toks =
+  let rec one = function
+    | [] -> raise (Bad "unexpected end of input")
+    | "(" :: rest ->
+        let items, rest = many [] rest in
+        (List items, rest)
+    | ")" :: _ -> raise (Bad "unexpected )")
+    | a :: rest -> (Atom a, rest)
+  and many acc = function
+    | ")" :: rest -> (List.rev acc, rest)
+    | [] -> raise (Bad "unterminated list")
+    | toks ->
+        let x, rest = one toks in
+        many (x :: acc) rest
+  in
+  match one toks with
+  | x, [] -> x
+  | _, _ :: _ -> raise (Bad "trailing tokens")
+
+let int_of = function
+  | Atom a -> (
+      match int_of_string_opt a with
+      | Some n -> n
+      | None -> raise (Bad ("expected integer, got " ^ a)))
+  | List _ -> raise (Bad "expected integer, got list")
+
+let side_of = function
+  | Atom "src" -> `Src
+  | Atom "dst" -> `Dst
+  | Atom a -> raise (Bad ("expected src/dst, got " ^ a))
+  | List _ -> raise (Bad "expected src/dst, got list")
+
+let field name = function
+  | List (Atom k :: rest) when String.equal k name -> rest
+  | _ -> raise (Bad ("expected (" ^ name ^ " ...)"))
+
+let term_of sx =
+  match field "term" sx with
+  | [ coeff; side; level; ub; name ] ->
+      let v_name = match name with Atom a -> a | List _ -> raise (Bad "term name") in
+      ( int_of coeff,
+        {
+          Depeq.v_name;
+          v_ub = int_of ub;
+          v_side = side_of side;
+          v_level = int_of level;
+        } )
+  | _ -> raise (Bad "term arity")
+
+let eq_of sx =
+  match field "eq" sx with
+  | c0 :: terms ->
+      let c0 = match field "c0" c0 with [ c ] -> int_of c | _ -> raise (Bad "c0") in
+      Depeq.make c0 (List.map term_of terms)
+  | [] -> raise (Bad "eq arity")
+
+let problem_of_string s =
+  try
+    match parse_sx (tokenize s) with
+    | List (Atom "problem" :: nc :: ubs :: opq :: eqs) ->
+        let n_common =
+          match field "n-common" nc with [ n ] -> int_of n | _ -> raise (Bad "n-common")
+        in
+        let common_ubs =
+          Array.of_list (List.map int_of (field "common-ubs" ubs))
+        in
+        let opaque_dims =
+          match field "opaque" opq with [ n ] -> int_of n | _ -> raise (Bad "opaque")
+        in
+        if Array.length common_ubs <> n_common then
+          raise (Bad "common-ubs arity mismatch");
+        Ok
+          {
+            Problem.n_common;
+            common_ubs;
+            eqs = List.map eq_of eqs;
+            opaque_dims;
+          }
+    | _ -> Error "expected (problem ...)"
+  with
+  | Bad msg -> Error msg
+  | Invalid_argument msg -> Error msg

@@ -1,0 +1,12 @@
+(** Replayable counterexamples: s-expression codec for numeric
+    dependence problems.
+
+    [vic fuzz] emits minimized counterexamples in this format and the
+    regression suite reads them back; the writer is deterministic, so
+    same input ⇒ byte-identical output. *)
+
+val problem_to_string : Dlz_deptest.Problem.numeric -> string
+
+val problem_of_string :
+  string -> (Dlz_deptest.Problem.numeric, string) result
+(** Inverse of {!problem_to_string} (whitespace-insensitive). *)

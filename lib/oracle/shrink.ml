@@ -1,0 +1,118 @@
+module Depeq = Dlz_deptest.Depeq
+module Problem = Dlz_deptest.Problem
+
+(* Greedy deterministic minimization: generate simplification
+   candidates in a fixed schedule, restart from the first one the
+   caller's predicate still fails on, and stop at a fixpoint.  No
+   randomness anywhere, so the same input and predicate always shrink
+   to the same canonical counterexample. *)
+
+(* Rebuild a numeric problem from equation rows, recomputing the common
+   bounds from the surviving variables (keeping the original bound at a
+   level that lost all its variables). *)
+let rebuild ~n_common ~orig_ubs ~opaque eqs =
+  let ubs = Array.copy orig_ubs in
+  let seen = Array.make n_common false in
+  List.iter
+    (fun (eq : Depeq.t) ->
+      List.iter
+        (fun (t : Depeq.term) ->
+          let l = t.Depeq.var.v_level in
+          if l >= 1 && l <= n_common then
+            if seen.(l - 1) then
+              ubs.(l - 1) <- max ubs.(l - 1) t.Depeq.var.v_ub
+            else begin
+              seen.(l - 1) <- true;
+              ubs.(l - 1) <- t.Depeq.var.v_ub
+            end)
+        eq.Depeq.terms)
+    eqs;
+  { Problem.n_common; common_ubs = ubs; eqs; opaque_dims = opaque }
+
+(* Replacement magnitudes for an integer, most aggressive first. *)
+let steps v =
+  if v = 0 then []
+  else
+    List.filter (fun c -> c <> v)
+      (List.sort_uniq Stdlib.compare
+         [ 0; v / 2; (if v > 0 then v - 1 else v + 1) ])
+
+let terms_of (eq : Depeq.t) =
+  List.map (fun (t : Depeq.term) -> (t.Depeq.coeff, t.Depeq.var)) eq.Depeq.terms
+
+(* All one-step simplifications of [np], in schedule order. *)
+let candidates (np : Problem.numeric) =
+  let { Problem.n_common; common_ubs; eqs; opaque_dims } = np in
+  let rb eqs' = rebuild ~n_common ~orig_ubs:common_ubs ~opaque:opaque_dims eqs' in
+  let with_eq i eq' = List.mapi (fun k e -> if k = i then eq' else e) eqs in
+  let out = ref [] in
+  let emit np' = out := np' :: !out in
+  (* 1. Drop whole equations (down to the empty system, which is a
+     legitimate minimal problem: trivially satisfiable). *)
+  List.iteri (fun i _ -> emit (rb (List.filteri (fun j _ -> j <> i) eqs))) eqs;
+  (* 2. Drop single terms. *)
+  List.iteri
+    (fun i (eq : Depeq.t) ->
+      List.iteri
+        (fun j _ ->
+          let terms' = List.filteri (fun k _ -> k <> j) (terms_of eq) in
+          emit (rb (with_eq i (Depeq.make eq.Depeq.c0 terms'))))
+        eq.Depeq.terms)
+    eqs;
+  (* 3. Shrink the constant term. *)
+  List.iteri
+    (fun i (eq : Depeq.t) ->
+      List.iter
+        (fun c0' -> emit (rb (with_eq i (Depeq.make c0' (terms_of eq)))))
+        (steps eq.Depeq.c0))
+    eqs;
+  (* 4. Shrink coefficients (zero is covered by the term drop). *)
+  List.iteri
+    (fun i (eq : Depeq.t) ->
+      List.iteri
+        (fun j (t : Depeq.term) ->
+          List.iter
+            (fun c' ->
+              if c' <> 0 then
+                let terms' =
+                  List.mapi
+                    (fun k (c, v) -> if k = j then (c', v) else (c, v))
+                    (terms_of eq)
+                in
+                emit (rb (with_eq i (Depeq.make eq.Depeq.c0 terms'))))
+            (steps t.Depeq.coeff))
+        eq.Depeq.terms)
+    eqs;
+  (* 5. Shrink variable bounds. *)
+  List.iteri
+    (fun i (eq : Depeq.t) ->
+      List.iteri
+        (fun j (t : Depeq.term) ->
+          List.iter
+            (fun ub' ->
+              if ub' >= 0 then
+                let terms' =
+                  List.mapi
+                    (fun k (c, (v : Depeq.var)) ->
+                      if k = j then (c, { v with v_ub = ub' }) else (c, v))
+                    (terms_of eq)
+                in
+                emit (rb (with_eq i (Depeq.make eq.Depeq.c0 terms'))))
+            (steps t.Depeq.var.v_ub))
+        eq.Depeq.terms)
+    eqs;
+  List.rev !out
+
+let minimize ?(max_attempts = 4_000) ~still_fails (np : Problem.numeric) =
+  let attempts = ref 0 in
+  let keep np' =
+    incr attempts;
+    !attempts <= max_attempts
+    && (match still_fails np' with r -> r | exception _ -> false)
+  in
+  let rec fix np =
+    match List.find_opt keep (candidates np) with
+    | Some np' -> fix np'
+    | None -> np
+  in
+  fix np

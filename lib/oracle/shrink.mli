@@ -1,0 +1,17 @@
+(** Deterministic counterexample minimization.
+
+    Greedy fixpoint search over a fixed simplification schedule — drop
+    equations, drop terms, then shrink constants, coefficients and
+    bounds toward zero — keeping each candidate on which [still_fails]
+    still holds.  The schedule contains no randomness, so identical
+    inputs minimize to byte-identical canonical counterexamples. *)
+
+val minimize :
+  ?max_attempts:int ->
+  still_fails:(Dlz_deptest.Problem.numeric -> bool) ->
+  Dlz_deptest.Problem.numeric ->
+  Dlz_deptest.Problem.numeric
+(** [minimize ~still_fails np] requires [still_fails np = true] to be
+    meaningful (otherwise it just returns a fixpoint of nothing);
+    predicates that raise are treated as "no longer fails".
+    [max_attempts] (default 4000) caps total predicate calls. *)

@@ -99,6 +99,98 @@ let numth_units =
         (* -110 mod 100 nearest to -5 must be -10 (paper Figure 5). *)
         Alcotest.(check int) "fig5 residue" (-10)
           (Numth.nearest_residue (-110) 100 (-5)));
+    Alcotest.test_case "typed zero-divisor faults" `Quick (fun () ->
+        (* A bare [Stdlib.Division_by_zero] would escape the engine's
+           fault taxonomy; the helpers must raise the typed error. *)
+        let check_div0 name f =
+          match f () with
+          | exception Intx.Div_by_zero op ->
+              Alcotest.(check string) (name ^ " payload") name op
+          | exception e ->
+              Alcotest.failf "%s: expected Div_by_zero, got %s" name
+                (Printexc.to_string e)
+          | _ -> Alcotest.failf "%s: expected Div_by_zero" name
+        in
+        check_div0 "fdiv" (fun () -> Numth.fdiv 7 0);
+        check_div0 "fmod" (fun () -> Numth.fmod 7 0);
+        check_div0 "cdiv" (fun () -> Numth.cdiv 7 0);
+        check_div0 "symmetric_mod" (fun () -> Numth.symmetric_mod 7 0);
+        check_div0 "symmetric_mod" (fun () -> Numth.symmetric_mod 7 (-4));
+        check_div0 "nearest_residue" (fun () -> Numth.nearest_residue 7 0 1));
+    Alcotest.test_case "division min_int edge faults, not wraps" `Quick
+      (fun () ->
+        (* Native [/] silently wraps on (min_int, -1); the floor/ceil
+           wrappers must fault into the taxonomy instead. *)
+        (match Numth.fdiv min_int (-1) with
+        | exception Intx.Overflow _ -> ()
+        | q -> Alcotest.failf "fdiv min_int -1: expected Overflow, got %d" q);
+        (match Numth.cdiv min_int (-1) with
+        | exception Intx.Overflow _ -> ()
+        | q -> Alcotest.failf "cdiv min_int -1: expected Overflow, got %d" q);
+        Alcotest.(check int) "fdiv min_int 1" min_int (Numth.fdiv min_int 1);
+        Alcotest.(check int) "cdiv min_int 1" min_int (Numth.cdiv min_int 1);
+        Alcotest.(check int) "fdiv min_int 2" (min_int / 2)
+          (Numth.fdiv min_int 2);
+        Alcotest.(check int) "fmod min_int 2" 0 (Numth.fmod min_int 2));
+    Alcotest.test_case "symmetric_mod at extreme magnitudes" `Quick (fun () ->
+        (* Counterexamples from the differential-oracle sweep: the old
+           [2*r > g] comparison wrapped for moduli above [max_int/2] and
+           picked the far residue.  The fuzzer's near-overflow family
+           hits these through Algo.residue's symmetric remainders. *)
+        Alcotest.(check int) "just past the midpoint goes negative"
+          (-(max_int / 2))
+          (Numth.symmetric_mod ((max_int / 2) + 1) max_int);
+        Alcotest.(check int) "midpoint stays positive" (max_int / 2)
+          (Numth.symmetric_mod (max_int / 2) max_int);
+        Alcotest.(check int) "g-1 is -1" (-1)
+          (Numth.symmetric_mod (max_int - 1) max_int);
+        Alcotest.(check int) "negative side folds up" (max_int / 2)
+          (Numth.symmetric_mod (-((max_int / 2) + 1)) max_int);
+        (* Congruence and minimality survive at the extremes. *)
+        let g = max_int - 2 in
+        List.iter
+          (fun a ->
+            let r = Numth.symmetric_mod a g in
+            Alcotest.(check int) "congruent" 0 ((a - r) mod g);
+            (* |r| minimal: 2r <= g and 2r > -g, phrased without any
+               doubling or subtraction that wraps at these magnitudes
+               (each side of [||] makes the other trivially true). *)
+            Alcotest.(check bool) "minimal" true
+              ((r <= 0 || r <= g - r) && (r >= 0 || -r < g + r)))
+          [ max_int; min_int + 1; max_int / 3 * 2; 1 - max_int ]);
+    Alcotest.test_case "nearest_residue at extreme magnitudes" `Quick
+      (fun () ->
+        (* The rejected representative may not fit in an int even when
+           the chosen one does; the old code materialized both. *)
+        Alcotest.(check int) "huge modulus, nearby target" 99
+          (Numth.nearest_residue 99 max_int 100);
+        Alcotest.(check int) "wraps to the class below the target"
+          (max_int - 1)
+          (Numth.nearest_residue (-1) max_int (max_int - 2));
+        Alcotest.(check int) "negative target" (-99)
+          (Numth.nearest_residue (-99) max_int (-100));
+        (* The rejected representative here sits at [target + g - 1],
+           far outside the int range if materialized eagerly. *)
+        Alcotest.(check int) "rejected representative would not fit"
+          (max_int - 2)
+          (Numth.nearest_residue (max_int - 2) (max_int - 2) (max_int - 1)));
+    Alcotest.test_case "egcd at extreme magnitudes" `Quick (fun () ->
+        (* Bezout identity on near-max inputs: the quotient chain must
+           either stay exact or fault, never wrap. *)
+        List.iter
+          (fun (a, b) ->
+            match Numth.egcd a b with
+            | g, x, y ->
+                Alcotest.(check int) "gcd part" (Numth.gcd a b) g;
+                Alcotest.(check bool) "bezout" true
+                  ((a * x) + (b * y) = g)
+            | exception Intx.Overflow _ -> ())
+          [
+            (max_int, max_int - 1);
+            (max_int, 2);
+            (max_int - 1, -(max_int / 2));
+            (min_int + 1, 3);
+          ]);
     Alcotest.test_case "divides" `Quick (fun () ->
         Alcotest.(check bool) "3 | 9" true (Numth.divides 3 9);
         Alcotest.(check bool) "3 | 10" false (Numth.divides 3 10);

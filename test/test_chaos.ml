@@ -229,7 +229,11 @@ let test_chaos_parallel_equals_serial () =
 
 (* --- chaos: exact fault accounting ---------------------------------------- *)
 
-let chaos_reasons = [ "chaos:raise"; "chaos:unknown"; "overflow:chaos"; "budget:chaos" ]
+let chaos_reasons =
+  [
+    "chaos:raise"; "chaos:unknown"; "overflow:chaos"; "budget:chaos";
+    "div0:chaos";
+  ]
 
 let chaos_attributed stats =
   List.fold_left
@@ -269,6 +273,38 @@ let test_accounting_survives_domains () =
   Alcotest.(check int)
     "atomic counters agree across domains" strikes (chaos_attributed stats)
 
+(* --- chaos: zero-divisor strikes ------------------------------------------ *)
+
+let test_div0_strikes_contained () =
+  (* Injected [Intx.Div_by_zero] (one of the five strike kinds) must be
+     contained as a ["div0:chaos"] degradation.  Before the division
+     helpers got a typed error, the raw [Stdlib.Division_by_zero] sat
+     outside the fault taxonomy and a strike killed the whole query
+     instead of degrading it. *)
+  let chaos = chaos_cfg 77L in
+  let stats = Stats.create () in
+  let cache = Query.create_cache () in
+  List.iter
+    (fun prog ->
+      let ps, env = problems_of_prog prog in
+      List.iter
+        (fun p ->
+          (* Reaching the verdict at all is the containment check: an
+             uncontained strike raises out of [query]. *)
+          let r = Engine.query ~stats ~cache ~chaos ~env p in
+          ignore r.Strategy.verdict)
+        ps)
+    (workload_programs ());
+  Alcotest.(check bool) "the seed struck" true (Chaos.strikes chaos > 0);
+  let div0_rows =
+    List.fold_left
+      (fun acc ((_, reason), n) -> if reason = "div0:chaos" then acc + n else acc)
+      0
+      (Stats.degradation_rows stats)
+  in
+  Alcotest.(check bool)
+    "at least one div0 strike degraded, none escaped" true (div0_rows > 0)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -307,5 +343,10 @@ let () =
             test_every_strike_accounted;
           Alcotest.test_case "accounting survives domains" `Quick
             test_accounting_survives_domains;
+        ] );
+      ( "div0",
+        [
+          Alcotest.test_case "zero-divisor strikes degrade, not crash" `Quick
+            test_div0_strikes_contained;
         ] );
     ]

@@ -588,6 +588,69 @@ let closed_form_props =
           (Banerjee.interval_closed ~dirs eq));
   ]
 
+(* Exhaustive cross-check of the two per-pair derivations, against each
+   other and against brute-force enumeration of the region's integer
+   points: every direction, all bounds in [0,6]², all coefficients in
+   [-5,5]².  The randomized property above samples composed equations;
+   this pins the primitive the composition is built from. *)
+let pair_exhaustive_units =
+  let admits d (alpha, beta) =
+    match (d : Dirvec.dir) with
+    | Dirvec.Lt -> alpha < beta
+    | Dirvec.Eq -> alpha = beta
+    | Dirvec.Gt -> alpha > beta
+    | Dirvec.Le -> alpha <= beta
+    | Dirvec.Ge -> alpha >= beta
+    | Dirvec.Ne -> alpha <> beta
+    | Dirvec.Star -> true
+  in
+  let brute a ub_a b ub_b d =
+    let acc = ref Ivl.empty in
+    for alpha = 0 to ub_a do
+      for beta = 0 to ub_b do
+        if admits d (alpha, beta) then
+          acc := Ivl.join !acc (Ivl.point ((a * alpha) + (b * beta)))
+      done
+    done;
+    !acc
+  in
+  let all_dirs = Dirvec.[ Lt; Eq; Gt; Le; Ge; Ne; Star ] in
+  let check_grid name f =
+    Alcotest.test_case name `Quick (fun () ->
+        List.iter
+          (fun d ->
+            for ub_a = 0 to 6 do
+              for ub_b = 0 to 6 do
+                for a = -5 to 5 do
+                  for b = -5 to 5 do
+                    f d a ub_a b ub_b
+                  done
+                done
+              done
+            done)
+          all_dirs)
+  in
+  let pp_case d a ub_a b ub_b =
+    Printf.sprintf "dir=%s a=%d ub_a=%d b=%d ub_b=%d"
+      (Dirvec.dir_to_string d) a ub_a b ub_b
+  in
+  [
+    check_grid "vertex = closed-form on the full grid"
+      (fun d a ub_a b ub_b ->
+        let v = Banerjee.pair_interval a ub_a b ub_b d in
+        let c = Banerjee.pair_interval_closed a ub_a b ub_b d in
+        if not (Ivl.equal v c) then
+          Alcotest.failf "diverge at %s: vertex %s, closed %s"
+            (pp_case d a ub_a b ub_b) (Format.asprintf "%a" Ivl.pp v) (Format.asprintf "%a" Ivl.pp c));
+    check_grid "vertex bounds are exact on the full grid"
+      (fun d a ub_a b ub_b ->
+        let v = Banerjee.pair_interval a ub_a b ub_b d in
+        let g = brute a ub_a b ub_b d in
+        if not (Ivl.equal v g) then
+          Alcotest.failf "inexact at %s: vertex %s, ground truth %s"
+            (pp_case d a ub_a b ub_b) (Format.asprintf "%a" Ivl.pp v) (Format.asprintf "%a" Ivl.pp g));
+  ]
+
 (* --- lambda test ---------------------------------------------------------------- *)
 
 let lambda_units =
@@ -769,6 +832,7 @@ let () =
       ("hierarchy-props", List.map QCheck_alcotest.to_alcotest hierarchy_props);
       ("misc", misc_units);
       ("closed-form-props", List.map QCheck_alcotest.to_alcotest closed_form_props);
+      ("pair-exhaustive", pair_exhaustive_units);
       ("lambda", lambda_units);
       ("lambda-props", List.map QCheck_alcotest.to_alcotest lambda_props);
       ("omega", omega_units);
