@@ -39,6 +39,14 @@ let stage = Staged.stage
    recorder use. *)
 let now_s () = Int64.to_float (Trace.now_ns ()) /. 1e9
 
+(* Host provenance stamped into every BENCH_*.json header: scaling and
+   overhead numbers are meaningless without the core count and the
+   compiler that produced them. *)
+let host_json =
+  Printf.sprintf "\"host\":{\"cores\":%d,\"ocaml\":\"%s\"}"
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version
+
 (* --- prebuilt inputs (allocation outside the timed region) ------------- *)
 
 let eq1 = Fragments.eq1 ()
@@ -318,9 +326,9 @@ let engine_report () =
   in
   let json =
     Printf.sprintf
-      "{\"workload\":\"paper-family\",\"reps\":%d,\"elapsed_sec\":%.6f,\
+      "{\"workload\":\"paper-family\",%s,\"reps\":%d,\"elapsed_sec\":%.6f,\
        \"queries_per_sec\":%.1f,\"engine\":%s}"
-      reps elapsed qps
+      host_json reps elapsed qps
       (Dlz_engine.Stats.to_json st)
   in
   let oc = open_out "BENCH_engine.json" in
@@ -419,10 +427,9 @@ let parallel_report () =
   print_string (Tbl.render t);
   let json =
     Printf.sprintf
-      "{\"workload\":\"corpus+paper-family\",\"programs\":%d,\"reps\":%d,\
-       \"cores\":%d,\"runs\":[%s]}"
-      (List.length progs) reps
-      (Domain.recommended_domain_count ())
+      "{\"workload\":\"corpus+paper-family\",%s,\"programs\":%d,\"reps\":%d,\
+       \"runs\":[%s]}"
+      host_json (List.length progs) reps
       (String.concat ","
          (List.map
             (fun r ->
@@ -504,11 +511,11 @@ let robustness_report () =
   print_string (Tbl.render t);
   let json =
     Printf.sprintf
-      "{\"workload\":\"corpus+paper-family\",\"programs\":%d,\"reps\":%d,\
+      "{\"workload\":\"corpus+paper-family\",%s,\"programs\":%d,\"reps\":%d,\
        \"baseline_sec\":%.6f,\"budgeted_sec\":%.6f,\"chaos0_sec\":%.6f,\
        \"budgeted_overhead\":%.4f,\"chaos0_overhead\":%.4f,\
        \"target_overhead\":0.05}"
-      (List.length progs) reps baseline budgeted chaos0
+      host_json (List.length progs) reps baseline budgeted chaos0
       (ratio budgeted -. 1.) (ratio chaos0 -. 1.)
   in
   let oc = open_out "BENCH_robustness.json" in
@@ -593,12 +600,12 @@ let trace_report () =
   in
   let json =
     Printf.sprintf
-      "{\"workload\":\"corpus+paper-family\",\"programs\":%d,\"pairs\":%d,\
+      "{\"workload\":\"corpus+paper-family\",%s,\"programs\":%d,\"pairs\":%d,\
        \"off_pass_sec\":%.6f,\
        \"enabled_overhead\":%.4f,\"full_overhead\":%.4f,\
        \"target_overhead\":0.03,\"events\":%d,\"dropped\":%d,\
        \"latency_profile\":[%s]}"
-      (List.length progs) pairs baseline
+      host_json (List.length progs) pairs baseline
       (timing_ratio -. 1.) (full_ratio -. 1.) events dropped
       (String.concat ","
          (List.map
@@ -686,7 +693,7 @@ let oracle_report () =
     rows;
   print_string (Tbl.render t);
   let json =
-    Printf.sprintf "{\"seed\":1,\"runs\":[%s]}"
+    Printf.sprintf "{\"seed\":1,%s,\"runs\":[%s]}" host_json
       (String.concat ","
          (List.map
             (fun (name, jobs, cases, checks, elapsed, cps) ->
@@ -702,6 +709,51 @@ let oracle_report () =
   output_char oc '\n';
   close_out oc;
   print_endline json
+
+(* --- perf smoke gate (@perf-ci) ------------------------------------------- *)
+
+(* A CI-sized slice of the parallel sweep: the reduced workload analyzed
+   end-to-end at jobs=1 and jobs=4, best of two trials each.  On a
+   multi-core host the gate fails when jobs=4 regresses below jobs=1
+   (with 10% noise headroom) — the scheduler must never make parallel
+   analysis slower than serial.  On a single-core host the comparison
+   can only measure oversubscription, so the gate prints both numbers
+   and passes with a note. *)
+let perf_smoke () =
+  let progs =
+    [ family_prog ~depth:2 ~extent:10; family_prog ~depth:3 ~extent:10;
+      fig3_prog; mhl_prog; ib_prog ]
+  in
+  let reps = 3 in
+  let measure jobs =
+    Dlz_engine.Engine.reset_metrics ();
+    Dlz_base.Pool.with_pool ~domains:jobs (fun pool ->
+        let t0 = now_s () in
+        for _ = 1 to reps do
+          List.iter (fun p -> ignore (An.deps_of_program ~pool p)) progs
+        done;
+        now_s () -. t0)
+  in
+  ignore (measure 1) (* warm-up: first-touch costs out of the window *);
+  let t1 = Float.min (measure 1) (measure 1) in
+  let t4 = Float.min (measure 4) (measure 4) in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "perf-smoke: cores=%d jobs1=%.4fs jobs4=%.4fs ratio=%.3fx\n"
+    cores
+    (Float.max t1 1e-9) (Float.max t4 1e-9)
+    (if t4 > 0. then t1 /. t4 else 0.);
+  if cores < 2 then
+    print_endline
+      "perf-smoke: PASS (single-core host: jobs=4 runs oversubscribed, \
+       scaling not enforced)"
+  else if t4 > t1 *. 1.10 then begin
+    Printf.printf
+      "perf-smoke: FAIL (jobs=4 is %.1f%% slower than jobs=1 on %d cores)\n"
+      (((t4 /. t1) -. 1.) *. 100.)
+      cores;
+    exit 1
+  end
+  else print_endline "perf-smoke: PASS"
 
 let run_oracle_only () =
   print_endline
@@ -773,7 +825,9 @@ let () =
   | _ :: "robustness" :: _ -> run_robustness_only ()
   | _ :: "trace" :: _ -> run_trace_only ()
   | _ :: "oracle" :: _ -> run_oracle_only ()
+  | _ :: "perf-smoke" :: _ -> perf_smoke ()
   | _ :: [] -> run_full ()
   | _ ->
-      prerr_endline "usage: bench/main.exe [parallel|robustness|trace|oracle]";
+      prerr_endline
+        "usage: bench/main.exe [parallel|robustness|trace|oracle|perf-smoke]";
       exit 2

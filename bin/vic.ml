@@ -288,6 +288,19 @@ let check_jobs jobs =
   end;
   jobs
 
+let chunk_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chunk" ] ~docv:"K"
+           ~doc:"Queries per work-stealing deal (default: auto-tuned\n\
+                 from observed per-query cost and queue-wait telemetry).\n\
+                 Output is identical for any K.")
+
+let check_chunk = function
+  | Some k when k <= 0 ->
+      prerr_endline "--chunk: expected a positive candidate count";
+      exit 1
+  | c -> c
+
 let env_of assumes =
   List.fold_left (fun env (s, b) -> Assume.assume_ge s b env) Assume.empty
     assumes
@@ -301,10 +314,11 @@ let ranges_arg =
                  delta ranges) for each dependence [WL91].")
 
 let analyze_cmd =
-  let run file lang mode assumes ranges cascade stats jobs fuel timeout_ms
-      chaos trace_out trace_sample sort =
+  let run file lang mode assumes ranges cascade stats jobs chunk fuel
+      timeout_ms chaos trace_out trace_sample sort =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
+        let chunk = check_chunk chunk in
         let cascade = cascade_of cascade in
         set_chaos chaos;
         setup_telemetry ~stats ~trace_out ~trace_sample;
@@ -315,7 +329,8 @@ let analyze_cmd =
         print_newline ();
         let env = env_of assumes in
         let deps =
-          Analyze.deps_of_program ~mode ?cascade ?budget ~jobs ~env prog
+          Analyze.deps_of_program ~mode ?cascade ?budget ~jobs ?chunk ~env
+            prog
         in
         if deps = [] then print_endline "No dependences: fully parallel."
         else
@@ -355,7 +370,8 @@ let analyze_cmd =
                else
                  Printf.sprintf " (%d carried dependence(s))"
                    l.Dlz_vec.Parallel.lr_carried))
-          (Dlz_vec.Parallel.report ~mode ?cascade ?budget ~jobs ~env prog);
+          (Dlz_vec.Parallel.report ~mode ?cascade ?budget ~jobs ?chunk ~env
+             prog);
         if stats then begin
           print_newline ();
           Format.printf "%a@."
@@ -388,8 +404,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Normalize a program and report its dependences.")
     Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg
-          $ cascade_arg $ stats_arg $ jobs_arg $ fuel_arg $ timeout_arg
-          $ chaos_arg $ trace_out_arg $ trace_sample_arg $ sort_arg)
+          $ cascade_arg $ stats_arg $ jobs_arg $ chunk_arg $ fuel_arg
+          $ timeout_arg $ chaos_arg $ trace_out_arg $ trace_sample_arg
+          $ sort_arg)
 
 let vectorize_cmd =
   let run file lang mode assumes =
@@ -538,15 +555,17 @@ let graph_cmd =
     Arg.(value & flag
          & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of plain text.")
   in
-  let run file lang mode assumes dot jobs =
+  let run file lang mode assumes dot jobs chunk =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
+        let chunk = check_chunk chunk in
         (* Same scoping discipline as analyze: metrics cover exactly
            this invocation's work. *)
         Dlz_engine.Engine.reset_metrics ();
         let prog = prepare ~lang file in
         let g =
-          Dlz_vec.Depgraph.build ~mode ~jobs ~env:(env_of assumes) prog
+          Dlz_vec.Depgraph.build ~mode ~jobs ?chunk ~env:(env_of assumes)
+            prog
         in
         if not dot then Format.printf "%a@." Dlz_vec.Depgraph.pp g
         else begin
@@ -572,16 +591,17 @@ let graph_cmd =
     (Cmd.info "graph"
        ~doc:"Print the statement dependence graph (optionally as DOT).")
     Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ dot_arg
-          $ jobs_arg)
+          $ jobs_arg $ chunk_arg)
 
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
            ~doc:"Experiment id (e1..e8); all when omitted.")
   in
-  let run id jobs =
+  let run id jobs chunk =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
+        let chunk = check_chunk chunk in
         (* Same scoping discipline as analyze: metrics cover exactly
            this invocation's work. *)
         Dlz_engine.Engine.reset_metrics ();
@@ -591,9 +611,9 @@ let experiments_cmd =
               (fun (_, report) ->
                 print_endline report;
                 print_newline ())
-              (Experiments.all ~jobs ())
+              (Experiments.all ~jobs ?chunk ())
         | Some id -> (
-            match Experiments.run ~jobs id with
+            match Experiments.run ~jobs ?chunk id with
             | Some report -> print_endline report
             | None ->
                 prerr_endline ("unknown experiment: " ^ id);
@@ -602,7 +622,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (E1-E8).")
-    Term.(const run $ id_arg $ jobs_arg)
+    Term.(const run $ id_arg $ jobs_arg $ chunk_arg)
 
 let corpus_cmd =
   let dump_arg =

@@ -192,7 +192,14 @@ let sampled_in b name s =
     let g = Prng.create (Int64.logxor s.s_seed (Int64.of_int h)) in
     Prng.int g 1_000_000 < s.s_rate_ppm
 
-let start ?(cat = "") ?(sample = false) ?(args = []) name =
+(* Begin-event args come in two forms: [args], already built, and
+   [lazy_args], a thunk forced only when the event actually lands in a
+   buffer.  Hot call sites use [lazy_args] so spans that are off,
+   suppressed, or sampled out never format a single string. *)
+let force_args args lazy_args =
+  match lazy_args with None -> args | Some f -> f ()
+
+let start ?(cat = "") ?(sample = false) ?(args = []) ?lazy_args name =
   if not (recording_on ()) then No_span
   else begin
     let b = buffer () in
@@ -206,7 +213,7 @@ let start ?(cat = "") ?(sample = false) ?(args = []) name =
       let keep = sampled_in b name (Atomic.get sampling_state) in
       b.b_spans <- b.b_spans + 1;
       if keep then begin
-        push b B name cat args;
+        push b B name cat (force_args args lazy_args);
         Live { sp_name = name; sp_cat = cat }
       end
       else begin
@@ -215,7 +222,7 @@ let start ?(cat = "") ?(sample = false) ?(args = []) name =
       end
     end
     else begin
-      push b B name cat args;
+      push b B name cat (force_args args lazy_args);
       Live { sp_name = name; sp_cat = cat }
     end
   end
@@ -228,15 +235,16 @@ let finish ?(args = []) sp =
       if b.b_suppress > 0 then b.b_suppress <- b.b_suppress - 1
   | Live { sp_name; sp_cat } -> push (buffer ()) E sp_name sp_cat args
 
-let with_span ?cat ?sample ?args name f =
+let with_span ?cat ?sample ?args ?lazy_args name f =
   if not (recording_on ()) then f ()
   else begin
-    let sp = start ?cat ?sample ?args name in
+    let sp = start ?cat ?sample ?args ?lazy_args name in
     Fun.protect ~finally:(fun () -> finish sp) f
   end
 
-let instant ?(cat = "") ?(args = []) name =
-  if recording_on () then push (buffer ()) I name cat args
+let instant ?(cat = "") ?(args = []) ?lazy_args name =
+  if recording_on () then
+    push (buffer ()) I name cat (force_args args lazy_args)
 
 (* --- Chrome trace_event export -------------------------------------------- *)
 

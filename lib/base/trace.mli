@@ -82,11 +82,20 @@ val is_live : span -> bool
     suppression depth until it closes). *)
 
 val start :
-  ?cat:string -> ?sample:bool -> ?args:(string * string) list -> string -> span
+  ?cat:string ->
+  ?sample:bool ->
+  ?args:(string * string) list ->
+  ?lazy_args:(unit -> (string * string) list) ->
+  string ->
+  span
 (** [start name] opens a span: records a [B] event now, and its
     matching [E] at {!finish}.  [args] annotate the begin event;
     attach result-dependent attributes to {!finish} instead.
-    [~sample:true] subjects the span to the sampling knob. *)
+    [~sample:true] subjects the span to the sampling knob.
+    [lazy_args] supersedes [args] when given and is forced only if the
+    event actually lands in a buffer — a span that is off, suppressed,
+    or sampled out never formats its argument strings, so high-volume
+    call sites pay at most one closure for their annotations. *)
 
 val finish : ?args:(string * string) list -> span -> unit
 
@@ -94,13 +103,19 @@ val with_span :
   ?cat:string ->
   ?sample:bool ->
   ?args:(string * string) list ->
+  ?lazy_args:(unit -> (string * string) list) ->
   string ->
   (unit -> 'a) ->
   'a
 (** Scoped {!start}/{!finish}; the span is closed even if [f] raises,
     so exported streams stay balanced. *)
 
-val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+val instant :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?lazy_args:(unit -> (string * string) list) ->
+  string ->
+  unit
 (** A zero-duration event ("budget exhausted here").  Instants ignore
     sampling suppression: rare, load-bearing marks always land. *)
 

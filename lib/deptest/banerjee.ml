@@ -76,38 +76,56 @@ let rec pair_interval_closed a ub_a b ub_b (dir : Dirvec.dir) =
         (fun acc d -> Ivl.join acc (pair_interval_closed a ub_a b ub_b d))
         Ivl.empty (Dirvec.refinements dir)
 
-let interval_gen pair_fn ?(dirs = fun _ -> Dirvec.Star) (eq : Depeq.t) =
-  let pairs = Depeq.common_pairs eq in
-  let acc =
-    List.fold_left
-      (fun acc (lvl, src, dst) ->
-        let contribution =
-          (* A missing side means the variable's coefficient is 0 in this
-             equation; its bound is unknown here, so its instance is left
-             unconstrained (conservative: never shrinks the range below
-             what the true bound would give).  Level feasibility against
-             real bounds is enforced by the hierarchy driver. *)
-          match (src, dst) with
-          | Some (a, va), Some (b, vb) ->
-              pair_fn a va.Depeq.v_ub b vb.Depeq.v_ub (dirs lvl)
-          | Some (a, va), None ->
-              pair_fn a va.Depeq.v_ub 0 max_int (dirs lvl)
-          | None, Some (b, vb) ->
-              pair_fn 0 max_int b vb.Depeq.v_ub (dirs lvl)
-          | None, None -> Ivl.zero
-        in
-        Ivl.add acc contribution)
-      (Ivl.point eq.c0) pairs
+(* Accumulate the equation's range into [acc] (reset here), walking
+   the terms directly: level-0 terms contribute their scaled box with
+   no allocation at all, and each common level contributes one
+   [pair_fn] interval, added at its [`Src] term (or at the [`Dst]
+   term when the source instance is absent).  A missing side means the
+   variable's coefficient is 0 in this equation; its bound is unknown
+   here, so its instance is left unconstrained (conservative: never
+   shrinks the range below what the true bound would give).  Level
+   feasibility against real bounds is enforced by the hierarchy
+   driver. *)
+let accumulate_gen pair_fn dirs acc (eq : Depeq.t) =
+  Ivl.Acc.set_point acc eq.c0;
+  let rec go = function
+    | [] -> ()
+    | (t : Depeq.term) :: rest ->
+        let v = t.var in
+        (if v.v_level = 0 then Ivl.Acc.add_scaled acc t.coeff v.v_ub
+         else
+           let lvl = v.v_level in
+           match v.v_side with
+           | `Src ->
+               Ivl.Acc.add_ivl acc
+                 (if Depeq.has_side eq ~level:lvl `Dst then
+                    pair_fn t.coeff v.v_ub
+                      (Depeq.find_coeff eq ~level:lvl `Dst)
+                      (Depeq.find_ub eq ~level:lvl `Dst)
+                      (dirs lvl)
+                  else pair_fn t.coeff v.v_ub 0 max_int (dirs lvl))
+           | `Dst ->
+               if not (Depeq.has_side eq ~level:lvl `Src) then
+                 Ivl.Acc.add_ivl acc
+                   (pair_fn 0 max_int t.coeff v.v_ub (dirs lvl)));
+        go rest
   in
-  List.fold_left
-    (fun acc (t : Depeq.term) ->
-      if t.var.v_level > 0 then acc
-      else Ivl.add acc (Ivl.scale t.coeff (Ivl.make 0 t.var.v_ub)))
-    acc eq.terms
+  go eq.terms
+
+(* One reusable accumulator per domain: [test] decides containment on
+   plain ints and allocates nothing beyond [pair_fn]'s intervals. *)
+let acc_key = Domain.DLS.new_key (fun () -> Ivl.Acc.create ())
+
+let interval_gen pair_fn ?(dirs = fun _ -> Dirvec.Star) (eq : Depeq.t) =
+  let acc = Domain.DLS.get acc_key in
+  accumulate_gen pair_fn dirs acc eq;
+  Ivl.Acc.to_ivl acc
 
 let interval ?dirs eq = interval_gen pair_interval ?dirs eq
 let interval_closed ?dirs eq = interval_gen pair_interval_closed ?dirs eq
 
-let test ?dirs eq =
-  let iv = interval ?dirs eq in
-  if Ivl.contains_zero iv then Verdict.Dependent else Verdict.Independent
+let test ?(dirs = fun _ -> Dirvec.Star) eq =
+  let acc = Domain.DLS.get acc_key in
+  accumulate_gen pair_interval dirs acc eq;
+  if Ivl.Acc.contains_zero acc then Verdict.Dependent
+  else Verdict.Independent

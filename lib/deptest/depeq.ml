@@ -40,10 +40,48 @@ let make c0 terms =
 let nvars eq = List.length eq.terms
 let coeffs eq = List.map (fun t -> t.coeff) eq.terms
 
+(* Allocation-free per-(level, side) lookups: [make] merged duplicate
+   variables, so at most one term matches.  The option-returning
+   [common_pairs] below stays for callers that want the paired view;
+   these are for the hot tests, which must not cons per equation. *)
+
+let has_side eq ~level side =
+  let rec go = function
+    | [] -> false
+    | t :: rest ->
+        (t.var.v_level = level && t.var.v_side = side) || go rest
+  in
+  go eq.terms
+
+let find_coeff eq ~level side =
+  let rec go = function
+    | [] -> 0
+    | t :: rest ->
+        if t.var.v_level = level && t.var.v_side = side then t.coeff
+        else go rest
+  in
+  go eq.terms
+
+let find_ub eq ~level side =
+  let rec go = function
+    | [] -> 0
+    | t :: rest ->
+        if t.var.v_level = level && t.var.v_side = side then t.var.v_ub
+        else go rest
+  in
+  go eq.terms
+
 let lhs_interval eq =
-  List.fold_left
-    (fun acc t -> Ivl.add acc (Ivl.scale t.coeff (Ivl.make 0 t.var.v_ub)))
-    (Ivl.point eq.c0) eq.terms
+  (* [c0 + Σ coeff*[0, ub]] accumulated on two plain ints — same hull
+     as folding [Ivl.scale]/[Ivl.add], without a [Range] per step. *)
+  let rec go lo hi = function
+    | [] -> Ivl.make lo hi
+    | t :: rest ->
+        if t.coeff >= 0 then
+          go lo (Intx.add hi (Intx.mul t.coeff t.var.v_ub)) rest
+        else go (Intx.add lo (Intx.mul t.coeff t.var.v_ub)) hi rest
+  in
+  go eq.c0 eq.c0 eq.terms
 
 let lookup asg v =
   match List.find_opt (fun (w, _) -> same_var w v) asg with

@@ -34,6 +34,17 @@ val coeffs : t -> int list
 val lhs_interval : t -> Dlz_base.Ivl.t
 (** Range of [c0 + Σ ck*zk] over the box. *)
 
+val has_side : t -> level:int -> [ `Src | `Dst ] -> bool
+(** Whether a term with that level and side occurs.  Allocation-free
+    (so are the two finders below — the hot tests use them instead of
+    the consing {!common_pairs} view). *)
+
+val find_coeff : t -> level:int -> [ `Src | `Dst ] -> int
+(** Coefficient of the (level, side) term; [0] when absent. *)
+
+val find_ub : t -> level:int -> [ `Src | `Dst ] -> int
+(** Bound of the (level, side) term's variable; [0] when absent. *)
+
 val eval : t -> (var * int) list -> int
 (** Value of the left-hand side under an assignment (variables matched
     with {!same_var}; missing variables default to 0). *)

@@ -1,29 +1,33 @@
 open Dlz_base
 
-let effective_coeffs dirs (eq : Depeq.t) =
-  let pairs = Depeq.common_pairs eq in
-  let merged_levels, merged_coeffs =
-    List.fold_left
-      (fun (lvls, cs) (lvl, src, dst) ->
-        match (dirs lvl, src, dst) with
-        | Dirvec.Eq, Some (a, va), Some (b, vb) ->
-            (* α = β = t: a single variable with coefficient a+b ranging
-               over [0, min bounds]. *)
-            let _ = (va, vb) in
-            (lvl :: lvls, Intx.add a b :: cs)
-        | _ -> (lvls, cs))
-      ([], []) pairs
+(* The gcd of the effective coefficients, folded directly over the
+   terms so the per-query hot path builds no lists: a level whose
+   direction is '=' and which has both instances contributes the merged
+   [a + b] once (at its [`Src] term); everything else contributes its
+   own coefficient. *)
+let effective_gcd dirs (eq : Depeq.t) =
+  let rec go g = function
+    | [] -> g
+    | (t : Depeq.term) :: rest ->
+        let lvl = t.var.Depeq.v_level in
+        let g =
+          if lvl = 0 then Numth.gcd g t.coeff
+          else if dirs lvl <> Dirvec.Eq then Numth.gcd g t.coeff
+          else
+            match t.var.Depeq.v_side with
+            | `Src ->
+                if Depeq.has_side eq ~level:lvl `Dst then
+                  Numth.gcd g
+                    (Intx.add t.coeff (Depeq.find_coeff eq ~level:lvl `Dst))
+                else Numth.gcd g t.coeff
+            | `Dst ->
+                if Depeq.has_side eq ~level:lvl `Src then g
+                else Numth.gcd g t.coeff
+        in
+        go g rest
   in
-  let untouched =
-    List.filter_map
-      (fun (t : Depeq.term) ->
-        if t.var.v_level > 0 && List.mem t.var.v_level merged_levels then None
-        else Some t.coeff)
-      eq.terms
-  in
-  merged_coeffs @ untouched
+  go 0 eq.terms
 
 let test ?(dirs = fun _ -> Dirvec.Star) (eq : Depeq.t) =
-  let cs = effective_coeffs dirs eq in
-  let g = Numth.gcd_list cs in
+  let g = effective_gcd dirs eq in
   if Numth.divides g eq.c0 then Verdict.Dependent else Verdict.Independent

@@ -1,5 +1,7 @@
 module Poly = Dlz_symbolic.Poly
 module Access = Dlz_ir.Access
+module Intx = Dlz_base.Intx
+module Numth = Dlz_base.Numth
 
 type t = {
   src : Access.t;
@@ -111,6 +113,358 @@ let instantiate env (p : t) =
     eqs = List.map (Symeq.instantiate env) p.equations;
     opaque_dims = p.opaque_dims;
   }
+
+(* --- flat canonical encoding ---------------------------------------------- *)
+
+(* [Keybuf] packs the canonical form of a problem — the same
+   normalization [to_numeric] + term sorting + sign flip + gcd division
+   used to perform, but computed directly from the symbolic form into a
+   reusable [Bytes] buffer, with no intermediate [Depeq.t]/list/option
+   structures.  One buffer per domain makes the encode step
+   allocation-free after warm-up, which is what lets a cache hit cost
+   ~0 minor words. *)
+module Keybuf = struct
+  type buf = {
+    (* final encoding *)
+    mutable buf : Bytes.t;
+    mutable len : int;
+    (* per-equation staging area (segments are sorted before landing
+       in [buf], so equation order never leaks into the key) *)
+    mutable eqbuf : Bytes.t;
+    mutable eqlen : int;
+    mutable eq_off : int array;
+    mutable eq_len : int array;
+    mutable eq_ord : int array;
+    mutable neqs : int;
+    (* term scratch for one equation *)
+    mutable t_coeff : int array;
+    mutable t_level : int array;
+    mutable t_side : int array;
+    mutable t_ub : int array;
+    mutable t_name : string array;
+    mutable nterms : int;
+  }
+
+  let create () =
+    {
+      buf = Bytes.create 256;
+      len = 0;
+      eqbuf = Bytes.create 256;
+      eqlen = 0;
+      eq_off = Array.make 8 0;
+      eq_len = Array.make 8 0;
+      eq_ord = Array.make 8 0;
+      neqs = 0;
+      t_coeff = Array.make 16 0;
+      t_level = Array.make 16 0;
+      t_side = Array.make 16 0;
+      t_ub = Array.make 16 0;
+      t_name = Array.make 16 "";
+      nterms = 0;
+    }
+
+  let contents kb = kb.buf
+  let length kb = kb.len
+
+  (* growth is the only allocation; amortized away after the first few
+     encodes on a domain *)
+  let grow_bytes b needed =
+    let cap = ref (2 * Bytes.length b) in
+    while !cap < needed do
+      cap := 2 * !cap
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit b 0 nb 0 (Bytes.length b);
+    nb
+
+  let reserve_main kb n =
+    if kb.len + n > Bytes.length kb.buf then
+      kb.buf <- grow_bytes kb.buf (kb.len + n)
+
+  let reserve_eq kb n =
+    if kb.eqlen + n > Bytes.length kb.eqbuf then
+      kb.eqbuf <- grow_bytes kb.eqbuf (kb.eqlen + n)
+
+  (* Eight bytes little-endian from the native int, written byte by
+     byte: [Bytes.set_int64_le] would box an [Int64] per field, and the
+     encoder runs on every query including cache hits.  Injective on
+     63-bit ints (byte 7 carries bits 56-62 sign-extended), which is
+     all a cache key needs. *)
+  let set_le8 b off v =
+    Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v asr 8) land 0xff));
+    Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v asr 16) land 0xff));
+    Bytes.unsafe_set b (off + 3) (Char.unsafe_chr ((v asr 24) land 0xff));
+    Bytes.unsafe_set b (off + 4) (Char.unsafe_chr ((v asr 32) land 0xff));
+    Bytes.unsafe_set b (off + 5) (Char.unsafe_chr ((v asr 40) land 0xff));
+    Bytes.unsafe_set b (off + 6) (Char.unsafe_chr ((v asr 48) land 0xff));
+    Bytes.unsafe_set b (off + 7) (Char.unsafe_chr ((v asr 56) land 0xff))
+
+  let put_int kb v =
+    reserve_main kb 8;
+    set_le8 kb.buf kb.len v;
+    kb.len <- kb.len + 8
+
+  let put_eq_int kb v =
+    reserve_eq kb 8;
+    set_le8 kb.eqbuf kb.eqlen v;
+    kb.eqlen <- kb.eqlen + 8
+
+  let put_eq_string kb s =
+    let n = String.length s in
+    put_eq_int kb n;
+    reserve_eq kb n;
+    Bytes.blit_string s 0 kb.eqbuf kb.eqlen n;
+    kb.eqlen <- kb.eqlen + n
+
+  let grow_terms kb =
+    let cap = Array.length kb.t_coeff in
+    let g a z =
+      let na = Array.make (2 * cap) z in
+      Array.blit a 0 na 0 cap;
+      na
+    in
+    kb.t_coeff <- g kb.t_coeff 0;
+    kb.t_level <- g kb.t_level 0;
+    kb.t_side <- g kb.t_side 0;
+    kb.t_ub <- g kb.t_ub 0;
+    kb.t_name <- g kb.t_name ""
+
+  let grow_eqs kb =
+    let cap = Array.length kb.eq_off in
+    let g a =
+      let na = Array.make (2 * cap) 0 in
+      Array.blit a 0 na 0 cap;
+      na
+    in
+    kb.eq_off <- g kb.eq_off;
+    kb.eq_len <- g kb.eq_len;
+    kb.eq_ord <- g kb.eq_ord
+
+  (* Merge criterion of [Depeq.same_var]: side and level, with names
+     distinguishing only level-0 variables (the canonical name of a
+     paired loop variable is ""). *)
+  let rec find_term kb side level name i =
+    if i >= kb.nterms then -1
+    else if
+      kb.t_side.(i) = side
+      && kb.t_level.(i) = level
+      && (level <> 0 || String.equal kb.t_name.(i) name)
+    then i
+    else find_term kb side level name (i + 1)
+
+  let add_term kb coeff level side ub name =
+    let i = find_term kb side level name 0 in
+    if i >= 0 then kb.t_coeff.(i) <- Intx.add kb.t_coeff.(i) coeff
+    else begin
+      if kb.nterms = Array.length kb.t_coeff then grow_terms kb;
+      let i = kb.nterms in
+      kb.t_coeff.(i) <- coeff;
+      kb.t_level.(i) <- level;
+      kb.t_side.(i) <- side;
+      kb.t_ub.(i) <- ub;
+      kb.t_name.(i) <- name;
+      kb.nterms <- i + 1
+    end
+
+  (* Drop zero coefficients in place (the [Depeq.make] filter).
+     Recursive with explicit indices: a [ref] here would be a fresh
+     minor-heap cell on every encode. *)
+  let rec drop_zeros_from kb i j =
+    if i >= kb.nterms then kb.nterms <- j
+    else if kb.t_coeff.(i) = 0 then drop_zeros_from kb (i + 1) j
+    else begin
+      if j <> i then begin
+        kb.t_coeff.(j) <- kb.t_coeff.(i);
+        kb.t_level.(j) <- kb.t_level.(i);
+        kb.t_side.(j) <- kb.t_side.(i);
+        kb.t_ub.(j) <- kb.t_ub.(i);
+        kb.t_name.(j) <- kb.t_name.(i)
+      end;
+      drop_zeros_from kb (i + 1) (j + 1)
+    end
+
+  let drop_zeros kb = drop_zeros_from kb 0 0
+
+  (* (level, side, name, ub, coeff) — the canonical term order. *)
+  let term_less kb a b =
+    let c = Int.compare kb.t_level.(a) kb.t_level.(b) in
+    if c <> 0 then c < 0
+    else
+      let c = Int.compare kb.t_side.(a) kb.t_side.(b) in
+      if c <> 0 then c < 0
+      else
+        let c = String.compare kb.t_name.(a) kb.t_name.(b) in
+        if c <> 0 then c < 0
+        else
+          let c = Int.compare kb.t_ub.(a) kb.t_ub.(b) in
+          if c <> 0 then c < 0 else kb.t_coeff.(a) < kb.t_coeff.(b)
+
+  let swap_terms kb i j =
+    let sw a =
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    in
+    sw kb.t_coeff;
+    sw kb.t_level;
+    sw kb.t_side;
+    sw kb.t_ub;
+    let t = kb.t_name.(i) in
+    kb.t_name.(i) <- kb.t_name.(j);
+    kb.t_name.(j) <- t
+
+  let rec sift_term kb j =
+    if j > 0 && term_less kb j (j - 1) then begin
+      swap_terms kb j (j - 1);
+      sift_term kb (j - 1)
+    end
+
+  let sort_terms kb =
+    (* insertion sort: term counts are tiny (loop depth x 2) *)
+    for i = 1 to kb.nterms - 1 do
+      sift_term kb i
+    done
+
+  let rec walk_terms kb = function
+    | [] -> true
+    | (c, (v : Symeq.svar)) :: rest ->
+        if not (Poly.is_const c && Poly.is_const v.Symeq.s_ub) then false
+        else begin
+          let ub = Poly.const_value v.Symeq.s_ub in
+          if ub < 0 then false
+          else begin
+            add_term kb (Poly.const_value c) v.Symeq.s_level
+              (match v.Symeq.s_side with `Src -> 0 | `Dst -> 1)
+              ub
+              (if v.Symeq.s_level = 0 then v.Symeq.s_name else "");
+            walk_terms kb rest
+          end
+        end
+
+  let rec gcd_coeffs kb i g =
+    if i >= kb.nterms then g
+    else gcd_coeffs kb (i + 1) (Numth.gcd g kb.t_coeff.(i))
+
+  (* One equation from its symbolic form; false = not all-constant. *)
+  let encode_eq kb (eq : Symeq.t) =
+    if not (Poly.is_const eq.Symeq.c0) then false
+    else begin
+      kb.nterms <- 0;
+      if not (walk_terms kb eq.Symeq.terms) then false
+      else begin
+        drop_zeros kb;
+        sort_terms kb;
+        let c0 = Poly.const_value eq.Symeq.c0 in
+        (* Global sign flip: first coefficient positive (the constant
+           decides for the empty equation). *)
+        let flip =
+          if kb.nterms > 0 then kb.t_coeff.(0) < 0 else c0 < 0
+        in
+        let c0 = if flip then Intx.neg c0 else c0 in
+        if flip then
+          for i = 0 to kb.nterms - 1 do
+            kb.t_coeff.(i) <- Intx.neg kb.t_coeff.(i)
+          done;
+        (* Divide through by the gcd of every coefficient and c0. *)
+        let g = gcd_coeffs kb 0 (Intx.abs c0) in
+        let c0 = if g > 1 then c0 / g else c0 in
+        if g > 1 then
+          for i = 0 to kb.nterms - 1 do
+            kb.t_coeff.(i) <- kb.t_coeff.(i) / g
+          done;
+        if kb.neqs = Array.length kb.eq_off then grow_eqs kb;
+        let off = kb.eqlen in
+        put_eq_int kb c0;
+        put_eq_int kb kb.nterms;
+        for i = 0 to kb.nterms - 1 do
+          put_eq_int kb kb.t_level.(i);
+          put_eq_int kb kb.t_side.(i);
+          put_eq_int kb kb.t_ub.(i);
+          put_eq_int kb kb.t_coeff.(i);
+          put_eq_string kb kb.t_name.(i)
+        done;
+        kb.eq_off.(kb.neqs) <- off;
+        kb.eq_len.(kb.neqs) <- kb.eqlen - off;
+        kb.eq_ord.(kb.neqs) <- kb.neqs;
+        kb.neqs <- kb.neqs + 1;
+        true
+      end
+    end
+
+  (* Lexicographic compare of two staged segments (ties by length):
+     any total order works, it just has to be content-determined. *)
+  let seg_less kb a b =
+    let oa = kb.eq_off.(a) and la = kb.eq_len.(a) in
+    let ob = kb.eq_off.(b) and lb = kb.eq_len.(b) in
+    let n = min la lb in
+    let rec go i =
+      if i >= n then la < lb
+      else
+        let ca = Bytes.unsafe_get kb.eqbuf (oa + i) in
+        let cb = Bytes.unsafe_get kb.eqbuf (ob + i) in
+        if ca <> cb then ca < cb else go (i + 1)
+    in
+    go 0
+
+  let rec sift_eq kb j =
+    if j > 0 && seg_less kb kb.eq_ord.(j) kb.eq_ord.(j - 1) then begin
+      let t = kb.eq_ord.(j) in
+      kb.eq_ord.(j) <- kb.eq_ord.(j - 1);
+      kb.eq_ord.(j - 1) <- t;
+      sift_eq kb (j - 1)
+    end
+
+  let sort_eqs kb =
+    for i = 1 to kb.neqs - 1 do
+      sift_eq kb i
+    done
+
+  (* Counting helpers return -1 for "not encodable" instead of an
+     option so the success path builds no [Some]. *)
+  let rec count_const_ubs n = function
+    | [] -> n
+    | u :: rest -> if Poly.is_const u then count_const_ubs (n + 1) rest else -1
+
+  let rec put_const_ubs kb = function
+    | [] -> ()
+    | u :: rest ->
+        put_int kb (Poly.const_value u);
+        put_const_ubs kb rest
+
+  let rec encode_eqs kb n = function
+    | [] -> n
+    | e :: rest -> if encode_eq kb e then encode_eqs kb (n + 1) rest else -1
+
+  let encode kb (p : t) =
+    kb.len <- 0;
+    kb.eqlen <- 0;
+    kb.neqs <- 0;
+    try
+      put_int kb p.n_common;
+      put_int kb p.opaque_dims;
+      let nubs = count_const_ubs 0 p.common_ubs in
+      if nubs < 0 then false
+      else begin
+        put_int kb nubs;
+        put_const_ubs kb p.common_ubs;
+        let neqs = encode_eqs kb 0 p.equations in
+        if neqs < 0 then false
+        else begin
+          put_int kb neqs;
+          sort_eqs kb;
+          for i = 0 to kb.neqs - 1 do
+            let s = kb.eq_ord.(i) in
+            let l = kb.eq_len.(s) in
+            reserve_main kb l;
+            Bytes.blit kb.eqbuf kb.eq_off.(s) kb.buf kb.len l;
+            kb.len <- kb.len + l
+          done;
+          true
+        end
+      end
+    with Intx.Overflow _ -> false
+end
 
 let pp ppf (p : t) =
   Format.fprintf ppf "@[<v>%s:%s -> %s:%s, %d common loop(s)" p.src.stmt_name

@@ -44,4 +44,32 @@ val synthetic : numeric -> t
     equations can be fed to any strategy.  Round-trips:
     [to_numeric (synthetic np)] re-yields [np] up to term order. *)
 
+(** Flat canonical encoding of a problem into a reusable byte buffer.
+
+    Packs the same canonical form the memo cache keys on — terms
+    sorted, global sign fixed, coefficients divided by their gcd,
+    equations sorted — computed directly from the symbolic problem
+    with no intermediate {!numeric}/list/option structures.  A buffer
+    is meant to be long-lived (one per domain): after warm-up,
+    {!Keybuf.encode} allocates nothing, which is what makes a memo
+    cache {e hit} allocation-free. *)
+module Keybuf : sig
+  type buf
+
+  val create : unit -> buf
+
+  val encode : buf -> t -> bool
+  (** [encode kb p] replaces [kb]'s contents with [p]'s canonical
+      encoding; [false] when [p] has no canonical numeric form (some
+      coefficient or bound is symbolic, a bound is negative, or
+      normalization overflows) — exactly the problems {!to_numeric}
+      rejects, which the cache treats as uncacheable. *)
+
+  val contents : buf -> Bytes.t
+  (** The backing buffer; valid up to {!length} until the next
+      {!encode}.  Do not mutate. *)
+
+  val length : buf -> int
+end
+
 val pp : Format.formatter -> t -> unit

@@ -148,20 +148,21 @@ let deps_of_pair ?budget ~cascade ~env (pr : Engine.pair) =
       summaries
   end
 
-let deps_of_accesses ?mode ?cascade ?budget ?(jobs = 1) ?pool ~env accs =
+let deps_of_accesses ?mode ?cascade ?budget ?(jobs = 1) ?pool ?chunk ~env accs
+    =
   let cascade = resolve_cascade ?mode ?cascade () in
   Dlz_base.Trace.with_span ~cat:"driver"
-    ~args:[ ("cascade", cascade.Cascade.name) ]
+    ~lazy_args:(fun () -> [ ("cascade", cascade.Cascade.name) ])
     "analyze.accesses"
   @@ fun () ->
   Pool.with_jobs ?pool ~jobs (fun pool ->
       List.concat
-        (Engine.map_pairs ?pool (deps_of_pair ?budget ~cascade ~env) accs))
+        (Engine.map_pairs ?pool ?chunk (deps_of_pair ?budget ~cascade ~env) accs))
 
-let deps_of_program ?mode ?cascade ?budget ?jobs ?pool ?(env = Assume.empty)
-    prog =
+let deps_of_program ?mode ?cascade ?budget ?jobs ?pool ?chunk
+    ?(env = Assume.empty) prog =
   let accs, env = Access.of_program ~env prog in
-  deps_of_accesses ?mode ?cascade ?budget ?jobs ?pool ~env accs
+  deps_of_accesses ?mode ?cascade ?budget ?jobs ?pool ?chunk ~env accs
 
 let pp_dep ppf d =
   Format.fprintf ppf "%s:%s -> %s:%s  %s  %s  [%s]" d.src.Access.stmt_name

@@ -77,7 +77,7 @@ val summarize : self:bool -> Dirvec.t list -> Dirvec.t list
 
 val deps_of_accesses :
   ?mode:mode -> ?cascade:Cascade.t -> ?budget:Dlz_base.Budget.t ->
-  ?jobs:int -> ?pool:Dlz_base.Pool.t ->
+  ?jobs:int -> ?pool:Dlz_base.Pool.t -> ?chunk:int ->
   env:Assume.t -> Access.t list -> dep list
 (** All dependences among the given accesses (input dependences and
     identity-only self pairs are omitted), in source order.  Pair
@@ -86,13 +86,14 @@ val deps_of_accesses :
 
     [jobs] (default 1) is the number of domains the pair queries fan
     out over; [0] means [Domain.recommended_domain_count ()].  An
-    explicit [pool] takes precedence and is not shut down.  The output
-    is deterministic: for any job count it is identical to the serial
-    result. *)
+    explicit [pool] takes precedence and is not shut down.  [chunk]
+    overrides the auto-tuned candidates-per-chunk deal size.  The
+    output is deterministic: for any job count and chunk size it is
+    identical to the serial result. *)
 
 val deps_of_program :
   ?mode:mode -> ?cascade:Cascade.t -> ?budget:Dlz_base.Budget.t ->
-  ?jobs:int -> ?pool:Dlz_base.Pool.t ->
+  ?jobs:int -> ?pool:Dlz_base.Pool.t -> ?chunk:int ->
   ?env:Assume.t -> Dlz_ir.Ast.program -> dep list
 (** Extracts accesses (the program must be normalized) and analyzes
     them. *)

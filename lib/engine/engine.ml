@@ -74,9 +74,7 @@ let candidate_indices arr =
   done;
   Array.of_list !out
 
-let default_chunk = 32
-
-let map_pairs ?pool ?(chunk = default_chunk) f accs =
+let map_pairs ?pool ?chunk f accs =
   let sequential () =
     let out = ref [] in
     iter_pairs (fun pr -> out := f pr :: !out) accs;
@@ -89,8 +87,8 @@ let map_pairs ?pool ?(chunk = default_chunk) f accs =
       let arr = Array.of_list accs in
       let cands = candidate_indices arr in
       (* Results land by candidate index: output order is enumeration
-         order regardless of which domain ran which chunk. *)
-      Pool.map_chunked pool ~chunk
+         order regardless of which domain ran (or stole) which chunk. *)
+      Pool.map pool ?chunk
         (fun (i, j) -> Option.map f (pair_at arr i j))
         cands
       |> Array.to_list
@@ -109,5 +107,6 @@ let query_all ?cascade ?stats ?cache ?budget ?chaos ?pool ?chunk ~env accs =
 let reset_metrics () =
   Stats.reset Stats.global;
   Query.clear Query.global_cache;
+  Pool.reset_metrics ();
   Dlz_base.Trace.reset_hists ();
   Dlz_base.Trace.clear ()

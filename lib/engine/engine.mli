@@ -46,11 +46,13 @@ val map_pairs :
     in enumeration order.  Without a pool (or with a sequential one)
     this runs exactly like {!iter_pairs}.  With a parallel pool, the
     candidate {e index} pairs (two ints each — never the problems) are
-    partitioned into chunks of [chunk] (default 32) candidates, fanned
-    out over the pool's domains (problem construction and [f] both run
-    in the workers), and merged back by index, so the result is
-    identical to the sequential one.  [f] must be domain-safe; the
-    {!query} path (sharded cache, atomic stats) is. *)
+    partitioned into chunks ([chunk] candidates each; auto-tuned from
+    the pool's observed per-element cost and queue-wait telemetry when
+    omitted), dealt to the pool's work-stealing deques (problem
+    construction and [f] both run in the workers), and merged back by
+    index, so the result is byte-identical to the sequential one for
+    any job count, chunk size, or steal schedule.  [f] must be
+    domain-safe; the {!query} path (sharded cache, atomic stats) is. *)
 
 val query :
   ?cascade:Cascade.t ->
@@ -81,7 +83,9 @@ val query_all :
 (** {!map_pairs} composed with {!query}. *)
 
 val reset_metrics : unit -> unit
-(** Clears the global stats, the global cache, the latency histograms
-    and the trace buffers (used by the CLI and the benches to scope
-    their reports — every reporting entry point must call this before
-    the work it reports on). *)
+(** Clears the global stats (including the allocations-per-query
+    counters), the global cache, the pool's steal/auto-chunk telemetry,
+    the latency histograms (queue-wait included) and the trace buffers
+    (used by the CLI and the benches to scope their reports — every
+    reporting entry point must call this before the work it reports on,
+    so back-to-back [--stats] runs never accumulate). *)

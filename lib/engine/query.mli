@@ -19,21 +19,31 @@ type canon
 val canonicalize : Problem.numeric -> canon
 
 val key_of : cascade:string -> Problem.t -> string option
-(** The cache key: cascade name + marshalled canonical form; [None] for
-    problems with no numeric projection (uncacheable). *)
+(** The cache key: cascade name, a NUL byte, then the flat canonical
+    encoding ({!Problem.Keybuf}); [None] for problems with no numeric
+    projection (uncacheable).  The hot path never builds this string —
+    it hashes and compares the per-domain key buffer in place — but the
+    materialized form is what miss-path inserts store, and what tests
+    use to count distinct keys. *)
 
 type cache
 (** A domain-safe sharded cache: entries are distributed over
-    [hash key mod shards] shards, each guarded by its own mutex and
-    bounded by its own slice of the capacity.  Parallel queries contend
-    per shard, and an overflowing shard flushes only itself — one hot
-    shard no longer evicts the whole cache, serial or parallel. *)
+    [hash key mod shards] shards.  Each shard is an open-hashed bucket
+    table whose buckets are [Atomic.t] immutable lists, so probes are
+    lock-free loads; only writers (insert, flush, clear) serialize on
+    the per-shard mutex, and shard records are padded apart so one
+    shard's insert counter never false-shares a neighbor's cache line.
+    Each shard is bounded by its own slice of the capacity and an
+    overflowing shard flushes only itself — one hot shard no longer
+    evicts the whole cache, serial or parallel. *)
 
 val create_cache : ?capacity:int -> ?shards:int -> unit -> cache
 (** [capacity] (default 8192) bounds the total entry count across
-    [shards] (default 8) shards; each shard holds at most
+    [shards] shards; each shard holds at most
     [max 1 (capacity / shards)] entries and is flushed wholesale on its
-    own overflow (counted in {!Stats} and per shard).  Raises
+    own overflow (counted in {!Stats} and per shard).  [shards]
+    defaults to a power of two at least twice the host's recommended
+    domain count, never below the historical 8.  Raises
     [Invalid_argument] when either is [< 1]. *)
 
 val global_cache : cache
@@ -64,4 +74,7 @@ val memoize :
   Strategy.result
 (** [memoize ~cascade_name ~env run p] returns the cached result for
     [p]'s canonical form, or runs [run ~env p] and stores it.  Records
-    query/hit/miss/uncacheable counters. *)
+    query/hit/miss/uncacheable counters and the query's minor-heap
+    allocation delta ({!Stats.record_alloc}); the hit path itself
+    allocates nothing — flat key encoding into a per-domain buffer,
+    in-place hash and compare, lock-free bucket load. *)

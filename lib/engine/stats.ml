@@ -25,6 +25,8 @@ type t = {
   q_misses : int Atomic.t;
   q_uncacheable : int Atomic.t;
   q_flushes : int Atomic.t;
+  q_alloc_words : int Atomic.t;  (* minor words allocated inside queries *)
+  q_hit_alloc_words : int Atomic.t;  (* ... by cache hits only *)
   o_checks : int Atomic.t;
   lock : Mutex.t;  (* guards [strategies], [degradations], [divergences] *)
   strategies : (string, atomic_counters) Hashtbl.t;
@@ -39,6 +41,8 @@ let create () =
     q_misses = Atomic.make 0;
     q_uncacheable = Atomic.make 0;
     q_flushes = Atomic.make 0;
+    q_alloc_words = Atomic.make 0;
+    q_hit_alloc_words = Atomic.make 0;
     o_checks = Atomic.make 0;
     lock = Mutex.create ();
     strategies = Hashtbl.create 16;
@@ -54,6 +58,8 @@ let reset t =
   Atomic.set t.q_misses 0;
   Atomic.set t.q_uncacheable 0;
   Atomic.set t.q_flushes 0;
+  Atomic.set t.q_alloc_words 0;
+  Atomic.set t.q_hit_alloc_words 0;
   Atomic.set t.o_checks 0;
   Mutex.lock t.lock;
   Hashtbl.reset t.strategies;
@@ -86,6 +92,14 @@ let record_hit t = Atomic.incr t.q_hits
 let record_miss t = Atomic.incr t.q_misses
 let record_uncacheable t = Atomic.incr t.q_uncacheable
 let record_flush t = Atomic.incr t.q_flushes
+
+(* [words] is a [Gc.minor_words] delta measured around one query (the
+   telemetry instrumentation itself is excluded by the measurement
+   window in [Query.memoize]). *)
+let record_alloc t ~hit words =
+  let words = max 0 words in
+  ignore (Atomic.fetch_and_add t.q_alloc_words words);
+  if hit then ignore (Atomic.fetch_and_add t.q_hit_alloc_words words)
 let record_attempt t name = Atomic.incr (counters t name).a_attempts
 
 let record_decision t name verdict =
@@ -154,6 +168,8 @@ let divergences t =
   List.fold_left (fun acc (_, n) -> acc + n) 0 (divergence_rows t)
 
 let queries t = Atomic.get t.q_queries
+let alloc_words t = Atomic.get t.q_alloc_words
+let hit_alloc_words t = Atomic.get t.q_hit_alloc_words
 let cache_hits t = Atomic.get t.q_hits
 let cache_misses t = Atomic.get t.q_misses
 let cache_uncacheable t = Atomic.get t.q_uncacheable
@@ -161,6 +177,11 @@ let cache_flushes t = Atomic.get t.q_flushes
 
 let consistent t =
   queries t = cache_hits t + cache_misses t + cache_uncacheable t
+
+let per q n = if n = 0 then 0.0 else float_of_int q /. float_of_int n
+
+let allocs_per_query t = per (alloc_words t) (queries t)
+let allocs_per_hit t = per (hit_alloc_words t) (Atomic.get t.q_hits)
 
 let hit_ratio t =
   let total = cache_hits t + cache_misses t in
@@ -229,6 +250,10 @@ let pp ?sort ppf t =
   if cache_flushes t > 0 then
     Format.fprintf ppf " / %d flushes" (cache_flushes t);
   Format.fprintf ppf " (hit ratio %.2f)" (hit_ratio t);
+  if queries t > 0 then
+    Format.fprintf ppf
+      "@,  allocations %.1f minor words/query (%.1f on hits)"
+      (allocs_per_query t) (allocs_per_hit t);
   List.iter
     (fun (name, c) ->
       Format.fprintf ppf
@@ -252,9 +277,12 @@ let to_json t =
   Buffer.add_string buf
     (Printf.sprintf
        "{\"queries\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\
-        \"uncacheable\":%d,\"flushes\":%d,\"hit_ratio\":%.4f},\"strategies\":["
+        \"uncacheable\":%d,\"flushes\":%d,\"hit_ratio\":%.4f},\
+        \"alloc\":{\"minor_words\":%d,\"hit_minor_words\":%d,\
+        \"per_query\":%.1f,\"per_hit\":%.1f},\"strategies\":["
        (queries t) (cache_hits t) (cache_misses t) (cache_uncacheable t)
-       (cache_flushes t) (hit_ratio t));
+       (cache_flushes t) (hit_ratio t) (alloc_words t) (hit_alloc_words t)
+       (allocs_per_query t) (allocs_per_hit t));
   List.iteri
     (fun i (name, c) ->
       if i > 0 then Buffer.add_char buf ',';

@@ -34,6 +34,13 @@ val record_attempt : t -> string -> unit
 val record_decision : t -> string -> Dlz_deptest.Verdict.t -> unit
 val record_pass : t -> string -> unit
 
+val record_alloc : t -> hit:bool -> int -> unit
+(** [record_alloc t ~hit words] accounts a query's minor-heap
+    allocation ([Gc.minor_words] delta, clamped at 0); [hit] routes it
+    additionally into the cache-hit bucket, whose per-query average is
+    the "allocation-free hot path" acceptance metric (~0 after
+    warm-up). *)
+
 val record_degradation : t -> string -> reason:string -> unit
 (** A fault contained while the named strategy ran (or was about to
     run): the result was degraded conservatively for [reason]
@@ -55,6 +62,19 @@ val consistent : t -> bool
 
 val hit_ratio : t -> float
 (** Hits over (hits + misses); [0.] before any cacheable query. *)
+
+val alloc_words : t -> int
+(** Total minor words allocated inside queries (see {!record_alloc}). *)
+
+val hit_alloc_words : t -> int
+(** The slice of {!alloc_words} spent on cache hits. *)
+
+val allocs_per_query : t -> float
+(** [alloc_words / queries]; [0.] before any query. *)
+
+val allocs_per_hit : t -> float
+(** [hit_alloc_words / cache_hits]; [0.] before any hit.  Trends to ~0
+    once the per-domain key buffers are warm. *)
 
 type sort = By_name | By_attempts | By_time
 (** Row orderings for the per-strategy table: alphabetical, by attempt

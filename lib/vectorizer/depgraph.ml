@@ -73,7 +73,8 @@ let edges_of_pair ?mode ?cascade ?budget ~env (pr : Engine.pair) =
             else [])
       basics
 
-let build ?mode ?cascade ?budget ?(jobs = 1) ?pool ?(env = Assume.empty) prog =
+let build ?mode ?cascade ?budget ?(jobs = 1) ?pool ?chunk ?(env = Assume.empty)
+    prog =
   Dlz_base.Trace.with_span ~cat:"driver" "depgraph.build" @@ fun () ->
   let accs, env = Access.of_program ~env prog in
   let nstmts =
@@ -84,7 +85,9 @@ let build ?mode ?cascade ?budget ?(jobs = 1) ?pool ?(env = Assume.empty) prog =
   let edges =
     Dlz_base.Pool.with_jobs ?pool ~jobs (fun pool ->
         List.concat
-          (Engine.map_pairs ?pool (edges_of_pair ?mode ?cascade ?budget ~env) accs))
+          (Engine.map_pairs ?pool ?chunk
+             (edges_of_pair ?mode ?cascade ?budget ~env)
+             accs))
   in
   (* Deduplicate identical edges (also fixes the final order, so the
      graph is byte-identical for any job count). *)

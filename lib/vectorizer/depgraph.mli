@@ -36,6 +36,7 @@ val build :
   ?budget:Dlz_base.Budget.t ->
   ?jobs:int ->
   ?pool:Dlz_base.Pool.t ->
+  ?chunk:int ->
   ?env:Assume.t ->
   Dlz_ir.Ast.program ->
   t
@@ -43,9 +44,9 @@ val build :
     ignored; a same-statement all-[=] vector (the read feeding the write
     of one assignment) carries no constraint and is dropped.
 
-    [jobs]/[pool] parallelize the pair queries exactly as in
+    [jobs]/[pool]/[chunk] parallelize the pair queries exactly as in
     {!Dlz_engine.Analyze.deps_of_accesses}; the edge list is sorted, so
-    the graph is identical for any job count. *)
+    the graph is identical for any job count or chunk size. *)
 
 val edges_at_level : t -> int -> edge list
 (** Edges not carried by loops outer than [level]: carrying level

@@ -21,11 +21,13 @@ val report :
   ?budget:Dlz_base.Budget.t ->
   ?jobs:int ->
   ?pool:Dlz_base.Pool.t ->
+  ?chunk:int ->
   ?env:Dlz_symbolic.Assume.t ->
   Dlz_ir.Ast.program ->
   loop_report list
 (** One entry per loop of the (normalized) program, in source order.
-    [jobs]/[pool] parallelize the underlying {!Depgraph.build}. *)
+    [jobs]/[pool]/[chunk] parallelize the underlying
+    {!Depgraph.build}. *)
 
 val fully_parallel : loop_report list -> bool
 (** Every loop parallel (the verdict the corpus ablation counts). *)

@@ -273,6 +273,59 @@ let test_accounting_survives_domains () =
   Alcotest.(check int)
     "atomic counters agree across domains" strikes (chaos_attributed stats)
 
+let test_strike_in_stolen_chunk () =
+  (* Chunks of one query dealt across the work-stealing deques, with
+     injection striking mid-run: a strike that fires inside a chunk
+     some other domain stole must still cost exactly one degraded
+     answer — [strikes = chaos-attributed degradations] — and the
+     output must stay the serial one.  Stealing is scheduling-
+     dependent, so the run retries until the steal counter moves (each
+     attempt asserting the accounting regardless). *)
+  let progs = workload_programs () in
+  let serial =
+    with_chaos None @@ fun () ->
+    List.map
+      (fun prog ->
+        let accs, env = Access.of_program prog in
+        List.map
+          (fun (_, (r : Strategy.result)) -> r.Strategy.verdict)
+          (Engine.query_all ~stats:(Stats.create ())
+             ~cache:(Query.create_cache ()) ~env accs))
+      progs
+  in
+  let rec attempt k =
+    Pool.reset_metrics ();
+    let chaos = chaos_cfg (Int64.of_int (9000 + k)) in
+    let stats = Stats.create () in
+    let cache = Query.create_cache () in
+    let par =
+      List.map
+        (fun prog ->
+          let accs, env = Access.of_program prog in
+          Pool.with_pool ~domains:test_jobs (fun pool ->
+              List.map
+                (fun (_, (r : Strategy.result)) -> r.Strategy.verdict)
+                (Engine.query_all ~stats ~cache ~chaos ~pool ~chunk:1 ~env
+                   accs)))
+        progs
+    in
+    let strikes = Chaos.strikes chaos in
+    Alcotest.(check int)
+      "one degradation per strike, even in stolen chunks" strikes
+      (chaos_attributed stats);
+    (* Degraded-to-conservative only: never a dropped or extra row. *)
+    List.iter2
+      (fun s p ->
+        Alcotest.(check int) "row counts match serial" (List.length s)
+          (List.length p))
+      serial par;
+    if (Pool.steals () = 0 || strikes = 0) && k < 20 then attempt (k + 1)
+    else (Pool.steals (), strikes)
+  in
+  let steals, strikes = attempt 1 in
+  Alcotest.(check bool) "chunks were stolen" true (steals > 0);
+  Alcotest.(check bool) "the seed struck" true (strikes > 0)
+
 (* --- chaos: zero-divisor strikes ------------------------------------------ *)
 
 let test_div0_strikes_contained () =
@@ -341,6 +394,8 @@ let () =
         [
           Alcotest.test_case "every strike is one degradation" `Quick
             test_every_strike_accounted;
+          Alcotest.test_case "strike in a stolen chunk" `Quick
+            test_strike_in_stolen_chunk;
           Alcotest.test_case "accounting survives domains" `Quick
             test_accounting_survives_domains;
         ] );

@@ -11,6 +11,7 @@
 
 module Pool = Dlz_base.Pool
 module Prng = Dlz_base.Prng
+module Trace = Dlz_base.Trace
 module Verdict = Dlz_deptest.Verdict
 module Access = Dlz_ir.Access
 module F77 = Dlz_frontend.F77_parser
@@ -76,7 +77,7 @@ let test_pool_map_matches_array_map () =
       List.iter
         (fun chunk ->
           let got =
-            Pool.with_pool ~domains (fun p -> Pool.map_chunked p ~chunk f arr)
+            Pool.with_pool ~domains (fun p -> Pool.map p ~chunk f arr)
           in
           Alcotest.(check (array int))
             (Printf.sprintf "domains=%d chunk=%d" domains chunk)
@@ -88,14 +89,14 @@ let test_pool_empty_input () =
   Pool.with_pool ~domains:test_jobs (fun p ->
       Alcotest.(check (array int))
         "empty" [||]
-        (Pool.map_chunked p ~chunk:4 (fun x -> x) [||]))
+        (Pool.map p ~chunk:4 (fun x -> x) [||]))
 
 let test_pool_exception_propagates () =
   Pool.with_pool ~domains:test_jobs (fun p ->
       Alcotest.check_raises "worker exception reaches caller"
         (Failure "boom") (fun () ->
           ignore
-            (Pool.map_chunked p ~chunk:1
+            (Pool.map p ~chunk:1
                (fun x -> if x = 37 then failwith "boom" else x)
                (Array.init 100 Fun.id))))
 
@@ -110,7 +111,7 @@ let test_pool_exceptions_contained () =
       Alcotest.check_raises "lowest-index failure wins" (Failure "at 37")
         (fun () ->
           ignore
-            (Pool.map_chunked p ~chunk:7
+            (Pool.map p ~chunk:7
                (fun x ->
                  Atomic.set attempted.(x) true;
                  if x = 37 || x = 38 || x = 71 then
@@ -127,8 +128,8 @@ let test_pool_exceptions_contained () =
 let test_pool_bad_chunk () =
   Pool.with_pool ~domains:1 (fun p ->
       Alcotest.check_raises "chunk 0"
-        (Invalid_argument "Pool.map_chunked: chunk must be > 0") (fun () ->
-          ignore (Pool.map_chunked p ~chunk:0 Fun.id [| 1 |])))
+        (Invalid_argument "Pool.map: chunk must be > 0") (fun () ->
+          ignore (Pool.map p ~chunk:0 Fun.id [| 1 |])))
 
 let test_pool_shutdown_idempotent () =
   let p = Pool.create ~domains:2 in
@@ -163,8 +164,60 @@ let test_pool_with_jobs_policy () =
       | Some p -> Alcotest.(check int) "same pool" 2 (Pool.domains p));
   Alcotest.(check (array int))
     "pool still alive after with_jobs" [| 2; 4 |]
-    (Pool.map_chunked mine ~chunk:1 (fun x -> 2 * x) [| 1; 2 |]);
+    (Pool.map mine ~chunk:1 (fun x -> 2 * x) [| 1; 2 |]);
   Pool.shutdown mine
+
+let test_pool_auto_chunk () =
+  (* No explicit chunk: the auto-tuner picks one; the result must be
+     the same.  Sequential pools answer n (one chunk = the whole
+     array). *)
+  let arr = Array.init 333 (fun i -> 7 * i) in
+  let expect = Array.map succ arr in
+  List.iter
+    (fun domains ->
+      let got = Pool.with_pool ~domains (fun p -> Pool.map p succ arr) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "auto chunk, domains=%d" domains)
+        expect got)
+    [ 1; 2; test_jobs ];
+  Pool.with_pool ~domains:1 (fun p ->
+      Alcotest.(check int) "serial auto chunk = n" 5 (Pool.auto_chunk p 5));
+  Pool.with_pool ~domains:test_jobs (fun p ->
+      let c = Pool.auto_chunk p 1000 in
+      Alcotest.(check bool) "parallel auto chunk positive and bounded" true
+        (c >= 1 && c <= 1000))
+
+let test_pool_steals_on_skewed_workload () =
+  (* One heavy element among many light ones, dealt one element per
+     chunk: the domain that hits the heavy chunk stalls with light
+     chunks still in its deque, so the siblings (the caller included)
+     finish by stealing.  Stealing is scheduling-dependent, so the run
+     is retried a few times — but each run's result must equal the
+     serial map regardless. *)
+  let n = 400 in
+  let work x =
+    if x = 17 then begin
+      let acc = ref 0 in
+      for i = 1 to 3_000_000 do
+        acc := (!acc + (i * i)) land 1023
+      done;
+      x + (!acc land 0)
+    end
+    else x
+  in
+  let expect = Array.map work (Array.init n Fun.id) in
+  let rec attempt k =
+    Pool.reset_metrics ();
+    let got =
+      Pool.with_pool ~domains:test_jobs (fun p ->
+          Pool.map p ~chunk:1 work (Array.init n Fun.id))
+    in
+    Alcotest.(check (array int)) "skewed workload result" expect got;
+    if Pool.steals () = 0 && k < 20 then attempt (k + 1)
+  in
+  attempt 1;
+  Alcotest.(check bool) "work was stolen across deques" true
+    (Pool.steals () > 0)
 
 (* --- streaming enumeration ------------------------------------------------ *)
 
@@ -238,6 +291,20 @@ let test_depgraph_deterministic () =
       Alcotest.(check bool) "edge lists identical" true (serial = par))
     [ sphot_prog; prepare (many_distances_src 5) ]
 
+(* The full corpus at the acceptance width: the rendered rows (the
+   exact bytes `vic analyze` prints) at jobs=8 must equal the serial
+   run, program by program. *)
+let test_deps_jobs8_byte_identical_corpus () =
+  List.iter
+    (fun spec ->
+      let prog = Pipeline.prepare_program (Corpus.generate spec) in
+      let serial = render_deps (Analyze.deps_of_program ~jobs:1 prog) in
+      let par8 = render_deps (Analyze.deps_of_program ~jobs:8 prog) in
+      Alcotest.(check (list string))
+        (spec.Corpus.name ^ ": jobs 8 = jobs 1 (rendered bytes)")
+        serial par8)
+    Corpus.riceps
+
 let test_stats_consistent_after_parallel_run () =
   Engine.reset_metrics ();
   List.iter
@@ -247,6 +314,50 @@ let test_stats_consistent_after_parallel_run () =
   Alcotest.(check bool) "queries issued" true (Stats.queries st > 0);
   Alcotest.(check bool)
     "queries = hits + misses + uncacheable" true (Stats.consistent st)
+
+(* --- metrics scope and the allocation-free hit path ----------------------- *)
+
+let test_reset_metrics_clears_everything () =
+  let prog = prepare (many_distances_src 6) in
+  let run () =
+    ignore (Analyze.deps_of_program ~jobs:test_jobs ~chunk:1 prog)
+  in
+  Engine.reset_metrics ();
+  run ();
+  let q1 = Stats.queries Stats.global in
+  Alcotest.(check bool) "first run issued queries" true (q1 > 0);
+  Engine.reset_metrics ();
+  Alcotest.(check int) "queries reset" 0 (Stats.queries Stats.global);
+  Alcotest.(check int) "steal counter reset" 0 (Pool.steals ());
+  Alcotest.(check int) "alloc counter reset" 0
+    (Stats.alloc_words Stats.global);
+  Alcotest.(check int) "queue-wait histogram reset" 0
+    (Trace.Hist.count (Trace.hist "pool.queue_wait"));
+  run ();
+  Alcotest.(check int)
+    "back-to-back runs do not accumulate" q1
+    (Stats.queries Stats.global)
+
+let test_hit_path_allocation_free () =
+  let ps, env = problems_of_prog (prepare (many_distances_src 6)) in
+  let cache = Query.create_cache () in
+  (* Warm pass: populates the cache and the per-domain key buffers. *)
+  let warm = Stats.create () in
+  List.iter (fun p -> ignore (Engine.query ~stats:warm ~cache ~env p)) ps;
+  Alcotest.(check int) "warm pass is all cacheable" 0
+    (Stats.cache_uncacheable warm);
+  let stats = Stats.create () in
+  let reps = 50 in
+  for _ = 1 to reps do
+    List.iter (fun p -> ignore (Engine.query ~stats ~cache ~env p)) ps
+  done;
+  Alcotest.(check int) "warmed passes are all hits"
+    (reps * List.length ps)
+    (Stats.cache_hits stats);
+  let per_hit = Stats.allocs_per_hit stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocations per hit ~0 (got %.2f minor words)" per_hit)
+    true (per_hit <= 8.0)
 
 (* --- sharded cache under concurrency -------------------------------------- *)
 
@@ -341,7 +452,7 @@ let () =
     [
       ( "pool",
         [
-          Alcotest.test_case "map_chunked = Array.map" `Quick
+          Alcotest.test_case "map = Array.map" `Quick
             test_pool_map_matches_array_map;
           Alcotest.test_case "empty input" `Quick test_pool_empty_input;
           Alcotest.test_case "exception propagates" `Quick
@@ -355,6 +466,9 @@ let () =
           Alcotest.test_case "resolve_jobs" `Quick test_pool_resolve_jobs;
           Alcotest.test_case "with_jobs policy" `Quick
             test_pool_with_jobs_policy;
+          Alcotest.test_case "auto chunk" `Quick test_pool_auto_chunk;
+          Alcotest.test_case "steals on skewed workload" `Quick
+            test_pool_steals_on_skewed_workload;
         ] );
       ( "streaming",
         [
@@ -371,6 +485,15 @@ let () =
             test_depgraph_deterministic;
           Alcotest.test_case "stats consistent after parallel run" `Quick
             test_stats_consistent_after_parallel_run;
+          Alcotest.test_case "corpus at jobs 8, byte-identical" `Quick
+            test_deps_jobs8_byte_identical_corpus;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "reset_metrics clears pool telemetry" `Quick
+            test_reset_metrics_clears_everything;
+          Alcotest.test_case "cache-hit path is allocation-free" `Quick
+            (without_chaos test_hit_path_allocation_free);
         ] );
       ( "sharded-cache",
         [
