@@ -68,6 +68,63 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
          ~doc:"Input program (.f FORTRAN-77 subset, .c C subset).")
 
+(* analyze also accepts --dir, so its positional is optional and the
+   either-or check happens in the command body. *)
+let file_opt_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Input program (.f FORTRAN-77 subset, .c C subset).\n\
+               Exactly one of FILE or --dir is required.")
+
+let dir_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Bulk mode: analyze every .f and .c kernel under DIR\n\
+                 (recursively, sorted by path) through one shared memo\n\
+                 cache, and print one NDJSON line per kernel plus a\n\
+                 summary line.  The default fields are deterministic:\n\
+                 the report is byte-identical for any --jobs N.")
+
+let cache_load_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-load" ] ~docv:"FILE"
+           ~doc:"Warm-start: bulk-load a snapshot of the memo cache\n\
+                 saved by an earlier run (--cache-save).  A missing,\n\
+                 corrupt, or strategy-set-mismatched snapshot is\n\
+                 refused and the run starts cold (counted in --stats;\n\
+                 never an error).")
+
+let cache_save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-save" ] ~docv:"FILE"
+           ~doc:"On exit, snapshot the memo cache to FILE (atomic\n\
+                 write; key-sorted, so equal caches give byte-identical\n\
+                 files) for a later --cache-load.")
+
+let cache_auto_arg =
+  Arg.(value & flag
+       & info [ "cache-auto" ]
+           ~doc:"Shorthand for --cache-load and --cache-save on the\n\
+                 per-user default snapshot path (under\n\
+                 \\$XDG_CACHE_HOME/vic or ~/.cache/vic, keyed by the\n\
+                 strategy-set hash).")
+
+let stats_json_arg =
+  Arg.(value & flag
+       & info [ "stats-json" ]
+           ~doc:"Print the engine statistics as one machine-readable\n\
+                 JSON line after the analysis: queries, hit/miss and\n\
+                 warm/cold cache counters, snapshot load/save/reject\n\
+                 counts, allocation-per-query gauges, per-strategy\n\
+                 rows, and contained degradations.")
+
+let timings_arg =
+  Arg.(value & flag
+       & info [ "timings" ]
+           ~doc:"Bulk mode: add per-file elapsed_ns and summary cache\n\
+                 warm/cold disposition to the NDJSON report.  These\n\
+                 fields are scheduling-dependent, so the report is no\n\
+                 longer byte-identical across --jobs values.")
+
 let lang_arg =
   let lang_conv = Arg.enum [ ("f77", Some `F77); ("c", Some `C) ] in
   Arg.(value & opt lang_conv None & info [ "lang" ] ~docv:"LANG"
@@ -313,65 +370,109 @@ let ranges_arg =
            ~doc:"Also print Wolf-Lam range vectors (exact per-level\n\
                  delta ranges) for each dependence [WL91].")
 
+let analyze_one ~lang ~mode ~cascade ~budget ~pool ~chunk ~env ~ranges file =
+  let prog = prepare ~lang file in
+  print_endline (Ast.to_string prog);
+  print_newline ();
+  let deps =
+    Analyze.deps_of_program ~mode ?cascade ?budget ?pool ?chunk ~env prog
+  in
+  if deps = [] then print_endline "No dependences: fully parallel."
+  else
+    List.iter
+      (fun (d : Analyze.dep) ->
+        Format.printf "%a@." Analyze.pp_dep d;
+        if ranges then begin
+          let module Problem = Dlz_deptest.Problem in
+          let module Rangevec = Dlz_deptest.Rangevec in
+          match Problem.of_accesses d.Analyze.src d.Analyze.dst with
+          | Some p -> (
+              match Problem.to_numeric p with
+              | Some np -> (
+                  match
+                    Rangevec.of_exact ~common_ubs:np.Problem.common_ubs
+                      np.Problem.eqs
+                  with
+                  | Some r ->
+                      Printf.printf "    delta ranges: %s\n"
+                        (Rangevec.to_string r)
+                  | None -> ())
+              | None -> ())
+          | None -> ()
+        end)
+      deps;
+  print_newline ();
+  print_endline "Per-loop parallelism:";
+  List.iter
+    (fun (l : Dlz_vec.Parallel.loop_report) ->
+      Printf.printf "  %s%s (level %d): %s%s\n"
+        (String.concat "" (List.map (fun v -> v ^ "/")
+                             l.Dlz_vec.Parallel.lr_path))
+        l.Dlz_vec.Parallel.lr_var l.Dlz_vec.Parallel.lr_level
+        (if l.Dlz_vec.Parallel.lr_parallel then "PARALLEL"
+         else "serial")
+        (if l.Dlz_vec.Parallel.lr_parallel then ""
+         else
+           Printf.sprintf " (%d carried dependence(s))"
+             l.Dlz_vec.Parallel.lr_carried))
+    (Dlz_vec.Parallel.report ~mode ?cascade ?budget ?pool ?chunk ~env prog)
+
 let analyze_cmd =
-  let run file lang mode assumes ranges cascade stats jobs chunk fuel
-      timeout_ms chaos trace_out trace_sample sort =
+  let run file dir lang mode assumes ranges cascade stats stats_json jobs
+      chunk fuel timeout_ms chaos cache_load cache_save cache_auto timings
+      trace_out trace_sample sort =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
         let chunk = check_chunk chunk in
         let cascade = cascade_of cascade in
         set_chaos chaos;
-        setup_telemetry ~stats ~trace_out ~trace_sample;
+        setup_telemetry ~stats:(stats || stats_json) ~trace_out ~trace_sample;
         let budget = budget_of ~fuel ~timeout_ms in
-        Dlz_engine.Engine.reset_metrics ();
-        let prog = prepare ~lang file in
-        print_endline (Ast.to_string prog);
-        print_newline ();
-        let env = env_of assumes in
-        let deps =
-          Analyze.deps_of_program ~mode ?cascade ?budget ~jobs ?chunk ~env
-            prog
+        let module Persist = Dlz_engine.Persist in
+        let load_path =
+          match cache_load with
+          | Some _ as p -> p
+          | None -> if cache_auto then Some (Persist.default_path ()) else None
         in
-        if deps = [] then print_endline "No dependences: fully parallel."
-        else
-          List.iter
-          (fun (d : Analyze.dep) ->
-            Format.printf "%a@." Analyze.pp_dep d;
-            if ranges then begin
-              let module Problem = Dlz_deptest.Problem in
-              let module Rangevec = Dlz_deptest.Rangevec in
-              match Problem.of_accesses d.Analyze.src d.Analyze.dst with
-              | Some p -> (
-                  match Problem.to_numeric p with
-                  | Some np -> (
-                      match
-                        Rangevec.of_exact ~common_ubs:np.Problem.common_ubs
-                          np.Problem.eqs
-                      with
-                      | Some r ->
-                          Printf.printf "    delta ranges: %s\n"
-                            (Rangevec.to_string r)
-                      | None -> ())
-                  | None -> ())
-              | None -> ()
-            end)
-          deps;
-        print_newline ();
-        print_endline "Per-loop parallelism:";
-        List.iter
-          (fun (l : Dlz_vec.Parallel.loop_report) ->
-            Printf.printf "  %s%s (level %d): %s%s\n"
-              (String.concat "" (List.map (fun v -> v ^ "/")
-                                   l.Dlz_vec.Parallel.lr_path))
-              l.Dlz_vec.Parallel.lr_var l.Dlz_vec.Parallel.lr_level
-              (if l.Dlz_vec.Parallel.lr_parallel then "PARALLEL"
-               else "serial")
-              (if l.Dlz_vec.Parallel.lr_parallel then ""
-               else
-                 Printf.sprintf " (%d carried dependence(s))"
-                   l.Dlz_vec.Parallel.lr_carried))
-          (Dlz_vec.Parallel.report ~mode ?cascade ?budget ~jobs ?chunk ~env
-             prog);
+        let save_path =
+          match cache_save with
+          | Some _ as p -> p
+          | None -> if cache_auto then Some (Persist.default_path ()) else None
+        in
+        Dlz_engine.Engine.reset_metrics ();
+        Dlz_base.Pool.with_jobs ~jobs (fun pool ->
+            (match load_path with
+            | None -> ()
+            | Some p -> (
+                match Persist.load ?pool p with
+                | Ok _ -> ()
+                | Error reason ->
+                    (* An explicit --cache-load that fails deserves a
+                       word; the quiet path is --cache-auto before any
+                       snapshot exists.  Either way the run proceeds
+                       cold (the refusal is counted in --stats). *)
+                    if cache_load <> None then
+                      Printf.eprintf
+                        "warning: snapshot %s: %s; starting cold\n%!" p
+                        reason));
+            let env = env_of assumes in
+            (match (dir, file) with
+            | Some d, None ->
+                List.iter print_endline
+                  (Dlz_driver.Bulk.run ~mode ?cascade ?budget ?pool ~env
+                     ~timings d)
+            | None, Some file ->
+                analyze_one ~lang ~mode ~cascade ~budget ~pool ~chunk ~env
+                  ~ranges file
+            | Some _, Some _ ->
+                prerr_endline "analyze: FILE and --dir are mutually exclusive";
+                exit 1
+            | None, None ->
+                prerr_endline "analyze: expected FILE or --dir";
+                exit 1);
+            match save_path with
+            | None -> ()
+            | Some p -> ignore (Persist.save p));
         if stats then begin
           print_newline ();
           Format.printf "%a@."
@@ -392,21 +493,24 @@ let analyze_cmd =
             (ints (Query.shard_sizes cache))
             (ints flushes)
             (Array.fold_left ( + ) 0 flushes);
-          match Dlz_engine.Chaos.current () with
+          (match Dlz_engine.Chaos.current () with
           | Some c ->
               Printf.printf "chaos: seed %Ld rate %g, %d faults injected\n"
                 (Dlz_engine.Chaos.seed c) (Dlz_engine.Chaos.rate c)
                 (Dlz_engine.Chaos.strikes c)
-          | None -> ()
+          | None -> ())
         end;
+        if stats_json then
+          print_endline (Dlz_engine.Stats.to_json Dlz_engine.Stats.global);
         write_trace trace_out)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Normalize a program and report its dependences.")
-    Term.(const run $ file_arg $ lang_arg $ mode_arg $ assume_arg $ ranges_arg
-          $ cascade_arg $ stats_arg $ jobs_arg $ chunk_arg $ fuel_arg
-          $ timeout_arg $ chaos_arg $ trace_out_arg $ trace_sample_arg
-          $ sort_arg)
+    Term.(const run $ file_opt_arg $ dir_arg $ lang_arg $ mode_arg
+          $ assume_arg $ ranges_arg $ cascade_arg $ stats_arg $ stats_json_arg
+          $ jobs_arg $ chunk_arg $ fuel_arg $ timeout_arg $ chaos_arg
+          $ cache_load_arg $ cache_save_arg $ cache_auto_arg $ timings_arg
+          $ trace_out_arg $ trace_sample_arg $ sort_arg)
 
 let vectorize_cmd =
   let run file lang mode assumes =

@@ -154,6 +154,7 @@ type entry = {
   e_hash : int;  (* full hash — cheap pre-filter before key compare *)
   e_key : string;  (* cascade ^ "\x00" ^ flat canonical encoding *)
   e_res : Strategy.result;
+  e_warm : bool;  (* bulk-loaded from a snapshot, not solved this run *)
 }
 
 type shard = {
@@ -248,12 +249,14 @@ let shard_of cache h = cache.shards.(h mod Array.length cache.shards)
    [h mod nshards]) with a multiplicative mix. *)
 let bucket_index cache h = (h * 0x2545F4914F6CDD1D lsr 17) land cache.mask
 
-(* Lock-free probe; raises [Not_found] (static, allocation-free). *)
+(* Lock-free probe; raises [Not_found] (static, allocation-free).
+   Returns the entry (not just the result) so the hit path can tell a
+   warm (snapshot-loaded) hit from a cold one without re-probing. *)
 let rec find_entry l h cascade kb =
   match l with
   | [] -> raise Not_found
   | e :: rest ->
-      if e.e_hash = h && key_matches e.e_key cascade kb then e.e_res
+      if e.e_hash = h && key_matches e.e_key cascade kb then e
       else find_entry rest h cascade kb
 
 let find_cached cache sh h cascade kb =
@@ -276,10 +279,91 @@ let insert cache sh h key r stats =
       Stats.record_flush stats
     end;
     let slot = sh.s_buckets.(bucket_index cache h) in
-    Atomic.set slot ({ e_hash = h; e_key = key; e_res = r } :: Atomic.get slot);
+    Atomic.set slot
+      ({ e_hash = h; e_key = key; e_res = r; e_warm = false }
+      :: Atomic.get slot);
     sh.s_count <- sh.s_count + 1
   end;
   Mutex.unlock sh.s_lock
+
+(* --- snapshot support ------------------------------------------------------ *)
+
+(* The hash of a fully materialized key equals [hash_key] of its parts:
+   djb2-xor is a left fold over bytes and the separator is NUL (xor 0 =
+   identity), so hashing the concatenation byte-by-byte lands on the
+   same value.  This is what lets a snapshot loader re-insert entries
+   from their stored keys alone. *)
+let hash_of_key s = hash_string s 0 (String.length s) 5381 land max_int
+
+let dump cache =
+  let out = ref [] in
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.s_lock;
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun e -> out := (e.e_key, e.e_res) :: !out)
+            (Atomic.get b))
+        sh.s_buckets;
+      Mutex.unlock sh.s_lock)
+    cache.shards;
+  (* Sorted by key so two dumps of the same logical contents are equal
+     regardless of insertion or probe order — the snapshot writer
+     inherits byte-for-byte determinism from this. *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
+
+let load_entries ?pool cache kvs =
+  let n = Array.length kvs in
+  let nshards = Array.length cache.shards in
+  let hashes = Array.map (fun (k, _) -> hash_of_key k) kvs in
+  (* Group entry indices by shard: each shard's group is then loaded
+     under that shard's lock alone, so the groups can go to the pool —
+     parallel bulk load with zero cross-shard contention. *)
+  let groups = Array.make nshards [] in
+  for i = n - 1 downto 0 do
+    let s = hashes.(i) mod nshards in
+    groups.(s) <- i :: groups.(s)
+  done;
+  let load_shard si =
+    let sh = cache.shards.(si) in
+    let loaded = ref 0 in
+    Mutex.lock sh.s_lock;
+    List.iter
+      (fun i ->
+        (* Respect the shard bound: a snapshot larger than the cache
+           loads a prefix instead of triggering flush churn. *)
+        if sh.s_count < cache.shard_capacity then begin
+          let k, r = kvs.(i) in
+          let h = hashes.(i) in
+          let slot = sh.s_buckets.(bucket_index cache h) in
+          let present =
+            List.exists
+              (fun e -> e.e_hash = h && String.equal e.e_key k)
+              (Atomic.get slot)
+          in
+          if not present then begin
+            Atomic.set slot
+              ({ e_hash = h; e_key = k; e_res = r; e_warm = true }
+              :: Atomic.get slot);
+            sh.s_count <- sh.s_count + 1;
+            incr loaded
+          end
+        end)
+      groups.(si);
+    Mutex.unlock sh.s_lock;
+    !loaded
+  in
+  match pool with
+  | Some p when Dlz_base.Pool.domains p > 1 ->
+      Array.fold_left ( + ) 0
+        (Dlz_base.Pool.map p load_shard (Array.init nshards Fun.id))
+  | _ ->
+      let total = ref 0 in
+      for si = 0 to nshards - 1 do
+        total := !total + load_shard si
+      done;
+      !total
 
 (* Histogram handles resolved once: [Engine.reset_metrics] resets
    histograms in place, so the handles stay valid for the process
@@ -344,9 +428,10 @@ let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
       let h = hash_key cascade_name kb in
       let sh = shard_of cache h in
       match find_cached cache sh h cascade_name kb with
-      | r ->
+      | e ->
           Stats.record_hit stats;
-          settled stats sp t0 w0 ~hit:true "hit" h_hit r
+          if e.e_warm then Stats.record_warm_hit stats;
+          settled stats sp t0 w0 ~hit:true "hit" h_hit e.e_res
       | exception Not_found ->
           (* Solve outside any lock: queries on other keys proceed
              while this one runs.  Two domains racing on the same fresh

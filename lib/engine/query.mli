@@ -64,6 +64,25 @@ val shard_sizes : cache -> int array
 val shard_flushes : cache -> int array
 (** Times each shard was flushed since creation (or {!clear}). *)
 
+val dump : cache -> (string * Strategy.result) list
+(** Every cached entry as [(materialized key, result)], sorted by key —
+    a deterministic snapshot of the cache contents (two caches holding
+    the same entries dump identically, whatever the insertion order).
+    Degraded results are never cached, so every dumped result is clean.
+    Takes each shard's writer lock in turn; call from one domain while
+    no analysis is in flight. *)
+
+val load_entries :
+  ?pool:Dlz_base.Pool.t -> cache -> (string * Strategy.result) array -> int
+(** [load_entries cache kvs] bulk-inserts pre-solved entries (keys in
+    the {!key_of} materialized form), marking them {e warm}: a later
+    hit on one records {!Stats.record_warm_hit} alongside the plain
+    hit.  Entries are grouped by shard first, so with [pool] the shards
+    load in parallel without contending.  Respects the per-shard
+    capacity (overflow entries are dropped, never flushed for) and
+    skips keys already present; returns the number actually
+    inserted. *)
+
 val memoize :
   ?stats:Stats.t ->
   ?cache:cache ->

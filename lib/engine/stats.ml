@@ -22,11 +22,16 @@ type strategy_counters = {
 type t = {
   q_queries : int Atomic.t;
   q_hits : int Atomic.t;
+  q_warm_hits : int Atomic.t;  (* hits on snapshot-loaded entries *)
   q_misses : int Atomic.t;
   q_uncacheable : int Atomic.t;
   q_flushes : int Atomic.t;
   q_alloc_words : int Atomic.t;  (* minor words allocated inside queries *)
   q_hit_alloc_words : int Atomic.t;  (* ... by cache hits only *)
+  s_loaded : int Atomic.t;  (* entries bulk-loaded from snapshots *)
+  s_loads : int Atomic.t;  (* snapshot files accepted *)
+  s_rejects : int Atomic.t;  (* snapshot files refused (cold start) *)
+  s_saves : int Atomic.t;  (* snapshot files written *)
   o_checks : int Atomic.t;
   lock : Mutex.t;  (* guards [strategies], [degradations], [divergences] *)
   strategies : (string, atomic_counters) Hashtbl.t;
@@ -38,11 +43,16 @@ let create () =
   {
     q_queries = Atomic.make 0;
     q_hits = Atomic.make 0;
+    q_warm_hits = Atomic.make 0;
     q_misses = Atomic.make 0;
     q_uncacheable = Atomic.make 0;
     q_flushes = Atomic.make 0;
     q_alloc_words = Atomic.make 0;
     q_hit_alloc_words = Atomic.make 0;
+    s_loaded = Atomic.make 0;
+    s_loads = Atomic.make 0;
+    s_rejects = Atomic.make 0;
+    s_saves = Atomic.make 0;
     o_checks = Atomic.make 0;
     lock = Mutex.create ();
     strategies = Hashtbl.create 16;
@@ -55,11 +65,16 @@ let global = create ()
 let reset t =
   Atomic.set t.q_queries 0;
   Atomic.set t.q_hits 0;
+  Atomic.set t.q_warm_hits 0;
   Atomic.set t.q_misses 0;
   Atomic.set t.q_uncacheable 0;
   Atomic.set t.q_flushes 0;
   Atomic.set t.q_alloc_words 0;
   Atomic.set t.q_hit_alloc_words 0;
+  Atomic.set t.s_loaded 0;
+  Atomic.set t.s_loads 0;
+  Atomic.set t.s_rejects 0;
+  Atomic.set t.s_saves 0;
   Atomic.set t.o_checks 0;
   Mutex.lock t.lock;
   Hashtbl.reset t.strategies;
@@ -89,9 +104,20 @@ let counters t name =
 
 let record_query t = Atomic.incr t.q_queries
 let record_hit t = Atomic.incr t.q_hits
+let record_warm_hit t = Atomic.incr t.q_warm_hits
 let record_miss t = Atomic.incr t.q_misses
 let record_uncacheable t = Atomic.incr t.q_uncacheable
 let record_flush t = Atomic.incr t.q_flushes
+
+(* Snapshot (persistent-cache) accounting: one [load] or [reject] per
+   file the loader looked at, [loaded] entries admitted in total, one
+   [save] per snapshot written. *)
+let record_snapshot_loaded t n =
+  if n > 0 then ignore (Atomic.fetch_and_add t.s_loaded n)
+
+let record_snapshot_load t = Atomic.incr t.s_loads
+let record_snapshot_reject t = Atomic.incr t.s_rejects
+let record_snapshot_save t = Atomic.incr t.s_saves
 
 (* [words] is a [Gc.minor_words] delta measured around one query (the
    telemetry instrumentation itself is excluded by the measurement
@@ -171,9 +197,15 @@ let queries t = Atomic.get t.q_queries
 let alloc_words t = Atomic.get t.q_alloc_words
 let hit_alloc_words t = Atomic.get t.q_hit_alloc_words
 let cache_hits t = Atomic.get t.q_hits
+let warm_hits t = Atomic.get t.q_warm_hits
+let cold_hits t = Atomic.get t.q_hits - Atomic.get t.q_warm_hits
 let cache_misses t = Atomic.get t.q_misses
 let cache_uncacheable t = Atomic.get t.q_uncacheable
 let cache_flushes t = Atomic.get t.q_flushes
+let snapshot_loaded t = Atomic.get t.s_loaded
+let snapshot_loads t = Atomic.get t.s_loads
+let snapshot_rejects t = Atomic.get t.s_rejects
+let snapshot_saves t = Atomic.get t.s_saves
 
 let consistent t =
   queries t = cache_hits t + cache_misses t + cache_uncacheable t
@@ -250,6 +282,16 @@ let pp ?sort ppf t =
   if cache_flushes t > 0 then
     Format.fprintf ppf " / %d flushes" (cache_flushes t);
   Format.fprintf ppf " (hit ratio %.2f)" (hit_ratio t);
+  if warm_hits t > 0 then
+    Format.fprintf ppf "@,  hits %d warm (snapshot) / %d cold (this run)"
+      (warm_hits t) (cold_hits t);
+  if
+    snapshot_loads t > 0 || snapshot_rejects t > 0 || snapshot_saves t > 0
+  then
+    Format.fprintf ppf
+      "@,  snapshot: %d entries loaded (%d accepted, %d rejected), %d saved"
+      (snapshot_loaded t) (snapshot_loads t) (snapshot_rejects t)
+      (snapshot_saves t);
   if queries t > 0 then
     Format.fprintf ppf
       "@,  allocations %.1f minor words/query (%.1f on hits)"
@@ -276,12 +318,18 @@ let to_json t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"queries\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\
+       "{\"queries\":%d,\"cache\":{\"hits\":%d,\"warm_hits\":%d,\
+        \"cold_hits\":%d,\"misses\":%d,\
         \"uncacheable\":%d,\"flushes\":%d,\"hit_ratio\":%.4f},\
+        \"snapshot\":{\"loaded_entries\":%d,\"loads\":%d,\"rejects\":%d,\
+        \"saves\":%d},\
         \"alloc\":{\"minor_words\":%d,\"hit_minor_words\":%d,\
         \"per_query\":%.1f,\"per_hit\":%.1f},\"strategies\":["
-       (queries t) (cache_hits t) (cache_misses t) (cache_uncacheable t)
-       (cache_flushes t) (hit_ratio t) (alloc_words t) (hit_alloc_words t)
+       (queries t) (cache_hits t) (warm_hits t) (cold_hits t)
+       (cache_misses t) (cache_uncacheable t)
+       (cache_flushes t) (hit_ratio t) (snapshot_loaded t) (snapshot_loads t)
+       (snapshot_rejects t) (snapshot_saves t)
+       (alloc_words t) (hit_alloc_words t)
        (allocs_per_query t) (allocs_per_hit t));
   List.iteri
     (fun i (name, c) ->

@@ -27,9 +27,30 @@ val global : t
 val reset : t -> unit
 val record_query : t -> unit
 val record_hit : t -> unit
+
+val record_warm_hit : t -> unit
+(** A cache hit that landed on an entry bulk-loaded from a snapshot
+    (recorded {e in addition to} {!record_hit}): the warm/cold split
+    shows how much of the hit traffic a persisted cache paid for. *)
+
 val record_miss : t -> unit
 val record_uncacheable : t -> unit
 val record_flush : t -> unit
+
+val record_snapshot_loaded : t -> int -> unit
+(** [n] entries admitted into the cache from a snapshot file. *)
+
+val record_snapshot_load : t -> unit
+(** One snapshot file validated and bulk-loaded. *)
+
+val record_snapshot_reject : t -> unit
+(** One snapshot file refused — missing, truncated, corrupt, or keyed
+    by a different strategy-set/version hash.  The engine cold-starts;
+    this counter is the only trace the refusal leaves. *)
+
+val record_snapshot_save : t -> unit
+(** One snapshot file written. *)
+
 val record_attempt : t -> string -> unit
 val record_decision : t -> string -> Dlz_deptest.Verdict.t -> unit
 val record_pass : t -> string -> unit
@@ -48,7 +69,26 @@ val record_degradation : t -> string -> reason:string -> unit
 
 val queries : t -> int
 val cache_hits : t -> int
+
+val warm_hits : t -> int
+(** The slice of {!cache_hits} served by snapshot-loaded entries. *)
+
+val cold_hits : t -> int
+(** [cache_hits - warm_hits]: hits on entries solved this run. *)
+
 val cache_misses : t -> int
+
+val snapshot_loaded : t -> int
+(** Entries admitted from snapshot files since the last reset. *)
+
+val snapshot_loads : t -> int
+(** Snapshot files accepted (validated, bulk-loaded). *)
+
+val snapshot_rejects : t -> int
+(** Snapshot files refused; each refusal cold-starts the cache. *)
+
+val snapshot_saves : t -> int
+(** Snapshot files written. *)
 
 val cache_uncacheable : t -> int
 (** Queries on problems with no canonical numeric form. *)
