@@ -518,7 +518,11 @@ let cache_report () =
   (* Seed the snapshot (and fault in the corpus pages) once, untimed. *)
   Dlz_engine.Engine.reset_metrics ();
   sweep probs;
-  let entries = Persist.save snap in
+  let entries =
+    match Persist.save snap with
+    | Ok n -> n
+    | Error e -> failwith ("bench: snapshot save failed: " ^ e)
+  in
   let snapshot_bytes =
     let ic = open_in_bin snap in
     Fun.protect
@@ -801,6 +805,199 @@ let trace_report () =
   close_out oc;
   print_endline json
 
+(* --- daemon throughput, overload, warm restart (BENCH_serve.json) --------- *)
+
+(* The serve arm measures the daemon as deployed: a real listening
+   socket, real worker domains, and a thread fleet of simulated
+   clients hammering it through the framed protocol.  Four questions,
+   one phase each:
+
+   - capacity: sustained mixed-workload throughput and latency, with
+     the server-side request histogram alongside the client-observed
+     percentiles (the gap is framing, connection setup, and queueing);
+   - trace overhead: the capacity phase repeated at Timing and Full
+     recording — the service-shaped datapoint for the recorder
+     overhead budget (ROADMAP item 2: overhead under a live load, not
+     a tight loop);
+   - warm restart: drain-snapshot a loaded server, restart from the
+     snapshot, and show the restarted server answering from the
+     disk-warmed cache (warm_hits > 0);
+   - overload: one worker and a tiny queue under a large fleet —
+     shedding must be explicit (counted refusals, not timeouts) and
+     the accepted requests' server-side p99 must stay bounded by the
+     per-request deadline. *)
+let serve_report () =
+  let module Serve = Dlz_driver.Serve in
+  let module Server = Dlz_serve.Server in
+  let module Metrics = Dlz_serve.Metrics in
+  let with_server cfg f =
+    match Server.start cfg with
+    | Error m -> failwith ("bench serve: " ^ m)
+    | Ok srv ->
+        let r = f (Server.address srv) in
+        Server.stop srv;
+        let s = Server.join srv in
+        (r, s)
+  in
+  let base_cfg () =
+    let cfg = Server.default_config (Dlz_serve.Addr.Tcp ("127.0.0.1", 0)) in
+    {
+      cfg with
+      Server.workers = min 4 (Domain.recommended_domain_count ());
+      queue_capacity = 256;
+      request_timeout_ms = Some 1_000;
+    }
+  in
+  let saved_level = Trace.level () in
+  Fun.protect ~finally:(fun () -> Trace.set_level saved_level) @@ fun () ->
+  (* Capacity: 1000 sessions of 4 mixed requests over 16 client
+     threads.  The engine cache is reset while the server is down, so
+     the phase includes the cold misses a fresh daemon would see. *)
+  let capacity level =
+    Dlz_engine.Engine.reset_metrics ();
+    Trace.reset_hists ();
+    Trace.set_level level;
+    let rep, _ =
+      with_server (base_cfg ()) (fun addr ->
+          Serve.load_gen ~addr ~clients:16 ~sessions:1_000
+            ~requests_per_session:4 ~workload:Serve.Mix ())
+    in
+    let h = Trace.hist "serve.request" in
+    let p50 = Trace.Hist.percentile h 0.50 in
+    let p99 = Trace.Hist.percentile h 0.99 in
+    Trace.set_level Trace.Off;
+    (rep, p50, p99)
+  in
+  let rep_t, srv_p50, srv_p99 = capacity Trace.Timing in
+  let rep_f, _, _ = capacity Trace.Full in
+  let rps_t = Serve.throughput rep_t in
+  let rps_f = Serve.throughput rep_f in
+  let full_overhead = if rps_t > 0. then 1. -. (rps_f /. rps_t) else 0. in
+  (* Warm restart: load a server with the query workload, drain it
+     (the snapshot rides the drain), reset every in-memory metric, and
+     restart from the snapshot under the same load. *)
+  let query_load addr =
+    Serve.load_gen ~addr ~clients:8 ~sessions:200 ~requests_per_session:8
+      ~workload:Serve.Query ()
+  in
+  let snap = Filename.temp_file "vic-bench-serve" ".snap" in
+  Dlz_engine.Engine.reset_metrics ();
+  let rep_cold, sum_cold =
+    with_server
+      { (base_cfg ()) with Server.snapshot_save = Some snap }
+      query_load
+  in
+  let snap_entries =
+    match sum_cold.Server.sm_saved with Some (Ok n) -> n | _ -> 0
+  in
+  Dlz_engine.Engine.reset_metrics ();
+  let rep_warm, sum_warm =
+    with_server
+      { (base_cfg ()) with Server.snapshot_load = Some snap }
+      query_load
+  in
+  let loaded_entries =
+    match sum_warm.Server.sm_loaded with Some (Ok n) -> n | _ -> 0
+  in
+  let warm_hits = Dlz_engine.Stats.warm_hits Dlz_engine.Stats.global in
+  (try Sys.remove snap with Sys_error _ -> ());
+  (* Overload: 1 worker, queue of 2, a 32-thread fleet.  Most arrivals
+     must be refused explicitly; the few admitted must still answer
+     inside the per-request deadline. *)
+  let deadline_ms = 500 in
+  Dlz_engine.Engine.reset_metrics ();
+  Trace.reset_hists ();
+  Trace.set_level Trace.Timing;
+  let rep_over, sum_over =
+    with_server
+      {
+        (base_cfg ()) with
+        Server.workers = 1;
+        queue_capacity = 2;
+        request_timeout_ms = Some deadline_ms;
+      }
+      (fun addr ->
+        Serve.load_gen ~addr ~clients:32 ~sessions:600
+          ~requests_per_session:2 ~workload:Serve.Query
+          ~timeout_ms:deadline_ms ())
+  in
+  let over_p99 = Trace.Hist.percentile (Trace.hist "serve.request") 0.99 in
+  Trace.set_level Trace.Off;
+  let om = sum_over.Server.sm_metrics in
+  let arrivals = om.Metrics.s_accepted + om.Metrics.s_shed in
+  let shed_rate =
+    if arrivals = 0 then 0.
+    else float_of_int om.Metrics.s_shed /. float_of_int arrivals
+  in
+  Dlz_engine.Engine.reset_metrics ();
+  let t =
+    Tbl.create
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "phase"; "ok"; "rps"; "p99 (client)"; "p99 (server)" ]
+  in
+  let ms ns = Printf.sprintf "%.2fms" (Int64.to_float ns /. 1e6) in
+  let msf ns = Printf.sprintf "%.2fms" (ns /. 1e6) in
+  Tbl.add_row t
+    [
+      "capacity (timing)"; string_of_int rep_t.Serve.lg_ok;
+      Printf.sprintf "%.0f" rps_t; ms (Serve.percentile rep_t 99.);
+      msf srv_p99;
+    ];
+  Tbl.add_row t
+    [
+      "capacity (full)"; string_of_int rep_f.Serve.lg_ok;
+      Printf.sprintf "%.0f" rps_f; ms (Serve.percentile rep_f 99.); "-";
+    ];
+  Tbl.add_row t
+    [
+      "warm restart"; string_of_int rep_warm.Serve.lg_ok;
+      Printf.sprintf "%.0f" (Serve.throughput rep_warm);
+      ms (Serve.percentile rep_warm 99.); "-";
+    ];
+  Tbl.add_row t
+    [
+      "overload (1w/q2)"; string_of_int rep_over.Serve.lg_ok;
+      Printf.sprintf "%.0f" (Serve.throughput rep_over);
+      ms (Serve.percentile rep_over 99.); msf over_p99;
+    ];
+  print_string (Tbl.render t);
+  Printf.printf
+    "full-trace overhead %.1f%%; warm restart loaded %d entries, %d warm \
+     hits; overload shed %d/%d (%.0f%%), server p99 %.1fms vs %dms deadline\n"
+    (full_overhead *. 100.) loaded_entries warm_hits om.Metrics.s_shed
+    arrivals (shed_rate *. 100.) (over_p99 /. 1e6) deadline_ms;
+  let json =
+    Printf.sprintf
+      "{\"workload\":\"mix+query\",%s,\
+       \"capacity\":{\"sessions\":1000,\"requests\":%d,\"ok\":%d,\
+       \"degraded\":%d,\"shed\":%d,\"transport\":%d,\
+       \"throughput_rps\":%.1f,\"client_p50_ns\":%Ld,\"client_p99_ns\":%Ld,\
+       \"server_p50_ns\":%.0f,\"server_p99_ns\":%.0f},\
+       \"trace_overhead\":{\"timing_rps\":%.1f,\"full_rps\":%.1f,\
+       \"full_over_timing\":%.4f},\
+       \"warm_restart\":{\"snapshot_entries\":%d,\"loaded_entries\":%d,\
+       \"warm_hits\":%d,\"cold_ok\":%d,\"warm_ok\":%d,\
+       \"cold_elapsed_ns\":%Ld,\"warm_elapsed_ns\":%Ld},\
+       \"overload\":{\"workers\":1,\"queue\":2,\"deadline_ms\":%d,\
+       \"arrivals\":%d,\"ok\":%d,\"shed\":%d,\"shed_rate\":%.4f,\
+       \"server_p99_ns\":%.0f,\"p99_within_deadline\":%b}}"
+      host_json rep_t.Serve.lg_requests rep_t.Serve.lg_ok
+      rep_t.Serve.lg_degraded rep_t.Serve.lg_shed rep_t.Serve.lg_transport
+      rps_t
+      (Serve.percentile rep_t 50.)
+      (Serve.percentile rep_t 99.)
+      srv_p50 srv_p99 rps_t rps_f full_overhead snap_entries loaded_entries
+      warm_hits rep_cold.Serve.lg_ok rep_warm.Serve.lg_ok
+      rep_cold.Serve.lg_elapsed_ns rep_warm.Serve.lg_elapsed_ns deadline_ms
+      arrivals rep_over.Serve.lg_ok om.Metrics.s_shed shed_rate over_p99
+      (over_p99 <= float_of_int deadline_ms *. 1e6)
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline json
+
 (* --- differential oracle throughput (BENCH_oracle.json) -------------------- *)
 
 (* How fast the cross-check harness grinds through cases: the mixed
@@ -951,6 +1148,12 @@ let run_cache_only () =
     "== Warm-start snapshot speedup (written to BENCH_cache.json) ==";
   cache_report ()
 
+let run_serve_only () =
+  print_endline
+    "== Daemon throughput, overload, warm restart (written to \
+     BENCH_serve.json) ==";
+  serve_report ()
+
 let run_full () =
   print_endline "== Bechamel micro-benchmarks (one group per experiment) ==";
   print_results (benchmark ());
@@ -993,7 +1196,9 @@ let run_full () =
   print_newline ();
   run_trace_only ();
   print_newline ();
-  run_oracle_only ()
+  run_oracle_only ();
+  print_newline ();
+  run_serve_only ()
 
 let () =
   (* `dune exec bench/main.exe -- parallel` (or `-- robustness`,
@@ -1005,10 +1210,11 @@ let () =
   | _ :: "robustness" :: _ -> run_robustness_only ()
   | _ :: "trace" :: _ -> run_trace_only ()
   | _ :: "oracle" :: _ -> run_oracle_only ()
+  | _ :: "serve" :: _ -> run_serve_only ()
   | _ :: "perf-smoke" :: _ -> perf_smoke ()
   | _ :: [] -> run_full ()
   | _ ->
       prerr_endline
         "usage: bench/main.exe [parallel|cache|robustness|trace|oracle|\
-         perf-smoke]";
+         serve|perf-smoke]";
       exit 2

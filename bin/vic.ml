@@ -472,7 +472,12 @@ let analyze_cmd =
                 exit 1);
             match save_path with
             | None -> ()
-            | Some p -> ignore (Persist.save p));
+            | Some p -> (
+                match Persist.save p with
+                | Ok _ -> ()
+                | Error reason ->
+                    Printf.eprintf "warning: snapshot save %s: %s\n%!" p
+                      reason));
         if stats then begin
           print_newline ();
           Format.printf "%a@."
@@ -868,12 +873,139 @@ let fuzz_cmd =
           $ limit_arg $ out_arg $ replay_arg $ stats_arg $ jobs_arg $ fuel_arg
           $ chaos_arg $ trace_out_arg $ trace_sample_arg $ sort_arg)
 
+let serve_cmd =
+  let addr_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Address to listen on: 'unix:PATH', a bare socket\n\
+                   path, 'tcp:HOST:PORT', or 'HOST:PORT'.  Port 0\n\
+                   requests an ephemeral TCP port (printed at startup).\n\
+                   Default: a per-user unix socket under\n\
+                   \\$XDG_RUNTIME_DIR or /tmp.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Session worker domains: concurrent connections\n\
+                   served (the rest wait in the admission queue).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue capacity.  A connection arriving to\n\
+                   a full queue is refused immediately with\n\
+                   ok:false reason:overloaded and a retry_after_ms\n\
+                   hint — nothing queues unboundedly.")
+  in
+  let request_fuel_arg =
+    Arg.(value & opt (some int) None
+         & info [ "request-fuel" ] ~docv:"N"
+             ~doc:"Per-request solver-step ceiling.  A client may ask\n\
+                   for less (the 'fuel' request field); the effective\n\
+                   budget is the smaller of the two, carved from the\n\
+                   server-wide budget.")
+  in
+  let request_timeout_arg =
+    Arg.(value & opt (some int) (Some 2_000)
+         & info [ "request-timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request wall-clock deadline (default 2000).\n\
+                   Requests past it degrade to the conservative verdict\n\
+                   and are answered, not killed.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt int 10_000
+         & info [ "idle-timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-read socket timeout: bounds slow-loris clients\n\
+                   and the worst-case drain latency.")
+  in
+  let max_frame_arg =
+    Arg.(value & opt int Dlz_serve.Frame.default_max_bytes
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Largest accepted request frame; beyond it the\n\
+                   request is refused and the connection closed.")
+  in
+  let retry_after_arg =
+    Arg.(value & opt int 50
+         & info [ "retry-after-ms" ] ~docv:"MS"
+             ~doc:"Hint attached to 'overloaded' refusals.")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress the startup and drain chatter.")
+  in
+  let default_socket () =
+    let dir =
+      match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+      | Some d when d <> "" -> d
+      | _ -> Filename.get_temp_dir_name ()
+    in
+    Filename.concat dir
+      (Printf.sprintf "vic-serve-%d.sock" (Unix.getuid ()))
+  in
+  let run addr workers queue request_fuel request_timeout_ms idle_timeout_ms
+      max_frame retry_after_ms fuel timeout_ms cascade chaos cache_load
+      cache_save cache_auto stats_json quiet =
+    set_chaos chaos;
+    let cascade = cascade_of cascade in
+    let address =
+      match addr with
+      | None -> Dlz_serve.Addr.Unix_sock (default_socket ())
+      | Some s -> (
+          match Dlz_serve.Addr.of_string s with
+          | Ok a -> a
+          | Error m ->
+              prerr_endline ("--listen: " ^ m);
+              exit 1)
+    in
+    let module Persist = Dlz_engine.Persist in
+    let snapshot_load =
+      match cache_load with
+      | Some _ as p -> p
+      | None -> if cache_auto then Some (Persist.default_path ()) else None
+    in
+    let snapshot_save =
+      match cache_save with
+      | Some _ as p -> p
+      | None -> if cache_auto then Some (Persist.default_path ()) else None
+    in
+    let cfg =
+      {
+        Dlz_serve.Server.address;
+        workers = max 1 workers;
+        queue_capacity = max 1 queue;
+        max_frame = max 1024 max_frame;
+        idle_timeout_ms = max 100 idle_timeout_ms;
+        retry_after_ms = max 0 retry_after_ms;
+        request_fuel;
+        request_timeout_ms;
+        global_fuel = fuel;
+        global_timeout_ms = timeout_ms;
+        cascade;
+        snapshot_load;
+        snapshot_save;
+      }
+    in
+    Dlz_driver.Serve.run_cli ~stats_json ~quiet cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent dependence-query daemon: a framed\n\
+             NDJSON protocol over a unix or TCP socket, bounded\n\
+             admission with explicit overload shedding, per-request\n\
+             deadlines, per-connection fault isolation, and graceful\n\
+             SIGTERM drain with a warm-cache snapshot.")
+    Term.(const run $ addr_arg $ workers_arg $ queue_arg $ request_fuel_arg
+          $ request_timeout_arg $ idle_timeout_arg $ max_frame_arg
+          $ retry_after_arg $ fuel_arg $ timeout_arg $ cascade_arg $ chaos_arg
+          $ cache_load_arg $ cache_save_arg $ cache_auto_arg $ stats_json_arg
+          $ quiet_arg)
+
 let main_cmd =
   let doc = "delinearization-based dependence analysis (Maslov, PLDI 1992)" in
   Cmd.group (Cmd.info "vic" ~version:"1.0.0" ~doc)
     [
       analyze_cmd; vectorize_cmd; delinearize_cmd; trace_cmd; graph_cmd;
-      experiments_cmd; corpus_cmd; fuzz_cmd;
+      experiments_cmd; corpus_cmd; fuzz_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -28,12 +28,27 @@ let trip reason =
    bounds on work between strategy boundaries, not hard realtime. *)
 let tick_mask = 255
 
+(* Saturating [now + ms * 1e6]: a huge timeout must behave as "no own
+   deadline", not wrap negative — a wrapped deadline would win the
+   min against the parent's and trip the child immediately, exactly
+   inverting the clamping invariant ([sub] children never outlive
+   their parent's deadline, and a looser child inherits the parent's
+   tighter one). *)
+let deadline_after now ms =
+  if ms <= 0 then now
+  else
+    let ms64 = Int64.of_int ms in
+    if Int64.compare ms64 (Int64.div Int64.max_int 1_000_000L) > 0 then
+      Int64.max_int
+    else
+      let d = Int64.add now (Int64.mul ms64 1_000_000L) in
+      if Int64.compare d now < 0 then Int64.max_int else d
+
 let resolve_deadline ~parent_deadline timeout_ms =
   let own =
     match timeout_ms with
     | None -> None
-    | Some ms ->
-        Some (Int64.add (now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
+    | Some ms -> Some (deadline_after (now_ns ()) ms)
   in
   match (own, parent_deadline) with
   | None, d | d, None -> d

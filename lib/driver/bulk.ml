@@ -13,7 +13,15 @@ let rec walk acc root rel =
   Array.fold_left
     (fun acc name ->
       let rel' = if rel = "" then name else rel ^ "/" ^ name in
-      if Sys.is_directory (Filename.concat root rel') then walk acc root rel'
+      (* A dangling symlink (or an entry racing a delete) fails the
+         stat; keep kernel-suffixed ones so the per-file open reports
+         the io fault on its own ok:false line instead of the whole
+         walk raising. *)
+      let is_dir =
+        try Sys.is_directory (Filename.concat root rel')
+        with Sys_error _ -> false
+      in
+      if is_dir then walk acc root rel'
       else if
         Filename.check_suffix name ".f" || Filename.check_suffix name ".c"
       then rel' :: acc
@@ -132,6 +140,11 @@ let analyze_file ~mode ~cascade ~budget ~env root rel =
   | Dlz_passes.Inline.Unsupported m ->
       finish (failed rel ("inlining: " ^ m) 0L)
   | Failure m -> finish (failed rel m 0L)
+  | Sys_error m ->
+      (* An unreadable file (permissions, vanished mid-walk) is a row,
+         not a crash; the strerror text is host-stable, so the report
+         stays byte-identical across [--jobs N]. *)
+      finish (failed rel ("io: " ^ m) 0L)
 
 (* {2 NDJSON} *)
 

@@ -1,0 +1,56 @@
+(** CLI glue and load generation for the [vic serve] daemon.
+
+    {!run_cli} wires SIGTERM/SIGINT to the server's graceful drain and
+    blocks until shutdown.  {!load_gen} is the simulated-client fleet
+    behind the serve bench arm and the overload tests: a thread per
+    simulated client (threads, not domains — a client's life is
+    blocked socket I/O, and thousands of threads fit where domains
+    cannot), each running framed sessions against the daemon and
+    classifying every reply. *)
+
+val run_cli : ?stats_json:bool -> ?quiet:bool -> Dlz_serve.Server.config -> unit
+(** Start, announce, drain on SIGTERM/SIGINT (or a [shutdown] request),
+    join, report.  [stats_json] prints one machine-readable
+    [{"serve":..,"engine":..}] line on exit.  Exits the process with
+    code 1 when the server cannot start. *)
+
+type workload = Ping | Query | Analyze | Mix
+(** [Mix] is query-heavy, like a compiler driving the daemon: 6/8
+    queries, 1/8 pings, 1/8 whole-program analyzes. *)
+
+val workload_of_string : string -> workload option
+
+type report = {
+  lg_sessions : int;
+  lg_requests : int;
+  lg_ok : int;
+  lg_degraded : int;  (** ok replies that carried degradations *)
+  lg_shed : int;  (** explicit ["overloaded"] refusals *)
+  lg_draining : int;
+  lg_errors : int;  (** other [ok:false] replies *)
+  lg_transport : int;  (** connects or reads that died *)
+  lg_elapsed_ns : int64;
+  lg_latencies_ns : int64 array;  (** sorted; one per answered request *)
+}
+
+val percentile : report -> float -> int64
+(** Client-observed latency percentile (ns); 0 when nothing completed. *)
+
+val throughput : report -> float
+(** Answered requests per second over the fleet's wall-clock. *)
+
+val load_gen :
+  addr:Dlz_serve.Addr.t ->
+  clients:int ->
+  sessions:int ->
+  requests_per_session:int ->
+  workload:workload ->
+  ?fuel:int ->
+  ?timeout_ms:int ->
+  unit ->
+  report
+(** Run [sessions] sessions of [requests_per_session] requests each,
+    dealt round-robin over [clients] concurrent threads.  [fuel] and
+    [timeout_ms] are attached to every request (the per-request budget
+    ask).  A shed/draining reply ends its session (the server closes
+    the connection after refusing). *)

@@ -45,6 +45,32 @@ let set_current c = state := c
 let strikes t = Atomic.get t.hits
 let reset_strikes t = Atomic.set t.hits 0
 
+type io_fault = Torn_frame | Disconnect | Slow_write
+
+let io_fault_to_string = function
+  | Torn_frame -> "torn-frame"
+  | Disconnect -> "disconnect"
+  | Slow_write -> "slow-write"
+
+let io_strike t ~point ~key =
+  if t.rate_ppm = 0 then None
+  else begin
+    (* Same content-keyed discipline as [strike]: the decision is a
+       pure function of seed + (point, key), so a given frame meets the
+       same socket fault on every run and under any worker count. *)
+    let h = Hashtbl.hash_param 256 1024 (point, key) in
+    let g = Prng.create (Int64.logxor t.seed (Int64.of_int h)) in
+    if Prng.int g 1_000_000 < t.rate_ppm then begin
+      Atomic.incr t.hits;
+      Some
+        (match Prng.int g 3 with
+        | 0 -> Torn_frame
+        | 1 -> Disconnect
+        | _ -> Slow_write)
+    end
+    else None
+  end
+
 let strike t ~strategy (p : Problem.t) =
   if t.rate_ppm > 0 then begin
     (* Content-keyed: the decision depends only on seed + (strategy,

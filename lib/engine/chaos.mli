@@ -55,3 +55,26 @@ val strike : t -> strategy:string -> Dlz_deptest.Problem.t -> unit
 (** Called by the cascade just before running [strategy] on the
     problem.  Deterministically decides whether to inject a fault for
     this (strategy, problem) pair and, if so, counts it and raises. *)
+
+(** {2 Socket-boundary strikes}
+
+    The serve layer injects faults at frame boundaries rather than
+    strategy boundaries: a frame may arrive torn (bytes mangled
+    mid-payload), the peer may vanish mid-stream, or a write may crawl
+    byte-group by byte-group (a cooperating slow-loris).  These return
+    a fault for the caller to {e enact} instead of raising, because
+    the right enactment differs per boundary (mangle vs close vs
+    stall). *)
+
+type io_fault =
+  | Torn_frame  (** deliver a corrupted frame / abort mid-write *)
+  | Disconnect  (** the connection drops at this boundary *)
+  | Slow_write  (** the transfer proceeds in tiny stalled pieces *)
+
+val io_fault_to_string : io_fault -> string
+
+val io_strike : t -> point:string -> key:string -> io_fault option
+(** Content-keyed like {!strike} on (point, key) — [point] names the
+    boundary (["frame.read"], ["frame.write"]) and [key] is the frame
+    payload — so the same frame meets the same fault on every run.
+    Counts toward {!strikes} when a fault fires. *)

@@ -208,40 +208,65 @@ let rec mkdirs d =
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
 
-let save ?(stats = Stats.global) ?(cache = Query.global_cache) path =
-  Trace.with_span ~cat:"persist" ~args:[ ("path", path) ] "snapshot.save"
-    (fun () ->
-      let entries = Query.dump cache in
-      let payload = Buffer.create (64 * (1 + List.length entries)) in
-      let count =
-        List.fold_left
-          (fun n (key, r) ->
-            if encodable r then (
-              encode_entry payload key r;
-              n + 1)
-            else n)
-          0 entries
-      in
-      let payload = Buffer.contents payload in
-      let header = Buffer.create 40 in
-      Buffer.add_string header magic;
-      put_i64 header (tag ());
-      put_i64 header count;
-      put_i64 header (String.length payload);
-      put_i64 header (djb2 payload);
-      mkdirs (Filename.dirname path);
-      let tmp = path ^ ".tmp" in
-      Out_channel.with_open_bin tmp (fun oc ->
-          Out_channel.output_string oc (Buffer.contents header);
-          Out_channel.output_string oc payload);
-      Sys.rename tmp path;
-      Stats.record_snapshot_save stats;
-      count)
-
 let trivial_problem =
   lazy
     (Problem.synthetic
        { Problem.n_common = 0; common_ubs = [||]; eqs = []; opaque_dims = 0 })
+
+let save ?(stats = Stats.global) ?(cache = Query.global_cache) path =
+  Trace.with_span ~cat:"persist" ~args:[ ("path", path) ] "snapshot.save"
+    (fun () ->
+      let tmp = path ^ ".tmp" in
+      let outcome =
+        try
+          let entries = Query.dump cache in
+          let payload = Buffer.create (64 * (1 + List.length entries)) in
+          let count =
+            List.fold_left
+              (fun n (key, r) ->
+                if encodable r then (
+                  encode_entry payload key r;
+                  n + 1)
+                else n)
+              0 entries
+          in
+          let payload = Buffer.contents payload in
+          let header = Buffer.create 40 in
+          Buffer.add_string header magic;
+          put_i64 header (tag ());
+          put_i64 header count;
+          put_i64 header (String.length payload);
+          put_i64 header (djb2 payload);
+          mkdirs (Filename.dirname path);
+          Out_channel.with_open_bin tmp (fun oc ->
+              Out_channel.output_string oc (Buffer.contents header);
+              Out_channel.output_string oc payload;
+              (* Strike after the bytes are down but before the rename:
+                 the worst possible moment — a fault here must still
+                 leave either the old file or nothing at [path], and no
+                 [.tmp] litter.  Same containment contract as the load
+                 boundary. *)
+              match Chaos.current () with
+              | Some c ->
+                  Chaos.strike c ~strategy:"persist.save"
+                    (Lazy.force trivial_problem)
+              | None -> ());
+          Sys.rename tmp path;
+          Ok count
+        with e ->
+          (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
+          (match e with
+          | Sys_error m -> Error m
+          | Out_of_memory -> Error "out of memory"
+          | e -> Error (Printexc.to_string e))
+      in
+      match outcome with
+      | Ok n ->
+          Stats.record_snapshot_save stats;
+          Ok n
+      | Error _ as e ->
+          Stats.record_snapshot_save_fail stats;
+          e)
 
 let load ?(stats = Stats.global) ?(cache = Query.global_cache) ?pool path =
   Trace.with_span ~cat:"persist" ~args:[ ("path", path) ] "snapshot.load"

@@ -35,15 +35,21 @@ val default_path : unit -> string
     [~/.cache/vic/], then the temp dir).  The tag in the name lets
     snapshots for different strategy sets coexist. *)
 
-val save : ?stats:Stats.t -> ?cache:Query.cache -> string -> int
+val save : ?stats:Stats.t -> ?cache:Query.cache -> string -> (int, string) result
 (** [save path] serializes the cache (default {!Query.global_cache})
-    to [path] and returns the number of entries written.  The dump is
+    to [path]; [Ok n] is the number of entries written.  The dump is
     key-sorted and the write is atomic (temp file + rename), so equal
     cache contents produce byte-identical files and a crashed save
     never leaves a torn one.  Creates the parent directory when
     missing.  Entries whose distances are not constant polynomials are
     skipped (cacheable problems never produce them; this is a format
-    guard, not a policy).  Records one {!Stats.record_snapshot_save}. *)
+    guard, not a policy).  [Error reason] means the write failed — a
+    full disk, a permission error, or an injected chaos fault at the
+    save boundary — and was contained: never raises, removes the tmp
+    file so no partial snapshot is left at or near [path], and leaves
+    any previous snapshot at [path] intact.  Records one
+    {!Stats.record_snapshot_save} on success, one
+    {!Stats.record_snapshot_save_fail} on failure. *)
 
 val load :
   ?stats:Stats.t ->

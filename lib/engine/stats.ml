@@ -32,6 +32,7 @@ type t = {
   s_loads : int Atomic.t;  (* snapshot files accepted *)
   s_rejects : int Atomic.t;  (* snapshot files refused (cold start) *)
   s_saves : int Atomic.t;  (* snapshot files written *)
+  s_save_fails : int Atomic.t;  (* snapshot writes that failed (contained) *)
   o_checks : int Atomic.t;
   lock : Mutex.t;  (* guards [strategies], [degradations], [divergences] *)
   strategies : (string, atomic_counters) Hashtbl.t;
@@ -53,6 +54,7 @@ let create () =
     s_loads = Atomic.make 0;
     s_rejects = Atomic.make 0;
     s_saves = Atomic.make 0;
+    s_save_fails = Atomic.make 0;
     o_checks = Atomic.make 0;
     lock = Mutex.create ();
     strategies = Hashtbl.create 16;
@@ -75,6 +77,7 @@ let reset t =
   Atomic.set t.s_loads 0;
   Atomic.set t.s_rejects 0;
   Atomic.set t.s_saves 0;
+  Atomic.set t.s_save_fails 0;
   Atomic.set t.o_checks 0;
   Mutex.lock t.lock;
   Hashtbl.reset t.strategies;
@@ -118,6 +121,7 @@ let record_snapshot_loaded t n =
 let record_snapshot_load t = Atomic.incr t.s_loads
 let record_snapshot_reject t = Atomic.incr t.s_rejects
 let record_snapshot_save t = Atomic.incr t.s_saves
+let record_snapshot_save_fail t = Atomic.incr t.s_save_fails
 
 (* [words] is a [Gc.minor_words] delta measured around one query (the
    telemetry instrumentation itself is excluded by the measurement
@@ -206,6 +210,7 @@ let snapshot_loaded t = Atomic.get t.s_loaded
 let snapshot_loads t = Atomic.get t.s_loads
 let snapshot_rejects t = Atomic.get t.s_rejects
 let snapshot_saves t = Atomic.get t.s_saves
+let snapshot_save_fails t = Atomic.get t.s_save_fails
 
 let consistent t =
   queries t = cache_hits t + cache_misses t + cache_uncacheable t
@@ -287,11 +292,15 @@ let pp ?sort ppf t =
       (warm_hits t) (cold_hits t);
   if
     snapshot_loads t > 0 || snapshot_rejects t > 0 || snapshot_saves t > 0
-  then
+    || snapshot_save_fails t > 0
+  then begin
     Format.fprintf ppf
       "@,  snapshot: %d entries loaded (%d accepted, %d rejected), %d saved"
       (snapshot_loaded t) (snapshot_loads t) (snapshot_rejects t)
       (snapshot_saves t);
+    if snapshot_save_fails t > 0 then
+      Format.fprintf ppf " (%d save failures)" (snapshot_save_fails t)
+  end;
   if queries t > 0 then
     Format.fprintf ppf
       "@,  allocations %.1f minor words/query (%.1f on hits)"
@@ -322,13 +331,13 @@ let to_json t =
         \"cold_hits\":%d,\"misses\":%d,\
         \"uncacheable\":%d,\"flushes\":%d,\"hit_ratio\":%.4f},\
         \"snapshot\":{\"loaded_entries\":%d,\"loads\":%d,\"rejects\":%d,\
-        \"saves\":%d},\
+        \"saves\":%d,\"save_fails\":%d},\
         \"alloc\":{\"minor_words\":%d,\"hit_minor_words\":%d,\
         \"per_query\":%.1f,\"per_hit\":%.1f},\"strategies\":["
        (queries t) (cache_hits t) (warm_hits t) (cold_hits t)
        (cache_misses t) (cache_uncacheable t)
        (cache_flushes t) (hit_ratio t) (snapshot_loaded t) (snapshot_loads t)
-       (snapshot_rejects t) (snapshot_saves t)
+       (snapshot_rejects t) (snapshot_saves t) (snapshot_save_fails t)
        (alloc_words t) (hit_alloc_words t)
        (allocs_per_query t) (allocs_per_hit t));
   List.iteri

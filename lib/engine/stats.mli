@@ -51,6 +51,12 @@ val record_snapshot_reject : t -> unit
 val record_snapshot_save : t -> unit
 (** One snapshot file written. *)
 
+val record_snapshot_save_fail : t -> unit
+(** One snapshot write that failed and was contained — a full disk, a
+    permission error, or a chaos strike at the save boundary.  The
+    failed write leaves no partial file behind (the tmp file is
+    removed); this counter is the only trace it leaves. *)
+
 val record_attempt : t -> string -> unit
 val record_decision : t -> string -> Dlz_deptest.Verdict.t -> unit
 val record_pass : t -> string -> unit
@@ -89,6 +95,9 @@ val snapshot_rejects : t -> int
 
 val snapshot_saves : t -> int
 (** Snapshot files written. *)
+
+val snapshot_save_fails : t -> int
+(** Snapshot writes that failed and were contained. *)
 
 val cache_uncacheable : t -> int
 (** Queries on problems with no canonical numeric form. *)

@@ -1,0 +1,82 @@
+type t = Unix_sock of string | Tcp of string * int
+
+let to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let of_string s =
+  let prefixed p =
+    if String.length s > String.length p && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some p -> Ok (Unix_sock p)
+  | None -> (
+      let host_port hp =
+        match String.rindex_opt hp ':' with
+        | None -> Error (Printf.sprintf "bad tcp address %S (want host:port)" hp)
+        | Some i -> (
+            let host = String.sub hp 0 i in
+            let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+            match int_of_string_opt port with
+            | Some p when p >= 0 && p < 65536 ->
+                Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+            | _ -> Error (Printf.sprintf "bad port %S" port))
+      in
+      match prefixed "tcp:" with
+      | Some hp -> host_port hp
+      | None ->
+          (* Bare forms: a path is a unix socket, "host:port" is TCP. *)
+          if String.length s > 0 && (s.[0] = '/' || s.[0] = '.') then
+            Ok (Unix_sock s)
+          else if String.contains s ':' then host_port s
+          else Error (Printf.sprintf "bad address %S (want unix:PATH or tcp:HOST:PORT)" s))
+
+let resolve_host host =
+  try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  with Not_found | Unix.Unix_error _ -> Unix.inet_addr_loopback
+
+let sockaddr_of = function
+  | Unix_sock p -> Unix.ADDR_UNIX p
+  | Tcp (h, p) -> Unix.ADDR_INET (resolve_host h, p)
+
+let listen ?(backlog = 128) t =
+  try
+    let dom = match t with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+    let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+    (try
+       (match t with
+       | Unix_sock p ->
+           (* A stale socket file from a crashed server blocks bind;
+              removing it is the standard unix-daemon move. *)
+           if Sys.file_exists p then Sys.remove p
+       | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+       Unix.bind fd (sockaddr_of t);
+       Unix.listen fd backlog;
+       let resolved =
+         match (t, Unix.getsockname fd) with
+         | Tcp (h, _), Unix.ADDR_INET (_, port) -> Tcp (h, port)
+         | t, _ -> t
+       in
+       Ok (fd, resolved)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e)
+  with
+  | Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "listen %s: %s" (to_string t) (Unix.error_message err))
+  | Sys_error m -> Error m
+
+let connect t =
+  try
+    let dom = match t with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+    let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (sockaddr_of t);
+       Ok fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e)
+  with Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "connect %s: %s" (to_string t) (Unix.error_message err))

@@ -1,0 +1,16 @@
+(** Server addresses: a unix-domain socket path or a TCP host:port. *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Accepts ["unix:PATH"], ["tcp:HOST:PORT"], a bare path (leading [/]
+    or [.]), or bare ["HOST:PORT"] (empty host means loopback). *)
+
+val listen : ?backlog:int -> t -> (Unix.file_descr * t, string) result
+(** Binds and listens.  For [Unix_sock] a stale socket file is removed
+    first; for [Tcp] the returned address carries the resolved port
+    (so port [0] requests an ephemeral one).  Never raises. *)
+
+val connect : t -> (Unix.file_descr, string) result

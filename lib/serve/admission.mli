@@ -1,0 +1,27 @@
+(** The bounded accept queue between the accept loop and the workers.
+
+    Capacity is a hard bound: a full queue sheds immediately
+    ([try_admit] never blocks), which is what lets the server answer
+    overload with an explicit reply instead of unbounded queueing.
+    Domain-safe; one mutex, uncontended except at hand-off. *)
+
+type 'a t
+type verdict = Admitted | Shed | Closed
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val try_admit : 'a t -> 'a -> verdict
+(** Non-blocking.  Counts every [Admitted]/[Shed] outcome. *)
+
+val take : 'a t -> 'a option
+(** Blocks until an item or close.  After {!close}, drains remaining
+    items before returning [None] — admitted work is never dropped. *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes all blocked takers. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val admitted : 'a t -> int
+val shed : 'a t -> int

@@ -1,0 +1,29 @@
+(** A small blocking client for the daemon — used by the tests, the
+    chaos battery, and the load generator, and the reference for
+    scripting against the wire protocol. *)
+
+type t
+
+val connect : ?timeout_ms:int -> Addr.t -> (t, string) result
+(** Sets both socket timeouts to [timeout_ms] (default 10 s) so a dead
+    server cannot hang the caller. *)
+
+val close : t -> unit
+
+val send : t -> Jsonx.t -> (unit, string) result
+(** One framed request.  Subject to the chaos io-strike points, like
+    any well-behaved peer. *)
+
+val send_raw : t -> string -> (unit, string) result
+(** Raw bytes, no framing, no chaos: how tests play a misbehaving
+    client. *)
+
+val recv : ?max_bytes:int -> t -> (Jsonx.t, string) result
+(** One response frame, parsed. *)
+
+val request : t -> Jsonx.t -> (Jsonx.t, string) result
+(** [send] then [recv]. *)
+
+val read_stream : ?limit:int -> t -> (Jsonx.t list, string) result
+(** Collect a streamed response: every frame up to and including the
+    first terminal one (an error, or a non-["pair"] summary). *)

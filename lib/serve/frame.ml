@@ -1,0 +1,143 @@
+module Chaos = Dlz_engine.Chaos
+
+(* Wire framing: `<decimal byte length>\n<payload bytes>\n`.  The
+   explicit length makes torn input detectable (NDJSON alone cannot
+   distinguish "half a line" from "a short line") and lets the reader
+   bound allocation before touching the payload. *)
+
+type error =
+  | Eof  (** clean close between frames *)
+  | Timeout  (** the peer stalled past the socket receive timeout *)
+  | Too_large of int  (** declared length above the frame bound *)
+  | Malformed of string  (** framing violated; the stream cannot resync *)
+  | Io of string  (** the connection died mid-frame *)
+
+let error_to_string = function
+  | Eof -> "eof"
+  | Timeout -> "timeout"
+  | Too_large n -> Printf.sprintf "frame of %d bytes exceeds bound" n
+  | Malformed m -> "malformed frame: " ^ m
+  | Io m -> "io: " ^ m
+
+exception Fail of error
+
+let default_max_bytes = 4 * 1024 * 1024
+
+let encode payload =
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+(* {2 Reading} *)
+
+let read_byte fd buf =
+  let rec go () =
+    match Unix.read fd buf 0 1 with
+    | 0 -> raise (Fail Eof)
+    | _ -> Bytes.get buf 0
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Fail Timeout)
+    | exception Unix.Unix_error (e, _, _) ->
+        raise (Fail (Io (Unix.error_message e)))
+  in
+  go ()
+
+let really_read fd buf n =
+  let rec go off =
+    if off < n then
+      match Unix.read fd buf off (n - off) with
+      | 0 -> raise (Fail (Io "eof inside frame"))
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          raise (Fail Timeout)
+      | exception Unix.Unix_error (e, _, _) ->
+          raise (Fail (Io (Unix.error_message e)))
+  in
+  go 0
+
+let read ?(max_bytes = default_max_bytes) fd =
+  let buf = Bytes.create 1 in
+  try
+    (* Length line: bare digits then '\n'; 19 digits already exceeds
+       any plausible bound, so a longer run is garbage, not a frame. *)
+    let rec length_line acc digits =
+      match read_byte fd buf with
+      | '0' .. '9' as c ->
+          if digits >= 19 then raise (Fail (Malformed "length line too long"));
+          length_line ((acc * 10) + (Char.code c - Char.code '0')) (digits + 1)
+      | '\n' ->
+          if digits = 0 then raise (Fail (Malformed "empty length line"));
+          acc
+      | c ->
+          raise (Fail (Malformed (Printf.sprintf "byte %C in length line" c)))
+    in
+    let n = length_line 0 0 in
+    if n > max_bytes then raise (Fail (Too_large n));
+    let payload_buf = Bytes.create (n + 1) in
+    (* A close mid-payload is a dead connection, not a clean Eof. *)
+    (try really_read fd payload_buf (n + 1)
+     with Fail Eof -> raise (Fail (Io "eof inside frame")));
+    if Bytes.get payload_buf n <> '\n' then
+      raise (Fail (Malformed "missing frame terminator"));
+    let payload = Bytes.sub_string payload_buf 0 n in
+    match Chaos.current () with
+    | None -> Ok payload
+    | Some c -> (
+        match Chaos.io_strike c ~point:"frame.read" ~key:payload with
+        | None -> Ok payload
+        | Some Chaos.Torn_frame -> Error (Malformed "chaos:torn-frame")
+        | Some Chaos.Disconnect -> Error (Io "chaos:disconnect")
+        | Some Chaos.Slow_write ->
+            (* A slow peer, not a broken one: stall briefly, deliver. *)
+            Unix.sleepf 0.002;
+            Ok payload)
+  with Fail e -> Error e
+
+(* {2 Writing} *)
+
+let write_part fd s off len =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off len =
+    if len > 0 then
+      match Unix.write fd b off len with
+      | k -> go (off + k) (len - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          raise (Fail Timeout)
+      | exception Unix.Unix_error (e, _, _) ->
+          raise (Fail (Io (Unix.error_message e)))
+  in
+  go off len
+
+let write fd payload =
+  let frame = encode payload in
+  let len = String.length frame in
+  try
+    (match Chaos.current () with
+    | None -> write_part fd frame 0 len
+    | Some c -> (
+        match Chaos.io_strike c ~point:"frame.write" ~key:payload with
+        | None -> write_part fd frame 0 len
+        | Some Chaos.Torn_frame ->
+            (* Half a frame on the wire, then give up: the peer must
+               detect the tear from the framing; the writer treats the
+               connection as dead. *)
+            write_part fd frame 0 (len / 2);
+            raise (Fail (Io "chaos:torn-frame"))
+        | Some Chaos.Disconnect -> raise (Fail (Io "chaos:disconnect"))
+        | Some Chaos.Slow_write ->
+            (* Dribble the frame out in small stalled pieces — a
+               cooperating slow-loris.  The stalled prefix is capped so
+               an injected stall stays bounded. *)
+            let piece = 16 in
+            let slow_len = min len (32 * piece) in
+            let off = ref 0 in
+            while !off < slow_len do
+              let k = min piece (slow_len - !off) in
+              write_part fd frame !off k;
+              Unix.sleepf 0.001;
+              off := !off + k
+            done;
+            if !off < len then write_part fd frame !off (len - !off)));
+    Ok ()
+  with Fail e -> Error e

@@ -1,0 +1,35 @@
+(** Length-framed NDJSON wire format.
+
+    One frame is [<decimal byte length>\n<payload>\n].  The leading
+    length lets the reader bound allocation before reading the payload
+    and makes torn input detectable; the trailing newline keeps the
+    stream greppable as NDJSON when captured.
+
+    Both directions consult the {!Dlz_engine.Chaos} io-strike points
+    (["frame.read"] / ["frame.write"], keyed by payload) so the serve
+    test battery can deterministically tear frames, drop connections
+    mid-stream, and dribble writes. *)
+
+type error =
+  | Eof  (** clean close between frames *)
+  | Timeout  (** the peer stalled past the socket receive timeout *)
+  | Too_large of int  (** declared length above the frame bound *)
+  | Malformed of string  (** framing violated; the stream cannot resync *)
+  | Io of string  (** the connection died mid-frame *)
+
+val error_to_string : error -> string
+
+val default_max_bytes : int
+(** 4 MiB. *)
+
+val encode : string -> string
+(** The raw bytes of one frame carrying [payload]. *)
+
+val read : ?max_bytes:int -> Unix.file_descr -> (string, error) result
+(** Blocking read of one frame's payload.  Socket receive timeouts
+    ([SO_RCVTIMEO]) surface as [Timeout].  Never raises. *)
+
+val write : Unix.file_descr -> string -> (unit, error) result
+(** Blocking write of one frame.  [EPIPE]/reset surface as [Io];
+    [SIGPIPE] must be ignored process-wide (the server does this).
+    Never raises. *)

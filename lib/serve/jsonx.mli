@@ -1,0 +1,36 @@
+(** Minimal JSON values for the wire protocol.
+
+    The daemon speaks length-framed NDJSON and the repo carries no
+    third-party JSON library, so this is the whole story: a value type,
+    a recursive-descent parser with an explicit nesting bound (64 — a
+    deeper frame is adversarial, not legitimate), and a printer whose
+    output is deterministic for a given value.  Frame size is bounded
+    upstream by {!Frame}, so the parser never sees unbounded input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Total: malformed input is an [Error], never an exception.  Rejects
+    trailing bytes after the value. *)
+
+val to_string : t -> string
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes), for callers that
+    assemble frames by hand around pre-rendered fragments. *)
+
+(** Shape accessors: [None] on type mismatch, so protocol code can
+    validate without try/with. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

@@ -1,0 +1,73 @@
+(* Serve-layer counters, all Atomic so every domain records freely.
+   The engine-side numbers (cache hits, degradations, ...) live in
+   [Dlz_engine.Stats]; these cover what only the daemon can see:
+   connections, frames, faults at the socket boundary, shed load. *)
+
+type t = {
+  accepted : int Atomic.t;  (* connections admitted to the queue *)
+  shed : int Atomic.t;  (* connections refused: queue full *)
+  rejected_draining : int Atomic.t;  (* connections refused: draining *)
+  active : int Atomic.t;  (* connections being served right now *)
+  requests : int Atomic.t;  (* well-framed requests received *)
+  responses : int Atomic.t;  (* ok:true frames sent *)
+  errors : int Atomic.t;  (* ok:false frames sent (any reason) *)
+  malformed : int Atomic.t;  (* frames that violated framing or JSON *)
+  disconnects : int Atomic.t;  (* connections lost mid-stream *)
+  timeouts : int Atomic.t;  (* reads that hit the idle timeout *)
+  contained : int Atomic.t;  (* dispatch faults turned into one error *)
+}
+
+type snapshot = {
+  s_accepted : int;
+  s_shed : int;
+  s_rejected_draining : int;
+  s_active : int;
+  s_requests : int;
+  s_responses : int;
+  s_errors : int;
+  s_malformed : int;
+  s_disconnects : int;
+  s_timeouts : int;
+  s_contained : int;
+}
+
+let create () =
+  {
+    accepted = Atomic.make 0;
+    shed = Atomic.make 0;
+    rejected_draining = Atomic.make 0;
+    active = Atomic.make 0;
+    requests = Atomic.make 0;
+    responses = Atomic.make 0;
+    errors = Atomic.make 0;
+    malformed = Atomic.make 0;
+    disconnects = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    contained = Atomic.make 0;
+  }
+
+let snapshot t =
+  {
+    s_accepted = Atomic.get t.accepted;
+    s_shed = Atomic.get t.shed;
+    s_rejected_draining = Atomic.get t.rejected_draining;
+    s_active = Atomic.get t.active;
+    s_requests = Atomic.get t.requests;
+    s_responses = Atomic.get t.responses;
+    s_errors = Atomic.get t.errors;
+    s_malformed = Atomic.get t.malformed;
+    s_disconnects = Atomic.get t.disconnects;
+    s_timeouts = Atomic.get t.timeouts;
+    s_contained = Atomic.get t.contained;
+  }
+
+let snapshot_to_json s =
+  Printf.sprintf
+    "{\"accepted\":%d,\"shed\":%d,\"rejected_draining\":%d,\"active\":%d,\
+     \"requests\":%d,\"responses\":%d,\"errors\":%d,\"malformed\":%d,\
+     \"disconnects\":%d,\"timeouts\":%d,\"contained\":%d}"
+    s.s_accepted s.s_shed s.s_rejected_draining s.s_active s.s_requests
+    s.s_responses s.s_errors s.s_malformed s.s_disconnects s.s_timeouts
+    s.s_contained
+
+let to_json t = snapshot_to_json (snapshot t)

@@ -1,0 +1,54 @@
+(** The request/response vocabulary of the wire protocol.
+
+    Requests are single JSON objects (one per frame) with an [op]
+    field and an optional client-chosen [id], echoed verbatim on every
+    response frame belonging to that request.  Decoding is total and
+    bounded: shape violations come back as [Error] strings (which the
+    session turns into one ["bad-request"] reply), and structural
+    bounds (≤ 64 equations / terms / levels, ≤ 1 MiB of source) reject
+    resource-attack payloads before any solving starts. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Query of {
+      problem : Dlz_deptest.Problem.t;
+      fuel : int option;
+      timeout_ms : int option;
+    }
+  | Analyze of {
+      lang : [ `F | `C ];
+      source : string;
+      assume : (string * int) list;
+      fuel : int option;
+      timeout_ms : int option;
+    }
+
+val op_name : request -> string
+
+val parse_request : Jsonx.t -> Jsonx.t * (request, string) result
+(** Returns the echoed [id] (Null when absent) alongside the decoded
+    request. *)
+
+val problem_of_json : Jsonx.t -> (Dlz_deptest.Problem.t, string) result
+(** Decodes the native numeric-problem encoding: [{"n_common":N,
+    "common_ubs":[..], "opaque_dims":N, "eqs":[{"c0":N, "terms":
+    [{"coeff":N,"side":"src"|"dst","level":N,"ub":N,"name":S?}]}]}]
+    and lifts it via [Problem.synthetic]. *)
+
+val problem_to_json : Dlz_deptest.Problem.numeric -> Jsonx.t
+(** Inverse direction, for clients and the load generator. *)
+
+val ok : id:Jsonx.t -> op:string -> (string * Jsonx.t) list -> string
+(** One rendered [{"id":..,"ok":true,"op":..,...}] response payload. *)
+
+val error :
+  id:Jsonx.t -> reason:string -> ?retry_after_ms:int -> string -> string
+(** One rendered [{"id":..,"ok":false,"reason":..,"error":..}] payload.
+    [reason] is machine-readable: ["overloaded"], ["draining"],
+    ["bad-request"], ["protocol"], ["timeout"], or ["internal"]. *)
+
+val result_fields : Dlz_engine.Strategy.result -> (string * Jsonx.t) list
+(** verdict / decided_by / dirvecs / distances / degraded fields of a
+    query result, ready to splice into {!ok}. *)

@@ -1,0 +1,240 @@
+module Budget = Dlz_base.Budget
+module Trace = Dlz_base.Trace
+module Assume = Dlz_symbolic.Assume
+module Access = Dlz_ir.Access
+module Analyze = Dlz_engine.Analyze
+module Engine = Dlz_engine.Engine
+module Stats = Dlz_engine.Stats
+module Cascade = Dlz_engine.Cascade
+module Verdict = Dlz_deptest.Verdict
+module Parallel = Dlz_vec.Parallel
+
+(* One connection, one [handle] call, on whichever worker domain took
+   it off the admission queue.  The containment contract mirrors the
+   cascade's: any fault while serving one request — a raising solver,
+   a malformed frame, a vanished client, an injected chaos fault —
+   costs at most that one connection one error response.  [handle]
+   itself never raises. *)
+
+type ctx = {
+  metrics : Metrics.t;
+  budget : Budget.t;  (* the server-lifetime budget requests carve from *)
+  request_fuel : int option;  (* per-request ceilings (client may ask lower) *)
+  request_timeout_ms : int option;
+  max_frame : int;
+  cascade : Cascade.t option;
+  draining : unit -> bool;
+  request_shutdown : unit -> unit;
+}
+
+exception Conn_dead
+
+(* Every frame we fail to deliver means the peer is gone; there is no
+   point writing further responses, so sends raise [Conn_dead] and the
+   per-connection loop winds down. *)
+let send ctx fd payload =
+  match Frame.write fd payload with
+  | Ok () -> ()
+  | Error _ ->
+      Atomic.incr ctx.metrics.Metrics.disconnects;
+      raise Conn_dead
+
+let send_ok ctx fd ~id ~op fields =
+  send ctx fd (Proto.ok ~id ~op fields);
+  Atomic.incr ctx.metrics.Metrics.responses
+
+let send_error ctx fd ~id ~reason ?retry_after_ms msg =
+  send ctx fd (Proto.error ~id ~reason ?retry_after_ms msg);
+  Atomic.incr ctx.metrics.Metrics.errors
+
+(* A client may ask for less budget than the server's per-request
+   ceiling, never more; [Budget.sub] additionally clamps the deadline
+   to the server-lifetime budget's. *)
+let request_budget ctx ~fuel ~timeout_ms =
+  let min_opt a b =
+    match (a, b) with
+    | Some x, Some y -> Some (min x y)
+    | Some x, None | None, Some x -> Some x
+    | None, None -> None
+  in
+  Budget.sub
+    ?fuel:(min_opt fuel ctx.request_fuel)
+    ?timeout_ms:(min_opt timeout_ms ctx.request_timeout_ms)
+    ctx.budget
+
+let stats_payload ctx ~id =
+  (* Engine stats are already rendered JSON; splice the fragment in
+     rather than round-tripping it through the parser. *)
+  Printf.sprintf
+    "{\"id\":%s,\"ok\":true,\"op\":\"stats\",\"serve\":%s,\"engine\":%s}"
+    (Jsonx.to_string id)
+    (Metrics.to_json ctx.metrics)
+    (Stats.to_json Stats.global)
+
+let parse_program ~lang source =
+  match lang with
+  | `C -> Dlz_passes.Pointers.lower (Dlz_frontend.C_parser.parse source)
+  | `F -> Dlz_passes.Inline.expand (Dlz_frontend.F77_parser.parse_units source)
+
+let run_analyze ctx fd ~id ~lang ~source ~assume ~budget =
+  let prog = Dlz_passes.Pipeline.prepare_program (parse_program ~lang source) in
+  let env =
+    List.fold_left (fun env (n, v) -> Assume.assume_ge n v env) Assume.empty
+      assume
+  in
+  let accs, env = Access.of_program ~env prog in
+  let cascade = Option.value ctx.cascade ~default:Cascade.delin in
+  let indep = ref 0 and dep = ref 0 and inap = ref 0 and pairs = ref 0 in
+  (* Streamed: one frame per candidate pair as it is solved, then a
+     summary.  Serial on purpose — the daemon's parallelism is across
+     connections, and a worker must not re-enter a pool. *)
+  Engine.iter_pairs
+    (fun (p : Engine.pair) ->
+      let r = Engine.query ~cascade ~budget ~env p.Engine.problem in
+      incr pairs;
+      (match r.Dlz_engine.Strategy.verdict with
+      | Verdict.Independent -> incr indep
+      | Verdict.Dependent -> incr dep
+      | Verdict.Inapplicable -> incr inap);
+      send_ok ctx fd ~id ~op:"pair"
+        ([
+           ("src", Jsonx.Str p.Engine.src.Access.stmt_name);
+           ("src_array", Jsonx.Str p.Engine.src.Access.array);
+           ("dst", Jsonx.Str p.Engine.dst.Access.stmt_name);
+           ("self", Jsonx.Bool p.Engine.self);
+         ]
+        @ Proto.result_fields r))
+    accs;
+  let loops = Parallel.report ~cascade ~budget ~env prog in
+  let par = List.length (List.filter (fun l -> l.Parallel.lr_parallel) loops) in
+  send_ok ctx fd ~id ~op:"analyze"
+    [
+      ("pairs", Jsonx.Int !pairs);
+      ("independent", Jsonx.Int !indep);
+      ("dependent", Jsonx.Int !dep);
+      ("inapplicable", Jsonx.Int !inap);
+      ("accesses", Jsonx.Int (List.length accs));
+      ("loops_parallel", Jsonx.Int par);
+      ("loops_serial", Jsonx.Int (List.length loops - par));
+      ("done", Jsonx.Bool true);
+    ]
+
+(* [true] to keep reading from this connection. *)
+let dispatch ctx fd ~id req =
+  match req with
+  | Proto.Ping ->
+      send_ok ctx fd ~id ~op:"ping" [];
+      true
+  | Proto.Stats ->
+      send ctx fd (stats_payload ctx ~id);
+      Atomic.incr ctx.metrics.Metrics.responses;
+      true
+  | Proto.Shutdown ->
+      send_ok ctx fd ~id ~op:"shutdown" [ ("draining", Jsonx.Bool true) ];
+      ctx.request_shutdown ();
+      false
+  | Proto.Query { problem; fuel; timeout_ms } ->
+      let budget = request_budget ctx ~fuel ~timeout_ms in
+      let r =
+        Engine.query
+          ?cascade:ctx.cascade
+          ~budget ~env:Assume.empty problem
+      in
+      send_ok ctx fd ~id ~op:"query" (Proto.result_fields r);
+      true
+  | Proto.Analyze { lang; source; assume; fuel; timeout_ms } ->
+      let budget = request_budget ctx ~fuel ~timeout_ms in
+      run_analyze ctx fd ~id ~lang ~source ~assume ~budget;
+      true
+
+(* Faults the frontend can legitimately raise on bad input: one
+   bad-request reply, connection keeps going. *)
+let describe_input_fault = function
+  | Dlz_frontend.Diag.Parse_error _ as e ->
+      Some
+        (match Dlz_frontend.Diag.describe e with
+        | Some m -> m
+        | None -> "parse error")
+  | Dlz_passes.Pointers.Unsupported m -> Some ("pointer conversion: " ^ m)
+  | Dlz_passes.Inline.Unsupported m -> Some ("inlining: " ^ m)
+  | Failure m -> Some m
+  | _ -> None
+
+let handle_request ctx fd ~id req =
+  try dispatch ctx fd ~id req with
+  | Conn_dead -> false
+  | e -> (
+      Atomic.incr ctx.metrics.Metrics.contained;
+      let reply reason msg =
+        try
+          send_error ctx fd ~id ~reason msg;
+          true
+        with Conn_dead -> false
+      in
+      match describe_input_fault e with
+      | Some m -> reply "bad-request" m
+      | None -> (
+          match e with
+          | Budget.Exhausted r -> reply "timeout" ("budget exhausted: " ^ r)
+          | Out_of_memory -> reply "internal" "out of memory"
+          | Stack_overflow -> reply "internal" "stack overflow"
+          | e -> reply "internal" (Printexc.to_string e)))
+
+let handle ctx fd =
+  Atomic.incr ctx.metrics.Metrics.active;
+  let rec loop () =
+    if ctx.draining () then ()
+    else
+      match Frame.read ~max_bytes:ctx.max_frame fd with
+      | Error Frame.Eof -> ()
+      | Error Frame.Timeout ->
+          (* Idle or slow-loris past the receive timeout: tell the
+             peer (best effort) and hang up. *)
+          Atomic.incr ctx.metrics.Metrics.timeouts;
+          (try send_error ctx fd ~id:Jsonx.Null ~reason:"timeout" "read timed out"
+           with Conn_dead -> ())
+      | Error (Frame.Too_large n) ->
+          Atomic.incr ctx.metrics.Metrics.malformed;
+          (try
+             send_error ctx fd ~id:Jsonx.Null ~reason:"protocol"
+               (Printf.sprintf "frame of %d bytes exceeds %d" n ctx.max_frame)
+           with Conn_dead -> ())
+      | Error (Frame.Malformed m) ->
+          (* Framing is lost: the stream cannot resync, so one error
+             frame and the connection closes. *)
+          Atomic.incr ctx.metrics.Metrics.malformed;
+          (try send_error ctx fd ~id:Jsonx.Null ~reason:"protocol" m
+           with Conn_dead -> ())
+      | Error (Frame.Io _) -> Atomic.incr ctx.metrics.Metrics.disconnects
+      | Ok payload -> (
+          Atomic.incr ctx.metrics.Metrics.requests;
+          let t0 = Trace.now_ns () in
+          let continue =
+            match Jsonx.parse payload with
+            | Error m ->
+                (* The framing held, only the JSON inside is bad: one
+                   error reply and the connection may continue. *)
+                Atomic.incr ctx.metrics.Metrics.malformed;
+                (try
+                   send_error ctx fd ~id:Jsonx.Null ~reason:"bad-request"
+                     ("json: " ^ m);
+                   true
+                 with Conn_dead -> false)
+            | Ok j -> (
+                match Proto.parse_request j with
+                | id, Error m -> (
+                    try
+                      send_error ctx fd ~id ~reason:"bad-request" m;
+                      true
+                    with Conn_dead -> false)
+                | id, Ok req -> handle_request ctx fd ~id req)
+          in
+          Trace.observe_ns "serve.request" (Int64.sub (Trace.now_ns ()) t0);
+          if continue then loop ())
+  in
+  (try loop () with e ->
+    (* Nothing below should leak, but the worker domain must survive
+       anything. *)
+    Atomic.incr ctx.metrics.Metrics.contained;
+    ignore (Printexc.to_string e));
+  Atomic.decr ctx.metrics.Metrics.active

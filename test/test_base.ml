@@ -486,6 +486,31 @@ let budget_units =
         let b = Budget.create ~fuel:1_000 ~timeout_ms:60_000 () in
         Budget.check b;
         Alcotest.(check bool) "bounded" false (Budget.is_unlimited b));
+    (* Regression: a huge timeout used to overflow the ns deadline
+       (now + ms*1e6 wrapping negative), making the child spuriously
+       exhausted from birth.  The arithmetic must saturate instead. *)
+    Alcotest.test_case "huge timeout saturates instead of wrapping" `Quick
+      (fun () ->
+        let b = Budget.create ~timeout_ms:max_int () in
+        Budget.spend b;
+        Alcotest.(check bool)
+          "far-future deadline not exhausted" true
+          (Budget.exhausted b = None);
+        let parent = Budget.create ~fuel:10 () in
+        let child = Budget.sub ~timeout_ms:max_int parent in
+        Budget.spend child;
+        Alcotest.(check bool)
+          "saturated child deadline not exhausted" true
+          (Budget.exhausted child = None));
+    Alcotest.test_case "parent deadline clamps a longer child ask" `Quick
+      (fun () ->
+        let parent = Budget.create ~timeout_ms:0 () in
+        let child = Budget.sub ~timeout_ms:max_int parent in
+        (* The child asked for forever; the parent's expired deadline
+           must still bind. *)
+        Alcotest.(check bool)
+          "parent deadline binds" true
+          (Budget.exhausted child = Some "deadline"));
   ]
 
 let () =

@@ -109,6 +109,11 @@ let results_str rs = List.map result_str rs
 
 let check_strings = Alcotest.(check (list string))
 
+let save_exn ?stats ?cache path =
+  match Persist.save ?stats ?cache path with
+  | Ok n -> n
+  | Error e -> Alcotest.fail ("save failed on a healthy disk: " ^ e)
+
 (* Populate the global cache from a cold run and snapshot it.  Returns
    (problems, cold results, snapshot path, entries saved). *)
 let populate_and_save () =
@@ -116,7 +121,7 @@ let populate_and_save () =
   let ps = all_problems () in
   let cold = query_all ps in
   let snap = temp_snap () in
-  let saved = Persist.save snap in
+  let saved = save_exn snap in
   (ps, cold, snap, saved)
 
 (* --- round trip ----------------------------------------------------------- *)
@@ -152,7 +157,7 @@ let test_save_deterministic =
   without_chaos @@ fun () ->
   let _, _, snap1, saved = populate_and_save () in
   let snap2 = temp_snap () in
-  let saved2 = Persist.save snap2 in
+  let saved2 = save_exn snap2 in
   Alcotest.(check int) "same entry count" saved saved2;
   Alcotest.(check string) "double save byte-identical" (read_file snap1)
     (read_file snap2);
@@ -163,7 +168,7 @@ let test_save_deterministic =
   | Ok _ -> ()
   | Error e -> Alcotest.fail e);
   let snap3 = temp_snap () in
-  ignore (Persist.save snap3);
+  ignore (save_exn snap3);
   Alcotest.(check string) "save-load-save byte-identical" (read_file snap1)
     (read_file snap3);
   List.iter Sys.remove [ snap1; snap2; snap3 ]
@@ -392,6 +397,105 @@ let test_bulk_warm_equals_cold () =
   check_strings "warm report = cold report" cold warm;
   Sys.remove snap
 
+(* --- save-path containment (full disk, chaos) ----------------------------- *)
+
+(* A chaos strike inside [save] stands in for every mid-write fault
+   (full disk, quota, yanked volume): the result must be an [Error], a
+   counted failure, no partial file, and no [.tmp] litter — and a
+   pre-existing snapshot at the path must survive untouched. *)
+let test_save_chaos_no_partial_file =
+  without_chaos @@ fun () ->
+  Engine.reset_metrics ();
+  ignore (query_all (all_problems ()));
+  let snap = temp_snap () in
+  let old = save_exn snap in
+  Alcotest.(check bool) "seed snapshot non-empty" true (old > 0);
+  let before = read_file snap in
+  let saved = Chaos.current () in
+  Chaos.set_current (Some (Chaos.make ~seed:7L ~rate:1.0));
+  let r = Persist.save snap in
+  Chaos.set_current saved;
+  (match r with
+  | Error _ -> ()
+  | Ok n -> Alcotest.failf "save succeeded (%d entries) under rate-1 chaos" n);
+  Alcotest.(check bool)
+    "no .tmp litter" false
+    (Sys.file_exists (snap ^ ".tmp"));
+  Alcotest.(check string)
+    "pre-existing snapshot untouched" before (read_file snap);
+  Alcotest.(check int)
+    "failure counted" 1
+    (Stats.snapshot_save_fails Stats.global);
+  Alcotest.(check int)
+    "no save counted" 1
+    (Stats.snapshot_saves Stats.global);
+  Sys.remove snap
+
+let test_save_unwritable_path_is_error =
+  without_chaos @@ fun () ->
+  Engine.reset_metrics ();
+  ignore (query_all (all_problems ()));
+  (* A regular file where a directory component should be: the open
+     fails with ENOTDIR no matter who runs the test (a read-only
+     directory would not stop root), standing in for any unwritable
+     target. *)
+  let blocker = Filename.temp_file "dlz_persist" ".notadir" in
+  let path = Filename.concat blocker "sub/cache.snap" in
+  (match Persist.save path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "save through a non-directory should fail");
+  Alcotest.(check bool) "no file created" false (Sys.file_exists path);
+  Alcotest.(check int)
+    "failure counted" 1
+    (Stats.snapshot_save_fails Stats.global);
+  Sys.remove blocker
+
+(* --- bulk edge cases ------------------------------------------------------ *)
+
+let test_bulk_empty_dir () =
+  let dir = temp_dir () in
+  let lines = Bulk.run dir in
+  (match lines with
+  | [ summary ] ->
+      Alcotest.(check bool)
+        "summary reports zero files" true
+        (let frag = "\"files\":0" in
+         let rec has i =
+           i + String.length frag <= String.length summary
+           && (String.sub summary i (String.length frag) = frag || has (i + 1))
+         in
+         has 0)
+  | _ ->
+      Alcotest.failf "expected exactly one summary line, got %d"
+        (List.length lines));
+  check_strings "byte-identical across jobs" lines
+    (Pool.with_pool ~domains:test_jobs (fun pool -> Bulk.run ~pool dir))
+
+let test_bulk_unreadable_file () =
+  let dir = make_kernel_tree () in
+  (* A dangling symlink: the open fails at read time, not at walk
+     time — the io fault must be contained in that kernel's own
+     ok:false line, deterministically, at any width. *)
+  Unix.symlink (Filename.concat dir "does-not-exist") (Filename.concat dir "aa_gone.f");
+  Engine.reset_metrics ();
+  let serial = Bulk.run dir in
+  let io_lines =
+    List.filter
+      (fun l ->
+        let frag = "\"error\":\"io: " in
+        let rec has i =
+          i + String.length frag <= String.length l
+          && (String.sub l i (String.length frag) = frag || has (i + 1))
+        in
+        has 0)
+      serial
+  in
+  Alcotest.(check int) "exactly one io error line" 1 (List.length io_lines);
+  check_strings "byte-identical across jobs" serial
+    (Pool.with_pool ~domains:test_jobs (fun pool -> Bulk.run ~pool dir));
+  check_strings "byte-identical at width 8" serial
+    (Pool.with_pool ~domains:8 (fun pool -> Bulk.run ~pool dir))
+
 let test_bulk_timings_fields () =
   let dir = make_kernel_tree () in
   Engine.reset_metrics ();
@@ -434,6 +538,10 @@ let () =
             test_reset_clears_snapshot_counters;
           Alcotest.test_case "tag and default path" `Quick
             test_tag_sensitivity;
+          Alcotest.test_case "chaos strike during save = no partial file"
+            `Quick test_save_chaos_no_partial_file;
+          Alcotest.test_case "unwritable save path = error, not a crash"
+            `Quick test_save_unwritable_path_is_error;
         ] );
       ( "bulk",
         [
@@ -442,5 +550,9 @@ let () =
           Alcotest.test_case "warm report = cold report" `Quick
             test_bulk_warm_equals_cold;
           Alcotest.test_case "timings fields" `Quick test_bulk_timings_fields;
+          Alcotest.test_case "empty directory = clean zero summary" `Quick
+            test_bulk_empty_dir;
+          Alcotest.test_case "unreadable kernel contained in its line" `Quick
+            test_bulk_unreadable_file;
         ] );
     ]

@@ -1,0 +1,618 @@
+(* Tests for the dependence-query daemon (lib/serve + the serve driver).
+
+   The load-bearing properties:
+
+   - protocol fidelity: ping/stats/query/analyze round-trips over a
+     real socket agree with the in-process engine (same process, same
+     global cache, so the comparison is exact);
+   - containment: a framing violation costs that connection exactly
+     one ["protocol"] reply and the connection; well-framed garbage
+     costs one ["bad-request"] reply and the connection continues; a
+     mid-stream disconnect, a slow-loris client, or an injected chaos
+     fault never takes the daemon down or touches another connection;
+   - admission: a full queue answers ["overloaded"] with a retry hint
+     immediately — the daemon never queues unboundedly, never hangs a
+     client silently;
+   - drain: the [shutdown] op finishes in-flight work, snapshots the
+     warm cache, and a restart from that snapshot answers warm.
+
+   Exact-assertion tests switch process-wide chaos injection off
+   locally (the @serve-ci alias also runs this suite with DLZ_CHAOS
+   set); the two-seed chaos battery at the end sets its own seeds and
+   asserts only injection-proof facts: every client terminates, the
+   daemon survives, and a clean ping works afterwards. *)
+
+module Budget = Dlz_base.Budget
+module Trace = Dlz_base.Trace
+module Depeq = Dlz_deptest.Depeq
+module Problem = Dlz_deptest.Problem
+module Engine = Dlz_engine.Engine
+module Stats = Dlz_engine.Stats
+module Chaos = Dlz_engine.Chaos
+module Assume = Dlz_symbolic.Assume
+module Workload = Dlz_driver.Workload
+module Serve = Dlz_driver.Serve
+module Addr = Dlz_serve.Addr
+module Client = Dlz_serve.Client
+module Frame = Dlz_serve.Frame
+module Jsonx = Dlz_serve.Jsonx
+module Proto = Dlz_serve.Proto
+module Server = Dlz_serve.Server
+module Metrics = Dlz_serve.Metrics
+
+let without_chaos f () =
+  let saved = Chaos.current () in
+  Chaos.set_current None;
+  Fun.protect ~finally:(fun () -> Chaos.set_current saved) f
+
+let with_chaos ~seed ~rate f =
+  let saved = Chaos.current () in
+  Chaos.set_current (Some (Chaos.make ~seed ~rate));
+  Fun.protect ~finally:(fun () -> Chaos.set_current saved) f
+
+let loopback = Addr.Tcp ("127.0.0.1", 0)
+
+(* Start on an ephemeral port, run [f] against the resolved address,
+   drain, and hand back the summary — every server this suite starts
+   goes through here, so none can leak past its test. *)
+let with_server ?(cfg = Server.default_config loopback) f =
+  Engine.reset_metrics ();
+  match Server.start cfg with
+  | Error m -> Alcotest.fail ("server start: " ^ m)
+  | Ok srv ->
+      let finished = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv;
+          let s = Server.join srv in
+          if not !finished then ignore s)
+        (fun () ->
+          let r = f (Server.address srv) in
+          Server.stop srv;
+          let s = Server.join srv in
+          finished := true;
+          (r, s))
+
+let connect addr =
+  match Client.connect ~timeout_ms:5_000 addr with
+  | Ok c -> c
+  | Error m -> Alcotest.fail ("connect: " ^ m)
+
+let request c j =
+  match Client.request c j with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("request: " ^ m)
+
+let get_bool j k =
+  match Jsonx.member k j with
+  | Some (Jsonx.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool %S in %s" k (Jsonx.to_string j)
+
+let get_str j k =
+  match Option.bind (Jsonx.member k j) Jsonx.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "missing string %S in %s" k (Jsonx.to_string j)
+
+let get_int j k =
+  match Option.bind (Jsonx.member k j) Jsonx.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "missing int %S in %s" k (Jsonx.to_string j)
+
+let obj fields = Jsonx.Obj fields
+
+let ping ?(id = 1) c =
+  let r = request c (obj [ ("op", Jsonx.Str "ping"); ("id", Jsonx.Int id) ]) in
+  Alcotest.(check bool) "ping ok" true (get_bool r "ok");
+  Alcotest.(check int) "ping id echoed" id (get_int r "id")
+
+let family_problem ~depth ~extent ~shifted =
+  let eq = Workload.paper_family ~depth ~extent ~shifted in
+  Problem.numeric_of_equations ~n_common:depth
+    ~common_ubs:(Array.make depth ((extent / 2) - 1))
+    [ eq ]
+
+let query_json ?fuel ?timeout_ms ~id np =
+  obj
+    ([
+       ("op", Jsonx.Str "query");
+       ("id", Jsonx.Int id);
+       ("problem", Proto.problem_to_json np);
+     ]
+    @ (match fuel with Some f -> [ ("fuel", Jsonx.Int f) ] | None -> [])
+    @
+    match timeout_ms with
+    | Some ms -> [ ("timeout_ms", Jsonx.Int ms) ]
+    | None -> [])
+
+(* A DO/ENDDO kernel with one self-dependent access pair. *)
+let family_source = Workload.family_program ~depth:2 ~extent:8
+
+(* --- protocol round-trips ------------------------------------------------ *)
+
+let test_ping_and_stats =
+  without_chaos @@ fun () ->
+  let (), _ =
+    with_server (fun addr ->
+        let c = connect addr in
+        ping c;
+        let r = request c (obj [ ("op", Jsonx.Str "stats"); ("id", Jsonx.Int 2) ]) in
+        Alcotest.(check bool) "stats ok" true (get_bool r "ok");
+        Alcotest.(check bool)
+          "stats carries serve metrics" true
+          (Jsonx.member "serve" r <> None);
+        Alcotest.(check bool)
+          "stats carries engine stats" true
+          (Jsonx.member "engine" r <> None);
+        Client.close c)
+  in
+  ()
+
+let test_unix_socket =
+  without_chaos @@ fun () ->
+  let path = Filename.temp_file "dlz_serve" ".sock" in
+  Sys.remove path;
+  let cfg = Server.default_config (Addr.Unix_sock path) in
+  let (), _ =
+    with_server ~cfg (fun addr ->
+        let c = connect addr in
+        ping c;
+        Client.close c)
+  in
+  Alcotest.(check bool)
+    "socket file removed on drain" false (Sys.file_exists path)
+
+(* The wire verdict must agree with the in-process engine: same
+   process, same cascade, so equality is exact, not statistical. *)
+let test_query_matches_engine =
+  without_chaos @@ fun () ->
+  let cases =
+    [
+      family_problem ~depth:2 ~extent:10 ~shifted:false;
+      family_problem ~depth:2 ~extent:10 ~shifted:true;
+      family_problem ~depth:3 ~extent:8 ~shifted:true;
+    ]
+  in
+  let wire, _ =
+    with_server (fun addr ->
+        let c = connect addr in
+        let rs =
+          List.mapi
+            (fun i np ->
+              let r = request c (query_json ~id:i np) in
+              Alcotest.(check bool) "query ok" true (get_bool r "ok");
+              (get_str r "verdict", get_str r "decided_by"))
+            cases
+        in
+        Client.close c;
+        rs)
+  in
+  Engine.reset_metrics ();
+  List.iter2
+    (fun np (wire_verdict, wire_decider) ->
+      let r = Engine.query ~env:Assume.empty (Problem.synthetic np) in
+      Alcotest.(check string)
+        "wire verdict = engine verdict"
+        (Dlz_deptest.Verdict.to_string r.Dlz_engine.Strategy.verdict)
+        wire_verdict;
+      Alcotest.(check string)
+        "wire provenance = engine provenance" r.Dlz_engine.Strategy.decided_by
+        wire_decider)
+    cases wire
+
+let test_analyze_stream =
+  without_chaos @@ fun () ->
+  let (), _ =
+    with_server (fun addr ->
+        let c = connect addr in
+        (match
+           Client.send c
+             (obj
+                [
+                  ("op", Jsonx.Str "analyze");
+                  ("id", Jsonx.Int 7);
+                  ("lang", Jsonx.Str "f");
+                  ("source", Jsonx.Str family_source);
+                ])
+         with
+        | Error m -> Alcotest.fail m
+        | Ok () -> ());
+        (match Client.read_stream c with
+        | Error m -> Alcotest.fail m
+        | Ok frames ->
+            let pairs, summary =
+              List.partition
+                (fun j ->
+                  match Jsonx.member "op" j with
+                  | Some (Jsonx.Str "pair") -> true
+                  | _ -> false)
+                frames
+            in
+            let s =
+              match summary with
+              | [ s ] -> s
+              | _ -> Alcotest.fail "expected exactly one summary frame"
+            in
+            Alcotest.(check bool) "summary ok" true (get_bool s "ok");
+            Alcotest.(check bool) "summary done" true (get_bool s "done");
+            Alcotest.(check int)
+              "summary pairs = streamed pair frames" (List.length pairs)
+              (get_int s "pairs");
+            Alcotest.(check bool)
+              "found dependences" true
+              (get_int s "dependent" > 0);
+            List.iter
+              (fun p ->
+                ignore (get_str p "verdict");
+                ignore (get_str p "src");
+                Alcotest.(check int) "pair id echoed" 7 (get_int p "id"))
+              pairs);
+        (* The stream left the connection clean: it still serves. *)
+        ping ~id:8 c;
+        Client.close c)
+  in
+  ()
+
+(* --- containment --------------------------------------------------------- *)
+
+let test_bad_json_continues =
+  without_chaos @@ fun () ->
+  let (), _ =
+    with_server (fun addr ->
+        let c = connect addr in
+        (match Client.send_raw c (Frame.encode "this is not json") with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m);
+        (match Client.recv c with
+        | Ok r ->
+            Alcotest.(check bool) "error reply" false (get_bool r "ok");
+            Alcotest.(check string)
+              "bad-request reason" "bad-request" (get_str r "reason")
+        | Error m -> Alcotest.fail m);
+        (* Well-framed garbage costs one reply, not the connection. *)
+        ping ~id:2 c;
+        let r =
+          request c (obj [ ("op", Jsonx.Str "frobnicate"); ("id", Jsonx.Int 3) ])
+        in
+        Alcotest.(check bool) "unknown op refused" false (get_bool r "ok");
+        Alcotest.(check string)
+          "unknown op reason" "bad-request" (get_str r "reason");
+        ping ~id:4 c;
+        Client.close c)
+  in
+  ()
+
+let test_malformed_frame_closes =
+  without_chaos @@ fun () ->
+  let (), summary =
+    with_server (fun addr ->
+        let c = connect addr in
+        (match Client.send_raw c "not-a-length\n{\"op\":\"ping\"}\n" with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m);
+        (match Client.recv c with
+        | Ok r ->
+            Alcotest.(check bool) "error reply" false (get_bool r "ok");
+            Alcotest.(check string)
+              "protocol reason" "protocol" (get_str r "reason")
+        | Error m -> Alcotest.fail m);
+        (* The byte stream cannot resync: the server closed it. *)
+        (match Client.recv c with
+        | Error _ -> ()
+        | Ok r ->
+            Alcotest.failf "expected closed connection, got %s"
+              (Jsonx.to_string r));
+        Client.close c;
+        (* The daemon itself is untouched. *)
+        let c2 = connect addr in
+        ping c2;
+        Client.close c2)
+  in
+  Alcotest.(check bool)
+    "malformed frame counted" true
+    (summary.Server.sm_metrics.Metrics.s_malformed >= 1)
+
+let test_oversize_frame_closes =
+  without_chaos @@ fun () ->
+  let cfg = { (Server.default_config loopback) with Server.max_frame = 1024 } in
+  let (), _ =
+    with_server ~cfg (fun addr ->
+        let c = connect addr in
+        let big = String.make 4096 'x' in
+        (match
+           Client.send_raw c
+             (Frame.encode
+                (Printf.sprintf "{\"op\":\"ping\",\"pad\":\"%s\"}" big))
+         with
+        | Ok () -> ()
+        | Error _ -> () (* server may already have slammed the door *));
+        (match Client.recv c with
+        | Ok r ->
+            Alcotest.(check bool) "oversize refused" false (get_bool r "ok")
+        | Error _ -> () (* reply raced the close: the close is the point *));
+        Client.close c;
+        let c2 = connect addr in
+        ping c2;
+        Client.close c2)
+  in
+  ()
+
+let test_disconnect_mid_stream =
+  without_chaos @@ fun () ->
+  let (), summary =
+    with_server
+      ~cfg:{ (Server.default_config loopback) with Server.workers = 2 }
+      (fun addr ->
+        (* One client starts an analyze and vanishes mid-stream... *)
+        let c = connect addr in
+        (match
+           Client.send c
+             (obj
+                [
+                  ("op", Jsonx.Str "analyze");
+                  ("id", Jsonx.Int 1);
+                  ("lang", Jsonx.Str "f");
+                  ("source", Jsonx.Str family_source);
+                ])
+         with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m);
+        ignore (Client.recv c);
+        Client.close c;
+        (* ...while a concurrent one completes untouched. *)
+        let c2 = connect addr in
+        let r = request c2 (query_json ~id:2 (family_problem ~depth:2 ~extent:8 ~shifted:false)) in
+        Alcotest.(check bool) "concurrent client ok" true (get_bool r "ok");
+        ping ~id:3 c2;
+        Client.close c2)
+  in
+  ignore summary
+
+let test_slow_loris_timed_out =
+  without_chaos @@ fun () ->
+  let cfg =
+    { (Server.default_config loopback) with Server.idle_timeout_ms = 300 }
+  in
+  let (), summary =
+    with_server ~cfg (fun addr ->
+        let c = connect addr in
+        (* Half a frame, then silence: the read timeout must reclaim
+           the worker. *)
+        (match Client.send_raw c "40\n{\"op\":" with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m);
+        let t0 = Trace.now_ns () in
+        (match Client.recv c with
+        | Error _ -> () (* timed out / closed — either is reclamation *)
+        | Ok r ->
+            Alcotest.(check bool) "loris refused" false (get_bool r "ok"));
+        let waited_ms =
+          Int64.to_int (Int64.div (Int64.sub (Trace.now_ns ()) t0) 1_000_000L)
+        in
+        Alcotest.(check bool)
+          "reclaimed within ~idle timeout (not the 5s client timeout)" true
+          (waited_ms < 3_000);
+        Client.close c;
+        let c2 = connect addr in
+        ping c2;
+        Client.close c2)
+  in
+  Alcotest.(check bool)
+    "timeout counted" true
+    (summary.Server.sm_metrics.Metrics.s_timeouts >= 1)
+
+(* --- admission ----------------------------------------------------------- *)
+
+let test_overload_sheds_explicitly =
+  without_chaos @@ fun () ->
+  let cfg =
+    {
+      (Server.default_config loopback) with
+      Server.workers = 1;
+      queue_capacity = 1;
+    }
+  in
+  let (), summary =
+    with_server ~cfg (fun addr ->
+        (* A occupies the single worker (a session holds its worker
+           until it closes); B fills the queue of 1; C must be shed
+           immediately and explicitly. *)
+        let a = connect addr in
+        ping a;
+        (* ping forces A through admission onto the worker *)
+        let b = connect addr in
+        Unix.sleepf 0.2;
+        let c = connect addr in
+        (match Client.recv c with
+        | Ok r ->
+            Alcotest.(check bool) "shed reply" false (get_bool r "ok");
+            Alcotest.(check string)
+              "overloaded reason" "overloaded" (get_str r "reason");
+            Alcotest.(check bool)
+              "retry hint present" true
+              (get_int r "retry_after_ms" >= 0)
+        | Error m -> Alcotest.fail ("expected an overloaded reply: " ^ m));
+        Client.close c;
+        (* Releasing the worker drains the queue: B gets served. *)
+        Client.close a;
+        ping ~id:9 b;
+        Client.close b)
+  in
+  Alcotest.(check bool)
+    "shed counted" true
+    (summary.Server.sm_metrics.Metrics.s_shed >= 1)
+
+(* --- budgets ------------------------------------------------------------- *)
+
+let test_tiny_budget_degrades_but_answers =
+  without_chaos @@ fun () ->
+  let (), _ =
+    with_server (fun addr ->
+        let c = connect addr in
+        let np = family_problem ~depth:3 ~extent:12 ~shifted:true in
+        let r = request c (query_json ~fuel:0 ~id:1 np) in
+        (* Exhaustion is an answer, not a kill: ok:true, conservative
+           verdict, degradation provenance on the wire. *)
+        Alcotest.(check bool) "degraded query still ok" true (get_bool r "ok");
+        Alcotest.(check string)
+          "conservative verdict" "dependent" (get_str r "verdict");
+        (match Jsonx.member "degraded" r with
+        | Some (Jsonx.List (_ :: _)) -> ()
+        | _ ->
+            Alcotest.failf "expected degradations on the wire, got %s"
+              (Jsonx.to_string r));
+        (* The same connection still answers a full-budget query. *)
+        let r2 = request c (query_json ~id:2 np) in
+        Alcotest.(check bool) "follow-up ok" true (get_bool r2 "ok");
+        Client.close c)
+  in
+  ()
+
+(* --- drain + warm restart ------------------------------------------------ *)
+
+let test_shutdown_drains_and_warm_restarts =
+  without_chaos @@ fun () ->
+  let snap = Filename.temp_file "dlz_serve" ".snap" in
+  let probs =
+    List.init 4 (fun k ->
+        family_problem ~depth:(1 + (k mod 3)) ~extent:10 ~shifted:(k >= 2))
+  in
+  let cfg_save =
+    { (Server.default_config loopback) with Server.snapshot_save = Some snap }
+  in
+  let (), sum1 =
+    with_server ~cfg:cfg_save (fun addr ->
+        let c = connect addr in
+        List.iteri
+          (fun i np ->
+            let r = request c (query_json ~id:i np) in
+            Alcotest.(check bool) "warm-up query ok" true (get_bool r "ok"))
+          probs;
+        let r =
+          request c (obj [ ("op", Jsonx.Str "shutdown"); ("id", Jsonx.Int 99) ])
+        in
+        Alcotest.(check bool) "shutdown acknowledged" true (get_bool r "ok");
+        Client.close c)
+  in
+  let saved =
+    match sum1.Server.sm_saved with
+    | Some (Ok n) -> n
+    | Some (Error m) -> Alcotest.fail ("drain snapshot failed: " ^ m)
+    | None -> Alcotest.fail "drain snapshot not attempted"
+  in
+  Alcotest.(check bool) "drain snapshot non-empty" true (saved > 0);
+  (* Restart from the snapshot: the same queries answer warm. *)
+  let cfg_load =
+    { (Server.default_config loopback) with Server.snapshot_load = Some snap }
+  in
+  let (), sum2 =
+    with_server ~cfg:cfg_load (fun addr ->
+        let c = connect addr in
+        List.iteri
+          (fun i np ->
+            let r = request c (query_json ~id:i np) in
+            Alcotest.(check bool) "warm query ok" true (get_bool r "ok"))
+          probs;
+        let warm = Stats.warm_hits Stats.global in
+        Alcotest.(check bool) "warm-start hits > 0" true (warm > 0);
+        Client.close c)
+  in
+  (match sum2.Server.sm_loaded with
+  | Some (Ok n) ->
+      Alcotest.(check int) "loaded what was saved" saved n
+  | Some (Error m) -> Alcotest.fail ("warm start failed: " ^ m)
+  | None -> Alcotest.fail "warm start not attempted");
+  Sys.remove snap
+
+(* --- chaos battery ------------------------------------------------------- *)
+
+(* Process-wide injection at the socket boundary (torn frames,
+   disconnects, slow writes) and inside the engine, on both sides of
+   the wire.  Injection-proof assertions only: every client
+   terminates, the books balance, the daemon survives to answer a
+   clean ping, and every server-side fault was contained (a counter,
+   never a crash). *)
+let chaos_battery seed () =
+  let rep, summary =
+    with_chaos ~seed ~rate:0.05 @@ fun () ->
+    with_server
+      ~cfg:
+        {
+          (Server.default_config loopback) with
+          Server.workers = 2;
+          queue_capacity = 16;
+        }
+      (fun addr ->
+        Serve.load_gen ~addr ~clients:8 ~sessions:48 ~requests_per_session:4
+          ~workload:Serve.Mix ())
+  in
+  let r = rep in
+  let classified =
+    r.Serve.lg_ok + r.Serve.lg_shed + r.Serve.lg_draining + r.Serve.lg_errors
+    + r.Serve.lg_transport
+  in
+  Alcotest.(check bool)
+    "every request classified, none lost" true
+    (classified >= r.Serve.lg_requests);
+  Alcotest.(check bool) "some requests survived the faults" true (r.Serve.lg_ok > 0);
+  let m = summary.Server.sm_metrics in
+  Alcotest.(check int) "no connection left active" 0 m.Metrics.s_active;
+  (* The daemon outlived the storm: a clean client gets a clean answer. *)
+  let (), _ =
+    without_chaos (fun () ->
+        with_server (fun addr ->
+            let c = connect addr in
+            ping c;
+            Client.close c))
+      ()
+  in
+  ()
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping and stats round-trip" `Quick
+            test_ping_and_stats;
+          Alcotest.test_case "unix socket serves and is cleaned up" `Quick
+            test_unix_socket;
+          Alcotest.test_case "wire query = in-process engine" `Quick
+            test_query_matches_engine;
+          Alcotest.test_case "analyze streams pairs then a summary" `Quick
+            test_analyze_stream;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "bad JSON costs one reply, not the connection"
+            `Quick test_bad_json_continues;
+          Alcotest.test_case "framing violation closes only that connection"
+            `Quick test_malformed_frame_closes;
+          Alcotest.test_case "oversize frame refused" `Quick
+            test_oversize_frame_closes;
+          Alcotest.test_case "mid-stream disconnect leaves others untouched"
+            `Quick test_disconnect_mid_stream;
+          Alcotest.test_case "slow-loris reclaimed by the idle timeout" `Quick
+            test_slow_loris_timed_out;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload sheds explicitly with a retry hint"
+            `Quick test_overload_sheds_explicitly;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "tiny budget degrades but answers" `Quick
+            test_tiny_budget_degrades_but_answers;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "shutdown drains, snapshots, restarts warm"
+            `Quick test_shutdown_drains_and_warm_restarts;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "battery at seed 7" `Quick (chaos_battery 7L);
+          Alcotest.test_case "battery at seed 1234" `Quick
+            (chaos_battery 1234L);
+        ] );
+    ]
