@@ -774,15 +774,24 @@ let trace_report () =
       (fun (_, h) -> Trace.Hist.count h > 0)
       (("query", Dlz_engine.Stats.query_hist ()) :: Trace.hist_rows ())
   in
+  let mask_json =
+    match Trace.mask () with
+    | None -> "null"
+    | Some cats ->
+        Printf.sprintf "[%s]"
+          (String.concat ","
+             (List.map (fun c -> Printf.sprintf "\"%s\"" c) cats))
+  in
   let json =
     Printf.sprintf
       "{\"workload\":\"corpus+paper-family\",%s,\"programs\":%d,\"pairs\":%d,\
        \"off_pass_sec\":%.6f,\
-       \"enabled_overhead\":%.4f,\"full_overhead\":%.4f,\
-       \"target_overhead\":0.03,\"events\":%d,\"dropped\":%d,\
+       \"timing_overhead\":%.4f,\"full_overhead\":%.4f,\
+       \"target_overhead\":0.03,\"full_target_overhead\":0.06,\
+       \"trace_mask\":%s,\"events\":%d,\"dropped\":%d,\
        \"latency_profile\":[%s]}"
       host_json (List.length progs) pairs baseline
-      (timing_ratio -. 1.) (full_ratio -. 1.) events dropped
+      (timing_ratio -. 1.) (full_ratio -. 1.) mask_json events dropped
       (String.concat ","
          (List.map
             (fun (name, h) ->

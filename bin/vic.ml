@@ -264,10 +264,31 @@ let set_trace_sample spec =
           prerr_endline ("--trace-sample: " ^ msg);
           exit 1)
 
+let trace_mask_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-mask" ] ~docv:"CATS"
+           ~doc:"Record only spans/instants of these comma-separated\n\
+                 categories under Full recording (e.g.\n\
+                 'engine,strategy'), so Full costs only what you\n\
+                 actually record.  The empty category (request and\n\
+                 phase spans) is always enabled.  Overrides\n\
+                 DLZ_TRACE_MASK.")
+
+let set_trace_mask spec =
+  match spec with
+  | None -> ()
+  | Some s ->
+      let cats =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      Trace.set_mask (Some cats)
+
 (* --stats wants latency percentiles even without span recording, so
    it turns on Timing; --trace needs the full event stream. *)
-let setup_telemetry ~stats ~trace_out ~trace_sample =
+let setup_telemetry ?trace_mask ~stats ~trace_out ~trace_sample () =
   set_trace_sample trace_sample;
+  set_trace_mask trace_mask;
   match trace_out with
   | Some _ -> Trace.set_level Trace.Full
   | None -> if stats then Trace.set_level Trace.Timing
@@ -420,13 +441,14 @@ let analyze_one ~lang ~mode ~cascade ~budget ~pool ~chunk ~env ~ranges file =
 let analyze_cmd =
   let run file dir lang mode assumes ranges cascade stats stats_json jobs
       chunk fuel timeout_ms chaos cache_load cache_save cache_auto timings
-      trace_out trace_sample sort =
+      trace_out trace_sample trace_mask sort =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
         let chunk = check_chunk chunk in
         let cascade = cascade_of cascade in
         set_chaos chaos;
-        setup_telemetry ~stats:(stats || stats_json) ~trace_out ~trace_sample;
+        setup_telemetry ?trace_mask ~stats:(stats || stats_json) ~trace_out
+          ~trace_sample ();
         let budget = budget_of ~fuel ~timeout_ms in
         let module Persist = Dlz_engine.Persist in
         let load_path =
@@ -515,7 +537,7 @@ let analyze_cmd =
           $ assume_arg $ ranges_arg $ cascade_arg $ stats_arg $ stats_json_arg
           $ jobs_arg $ chunk_arg $ fuel_arg $ timeout_arg $ chaos_arg
           $ cache_load_arg $ cache_save_arg $ cache_auto_arg $ timings_arg
-          $ trace_out_arg $ trace_sample_arg $ sort_arg)
+          $ trace_out_arg $ trace_sample_arg $ trace_mask_arg $ sort_arg)
 
 let vectorize_cmd =
   let run file lang mode assumes =
@@ -815,7 +837,7 @@ let fuzz_cmd =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
         set_chaos chaos;
-        setup_telemetry ~stats ~trace_out ~trace_sample;
+        setup_telemetry ~stats ~trace_out ~trace_sample ();
         Dlz_engine.Engine.reset_metrics ();
         let cases =
           match replay with
@@ -872,6 +894,26 @@ let fuzz_cmd =
     Term.(const run $ seed_arg $ count_arg $ shrink_arg $ corpus_flag
           $ limit_arg $ out_arg $ replay_arg $ stats_arg $ jobs_arg $ fuel_arg
           $ chaos_arg $ trace_out_arg $ trace_sample_arg $ sort_arg)
+
+(* The per-user default socket path, shared by [serve] (listen side)
+   and [stats] (scrape side) so `vic serve` + `vic stats` pair up with
+   no flags at all. *)
+let default_socket () =
+  let dir =
+    match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> Filename.get_temp_dir_name ()
+  in
+  Filename.concat dir (Printf.sprintf "vic-serve-%d.sock" (Unix.getuid ()))
+
+let resolve_addr ~flag = function
+  | None -> Dlz_serve.Addr.Unix_sock (default_socket ())
+  | Some s -> (
+      match Dlz_serve.Addr.of_string s with
+      | Ok a -> a
+      | Error m ->
+          prerr_endline (flag ^ ": " ^ m);
+          exit 1)
 
 let serve_cmd =
   let addr_arg =
@@ -933,30 +975,29 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Suppress the startup and drain chatter.")
   in
-  let default_socket () =
-    let dir =
-      match Sys.getenv_opt "XDG_RUNTIME_DIR" with
-      | Some d when d <> "" -> d
-      | _ -> Filename.get_temp_dir_name ()
-    in
-    Filename.concat dir
-      (Printf.sprintf "vic-serve-%d.sock" (Unix.getuid ()))
+  let metrics_dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-dump" ] ~docv:"PATH"
+             ~doc:"Append one NDJSON line per interval to PATH — the\n\
+                   full versioned metrics snapshot (daemon counters,\n\
+                   engine counters, per-client attribution) — plus a\n\
+                   final line after the drain.  A flight recorder for\n\
+                   the metric plane; restarts extend the series.")
+  in
+  let metrics_dump_interval_arg =
+    Arg.(value & opt int 1_000
+         & info [ "metrics-dump-interval-ms" ] ~docv:"MS"
+             ~doc:"Interval between --metrics-dump lines (default\n\
+                   1000, clamped to at least 50).")
   in
   let run addr workers queue request_fuel request_timeout_ms idle_timeout_ms
       max_frame retry_after_ms fuel timeout_ms cascade chaos cache_load
-      cache_save cache_auto stats_json quiet =
+      cache_save cache_auto stats_json quiet metrics_dump
+      metrics_dump_interval_ms trace_mask =
     set_chaos chaos;
+    set_trace_mask trace_mask;
     let cascade = cascade_of cascade in
-    let address =
-      match addr with
-      | None -> Dlz_serve.Addr.Unix_sock (default_socket ())
-      | Some s -> (
-          match Dlz_serve.Addr.of_string s with
-          | Ok a -> a
-          | Error m ->
-              prerr_endline ("--listen: " ^ m);
-              exit 1)
-    in
+    let address = resolve_addr ~flag:"--listen" addr in
     let module Persist = Dlz_engine.Persist in
     let snapshot_load =
       match cache_load with
@@ -983,6 +1024,8 @@ let serve_cmd =
         cascade;
         snapshot_load;
         snapshot_save;
+        metrics_dump;
+        metrics_dump_interval_ms = max 50 metrics_dump_interval_ms;
       }
     in
     Dlz_driver.Serve.run_cli ~stats_json ~quiet cfg
@@ -998,14 +1041,63 @@ let serve_cmd =
           $ request_timeout_arg $ idle_timeout_arg $ max_frame_arg
           $ retry_after_arg $ fuel_arg $ timeout_arg $ cascade_arg $ chaos_arg
           $ cache_load_arg $ cache_save_arg $ cache_auto_arg $ stats_json_arg
-          $ quiet_arg)
+          $ quiet_arg $ metrics_dump_arg $ metrics_dump_interval_arg
+          $ trace_mask_arg)
+
+let stats_cmd =
+  let connect_arg =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Daemon address: 'unix:PATH', a bare socket path,\n\
+                   'tcp:HOST:PORT', or 'HOST:PORT'.  Default: the\n\
+                   per-user unix socket `vic serve` listens on.")
+  in
+  let format_arg =
+    let fmt_conv = Arg.enum [ ("prom", `Prom); ("json", `Json) ] in
+    Arg.(value & opt fmt_conv `Prom
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"'prom' (Prometheus exposition text, default) or\n\
+                   'json' (the versioned one-line snapshot — the\n\
+                   --metrics-dump shape).")
+  in
+  let watch_arg =
+    Arg.(value & flag
+         & info [ "watch" ]
+             ~doc:"Poll the daemon every --interval-ms until\n\
+                   interrupted (or for --count scrapes), printing each\n\
+                   snapshot — a live top for the metric plane.")
+  in
+  let interval_arg =
+    Arg.(value & opt int 2_000
+         & info [ "interval-ms" ] ~docv:"MS"
+             ~doc:"--watch polling interval (default 2000, clamped to\n\
+                   at least 100).")
+  in
+  let count_arg =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:"--watch: stop after N scrapes (0 = until\n\
+                   interrupted).  Useful for scripted sampling.")
+  in
+  let run connect format watch interval_ms count =
+    let addr = resolve_addr ~flag:"--connect" connect in
+    Dlz_driver.Serve.run_stats ~addr ~format ~watch ~interval_ms ~count ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Scrape a running `vic serve` daemon's metrics (the\n\
+             'metrics' protocol verb): Prometheus exposition text or\n\
+             the versioned JSON snapshot, one-shot or as a --watch\n\
+             live poller.")
+    Term.(const run $ connect_arg $ format_arg $ watch_arg $ interval_arg
+          $ count_arg)
 
 let main_cmd =
   let doc = "delinearization-based dependence analysis (Maslov, PLDI 1992)" in
   Cmd.group (Cmd.info "vic" ~version:"1.0.0" ~doc)
     [
       analyze_cmd; vectorize_cmd; delinearize_cmd; trace_cmd; graph_cmd;
-      experiments_cmd; corpus_cmd; fuzz_cmd; serve_cmd;
+      experiments_cmd; corpus_cmd; fuzz_cmd; serve_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

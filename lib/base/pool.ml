@@ -45,6 +45,21 @@ let reset_metrics () =
   Atomic.set steal_count 0;
   Atomic.set ema_elem_ns 0
 
+(* The pool's two process-wide numbers, scrapeable: steal volume says
+   how unbalanced the deal was, the EMA says what the auto-tuner
+   currently believes an element costs. *)
+let () =
+  Dlz_obs.Registry.register ~name:"pool" ~reset:reset_metrics (fun () ->
+      [
+        Dlz_obs.Registry.sample ~help:"chunks stolen across domains"
+          "vic_pool_steals_total"
+          (Dlz_obs.Registry.Counter (Atomic.get steal_count));
+        Dlz_obs.Registry.sample
+          ~help:"EMA of observed per-element cost (nanoseconds)"
+          "vic_pool_ema_elem_ns"
+          (Dlz_obs.Registry.Gauge (float_of_int (Atomic.get ema_elem_ns)));
+      ])
+
 let note_elem_ns ns =
   let old = Atomic.get ema_elem_ns in
   let next = if old = 0 then ns else ((3 * old) + ns) / 4 in

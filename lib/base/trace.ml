@@ -22,6 +22,43 @@ let set_level l = Atomic.set level_state l
 let timing_on () = Atomic.get level_state <> Off
 let recording_on () = Atomic.get level_state = Full
 
+(* --- category mask -------------------------------------------------------- *)
+
+(* Full pays only for the categories you actually record: a span or
+   instant whose category is masked out is a None-check and an
+   immediate No_span.  [None] = everything enabled (the default); the
+   empty category is always enabled, so uncategorised load-bearing
+   spans (the per-request serve span, CLI phases) cannot be silenced
+   by accident. *)
+
+let parse_mask s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+  |> List.sort_uniq compare
+
+let mask_state : string list option Atomic.t =
+  Atomic.make
+    (match Sys.getenv_opt "DLZ_TRACE_MASK" with
+    | None | Some "" -> None
+    | Some s -> Some (parse_mask s))
+
+let set_mask m =
+  Atomic.set mask_state
+    (Option.map
+       (fun cats ->
+         List.map String.trim cats
+         |> List.filter (fun x -> x <> "")
+         |> List.sort_uniq compare)
+       m)
+
+let mask () = Atomic.get mask_state
+
+let cat_enabled cat =
+  match Atomic.get mask_state with
+  | None -> true
+  | Some cats -> cat = "" || List.mem cat cats
+
 (* --- sampling ------------------------------------------------------------- *)
 
 type sampling_state = { s_seed : int64; s_rate_ppm : int }
@@ -72,29 +109,56 @@ type event = {
   ev_args : (string * string) list;
 }
 
-let dummy_event =
-  { ev_seq = -1; ev_ts = 0L; ev_ph = I; ev_name = ""; ev_cat = ""; ev_args = [] }
+(* The rings are structure-of-arrays: parallel arrays of timestamp
+   (as an unboxed [int] — a monotonic nanosecond count fits 62 bits),
+   phase byte, name, category, and an argument {e thunk}.  A push is
+   one cursor bump and five stores into memory only the recording
+   domain touches — no record allocation, no string formatting.
+   Argument rendering is fully deferred: the thunk is forced at
+   export/[events] time only, so an event that is overwritten before
+   anyone looks at it never built its strings at all.  Thunks must
+   therefore be pure (close over immutable data) — every in-tree call
+   site closes over strings and integers fixed at record time. *)
+
+let no_args : unit -> (string * string) list = fun () -> []
+
+let thunk_of args lazy_args =
+  match lazy_args with
+  | Some f -> f
+  | None -> ( match args with [] -> no_args | args -> fun () -> args)
 
 type buffer = {
   b_dom : int;
-  b_cap : int;
-  b_events : event array;
+  b_cap : int;  (* power of two *)
+  b_ts : int array;
+  b_ph : Bytes.t;
+  b_name : string array;
+  b_cat : string array;
+  b_args : (unit -> (string * string) list) array;
   mutable b_len : int;  (* total events ever recorded (monotone) *)
-  mutable b_seq : int;
   mutable b_spans : int;  (* sampled spans begun — the sampling counter *)
   mutable b_suppress : int;  (* depth inside a sampled-out subtree *)
 }
+
+let next_pow2 n =
+  let r = ref 1 in
+  while !r < n do
+    r := !r lsl 1
+  done;
+  !r
 
 let default_capacity =
   ref
     (match Sys.getenv_opt "DLZ_TRACE_BUF" with
     | Some s -> (
-        match int_of_string_opt s with Some n when n > 0 -> n | _ -> 65536)
+        match int_of_string_opt s with
+        | Some n when n > 0 -> next_pow2 n
+        | _ -> 65536)
     | None -> 65536)
 
 let set_buffer_capacity n =
   if n < 1 then invalid_arg "Trace.set_buffer_capacity: capacity must be >= 1";
-  default_capacity := n
+  default_capacity := next_pow2 n
 
 (* Buffers register themselves once, at a domain's first record; the
    mutex guards only that registration and snapshot reads, never the
@@ -109,9 +173,12 @@ let dls_key =
         {
           b_dom = (Domain.self () :> int);
           b_cap = cap;
-          b_events = Array.make cap dummy_event;
+          b_ts = Array.make cap 0;
+          b_ph = Bytes.make cap '\000';
+          b_name = Array.make cap "";
+          b_cat = Array.make cap "";
+          b_args = Array.make cap no_args;
           b_len = 0;
-          b_seq = 0;
           b_spans = 0;
           b_suppress = 0;
         }
@@ -123,20 +190,23 @@ let dls_key =
 
 let buffer () = Domain.DLS.get dls_key
 
-let push b ph name cat args =
-  let ev =
-    {
-      ev_seq = b.b_seq;
-      ev_ts = now_ns ();
-      ev_ph = ph;
-      ev_name = name;
-      ev_cat = cat;
-      ev_args = args;
-    }
-  in
-  b.b_seq <- b.b_seq + 1;
-  b.b_events.(b.b_len mod b.b_cap) <- ev;
+(* Phase bytes in the ring. *)
+let ph_b = '\000'
+let ph_e = '\001'
+let ph_i = '\002'
+
+let phase_of_byte = function '\000' -> B | '\001' -> E | _ -> I
+
+let push b ph name cat fargs ts =
+  let i = b.b_len land (b.b_cap - 1) in
+  b.b_ts.(i) <- ts;
+  Bytes.set b.b_ph i ph;
+  b.b_name.(i) <- name;
+  b.b_cat.(i) <- cat;
+  b.b_args.(i) <- fargs;
   b.b_len <- b.b_len + 1
+
+let ts_now = function None -> Int64.to_int (now_ns ()) | Some t -> Int64.to_int t
 
 let buffers_snapshot () =
   Mutex.lock registry_lock;
@@ -155,7 +225,17 @@ let events () =
       (fun b ->
         let n = min b.b_len b.b_cap in
         let first = b.b_len - n in
-        List.init n (fun i -> (b.b_dom, b.b_events.((first + i) mod b.b_cap))))
+        List.init n (fun i ->
+            let j = (first + i) land (b.b_cap - 1) in
+            ( b.b_dom,
+              {
+                ev_seq = first + i;
+                ev_ts = Int64.of_int b.b_ts.(j);
+                ev_ph = phase_of_byte (Bytes.get b.b_ph j);
+                ev_name = b.b_name.(j);
+                ev_cat = b.b_cat.(j);
+                ev_args = b.b_args.(j) ();
+              } )))
       (buffers_snapshot ())
   in
   List.sort
@@ -170,9 +250,12 @@ let clear () =
   List.iter
     (fun b ->
       b.b_len <- 0;
-      b.b_seq <- 0;
       b.b_spans <- 0;
-      b.b_suppress <- 0)
+      b.b_suppress <- 0;
+      (* Release whatever the argument thunks and names kept alive. *)
+      Array.fill b.b_args 0 b.b_cap no_args;
+      Array.fill b.b_name 0 b.b_cap "";
+      Array.fill b.b_cat 0 b.b_cap "")
     (buffers_snapshot ())
 
 (* --- spans ---------------------------------------------------------------- *)
@@ -192,15 +275,8 @@ let sampled_in b name s =
     let g = Prng.create (Int64.logxor s.s_seed (Int64.of_int h)) in
     Prng.int g 1_000_000 < s.s_rate_ppm
 
-(* Begin-event args come in two forms: [args], already built, and
-   [lazy_args], a thunk forced only when the event actually lands in a
-   buffer.  Hot call sites use [lazy_args] so spans that are off,
-   suppressed, or sampled out never format a single string. *)
-let force_args args lazy_args =
-  match lazy_args with None -> args | Some f -> f ()
-
-let start ?(cat = "") ?(sample = false) ?(args = []) ?lazy_args name =
-  if not (recording_on ()) then No_span
+let start ?(cat = "") ?(sample = false) ?(args = []) ?lazy_args ?ts name =
+  if not (recording_on () && cat_enabled cat) then No_span
   else begin
     let b = buffer () in
     if b.b_suppress > 0 then begin
@@ -213,7 +289,7 @@ let start ?(cat = "") ?(sample = false) ?(args = []) ?lazy_args name =
       let keep = sampled_in b name (Atomic.get sampling_state) in
       b.b_spans <- b.b_spans + 1;
       if keep then begin
-        push b B name cat (force_args args lazy_args);
+        push b ph_b name cat (thunk_of args lazy_args) (ts_now ts);
         Live { sp_name = name; sp_cat = cat }
       end
       else begin
@@ -222,18 +298,19 @@ let start ?(cat = "") ?(sample = false) ?(args = []) ?lazy_args name =
       end
     end
     else begin
-      push b B name cat (force_args args lazy_args);
+      push b ph_b name cat (thunk_of args lazy_args) (ts_now ts);
       Live { sp_name = name; sp_cat = cat }
     end
   end
 
-let finish ?(args = []) sp =
+let finish ?(args = []) ?lazy_args ?ts sp =
   match sp with
   | No_span -> ()
   | Suppressed ->
       let b = buffer () in
       if b.b_suppress > 0 then b.b_suppress <- b.b_suppress - 1
-  | Live { sp_name; sp_cat } -> push (buffer ()) E sp_name sp_cat args
+  | Live { sp_name; sp_cat } ->
+      push (buffer ()) ph_e sp_name sp_cat (thunk_of args lazy_args) (ts_now ts)
 
 let with_span ?cat ?sample ?args ?lazy_args name f =
   if not (recording_on ()) then f ()
@@ -242,9 +319,9 @@ let with_span ?cat ?sample ?args ?lazy_args name f =
     Fun.protect ~finally:(fun () -> finish sp) f
   end
 
-let instant ?(cat = "") ?(args = []) ?lazy_args name =
-  if recording_on () then
-    push (buffer ()) I name cat (force_args args lazy_args)
+let instant ?(cat = "") ?(args = []) ?lazy_args ?ts name =
+  if recording_on () && cat_enabled cat then
+    push (buffer ()) ph_i name cat (thunk_of args lazy_args) (ts_now ts)
 
 (* --- Chrome trace_event export -------------------------------------------- *)
 
@@ -550,6 +627,41 @@ module Hist = struct
         sh.sh_total_ns <- 0;
         sh.sh_max_ns <- 0)
       (shards t)
+
+  (* Exposition snapshot: cumulative counts at per-octave boundaries
+     (le = 2^(o+1) - 1 ns, inclusive, matching the integer-ns bucket
+     layout), trimmed at the octave holding the observed max — the
+     implicit +Inf bucket covers the rest.  Downsampling 288 buckets
+     to <= 36 keeps a scrape readable while staying exact at every
+     emitted boundary. *)
+  let snapshot t =
+    let counts = summed t in
+    let count = Array.fold_left ( + ) 0 counts in
+    let mx = max_ns t in
+    let cumulative =
+      if count = 0 then []
+      else begin
+        let last_octave = min (octaves - 1) (bucket_of_ns mx / sub_buckets) in
+        let out = ref [] and acc = ref 0 and i = ref 0 in
+        for o = 0 to last_octave do
+          for _ = 1 to sub_buckets do
+            acc := !acc + counts.(!i);
+            incr i
+          done;
+          out :=
+            (Int64.sub (Int64.shift_left 1L (o + 1)) 1L, !acc) :: !out
+        done;
+        List.rev !out
+      end
+    in
+    {
+      Dlz_obs.Registry.h_count = count;
+      h_sum_ns = total_ns t;
+      h_max_ns = mx;
+      h_p50_ns = percentile t 0.50;
+      h_p99_ns = percentile t 0.99;
+      h_buckets = cumulative;
+    }
 end
 
 module Smap = Map.Make (String)
@@ -582,3 +694,19 @@ let time name f =
 
 let hist_rows () = Smap.bindings (Atomic.get hists)
 let reset_hists () = Smap.iter (fun _ h -> Hist.reset h) (Atomic.get hists)
+
+(* Every named histogram doubles as a vic_latency_ns{op=..} family in
+   the metrics plane; empty histograms are skipped so a scrape shows
+   what actually ran. *)
+let () =
+  Dlz_obs.Registry.register ~name:"trace" ~reset:reset_hists (fun () ->
+      List.filter_map
+        (fun (name, h) ->
+          if Hist.count h = 0 then None
+          else
+            Some
+              (Dlz_obs.Registry.sample
+                 ~help:"operation latency histogram (nanoseconds)"
+                 ~labels:[ ("op", name) ] "vic_latency_ns"
+                 (Dlz_obs.Registry.Hist (Hist.snapshot h))))
+        (hist_rows ()))

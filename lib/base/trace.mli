@@ -48,6 +48,24 @@ val timing_on : unit -> bool
 val recording_on : unit -> bool
 (** [level () = Full]. *)
 
+(** {1 Category mask}
+
+    Under {!Full}, spans and instants carry a category ("strategy",
+    "pool", "budget", …).  The mask restricts recording to the
+    categories named in it, so Full costs only what you actually
+    record; the empty category is always enabled (the per-request
+    serve span and CLI phase spans cannot be silenced by accident).
+    Initialised from [DLZ_TRACE_MASK] (comma-separated), overridden by
+    [--trace-mask]. *)
+
+val set_mask : string list option -> unit
+(** [set_mask None] enables every category (the default);
+    [set_mask (Some cats)] records only spans/instants whose category
+    is [""] or a member of [cats]. *)
+
+val mask : unit -> string list option
+(** Current mask, sorted and de-duplicated. *)
+
 (** {1 Sampling} *)
 
 val set_sampling : ?seed:int64 -> float -> unit
@@ -86,18 +104,31 @@ val start :
   ?sample:bool ->
   ?args:(string * string) list ->
   ?lazy_args:(unit -> (string * string) list) ->
+  ?ts:int64 ->
   string ->
   span
 (** [start name] opens a span: records a [B] event now, and its
     matching [E] at {!finish}.  [args] annotate the begin event;
     attach result-dependent attributes to {!finish} instead.
     [~sample:true] subjects the span to the sampling knob.
-    [lazy_args] supersedes [args] when given and is forced only if the
-    event actually lands in a buffer — a span that is off, suppressed,
-    or sampled out never formats its argument strings, so high-volume
-    call sites pay at most one closure for their annotations. *)
+    [lazy_args] supersedes [args] when given and is forced only at
+    {e export} time — a span that is off, suppressed, sampled out, or
+    overwritten in the ring before anyone reads it never formats its
+    argument strings.  The thunk must therefore be pure: close over
+    immutable data fixed at record time.  [ts] supplies the event
+    timestamp when the caller already read the clock (sharing one
+    read between a histogram observation and the event), else the
+    clock is read here.  A span whose category is masked out records
+    nothing and returns a span for which {!finish} is a no-op. *)
 
-val finish : ?args:(string * string) list -> span -> unit
+val finish :
+  ?args:(string * string) list ->
+  ?lazy_args:(unit -> (string * string) list) ->
+  ?ts:int64 ->
+  span ->
+  unit
+(** [lazy_args]/[ts] as in {!start} — finish-time attributes on hot
+    paths should be thunks so a Timing-level run never builds them. *)
 
 val with_span :
   ?cat:string ->
@@ -114,18 +145,21 @@ val instant :
   ?cat:string ->
   ?args:(string * string) list ->
   ?lazy_args:(unit -> (string * string) list) ->
+  ?ts:int64 ->
   string ->
   unit
 (** A zero-duration event ("budget exhausted here").  Instants ignore
-    sampling suppression: rare, load-bearing marks always land. *)
+    sampling suppression: rare, load-bearing marks always land (unless
+    their category is masked out). *)
 
 (** {1 Buffers} *)
 
 val set_buffer_capacity : int -> unit
 (** Ring capacity (events) for buffers of domains that first record
-    {e after} this call; existing buffers keep their size.  Default
-    65536, or [DLZ_TRACE_BUF].  When a ring wraps, the oldest events
-    are overwritten and counted as dropped. *)
+    {e after} this call; existing buffers keep their size.  Rounded up
+    to a power of two (index masking keeps the push path division
+    free).  Default 65536, or [DLZ_TRACE_BUF].  When a ring wraps, the
+    oldest events are overwritten and counted as dropped. *)
 
 type phase = B | E | I
 
@@ -199,6 +233,13 @@ module Hist : sig
       instead of two. *)
 
   val reset : t -> unit
+
+  val snapshot : t -> Dlz_obs.Registry.hist_snapshot
+  (** Exposition snapshot: count/sum/max, p50/p99, and cumulative
+      counts at per-octave boundaries ([le = 2^(o+1) - 1] ns,
+      inclusive), trimmed at the octave holding the observed max (the
+      implicit +Inf bucket covers the rest).  Deterministic for a
+      given set of recorded durations. *)
 
   val buckets : int
   (** Number of buckets. *)

@@ -40,9 +40,13 @@ let run_cli ?(stats_json = false) ?(quiet = false) cfg =
           Printf.eprintf "vic serve: drain snapshot failed: %s\n%!" m
       | _ -> ());
       if stats_json then
-        Printf.printf "{\"serve\":%s,\"engine\":%s}\n%!"
+        (* The whole picture behind one flag: daemon counters, engine
+           counters, and the full obs snapshot (which additionally
+           carries per-client attribution and latency histograms). *)
+        Printf.printf "{\"version\":1,\"serve\":%s,\"engine\":%s,\"obs\":%s}\n%!"
           (Metrics.snapshot_to_json s.Server.sm_metrics)
           (Stats.to_json Stats.global)
+          (Dlz_obs.Snap.to_json (Dlz_obs.Registry.collect ()))
       else if not quiet then begin
         let m = s.Server.sm_metrics in
         Printf.eprintf
@@ -52,6 +56,69 @@ let run_cli ?(stats_json = false) ?(quiet = false) cfg =
           m.Metrics.s_accepted m.Metrics.s_shed m.Metrics.s_rejected_draining
           m.Metrics.s_requests m.Metrics.s_responses m.Metrics.s_errors
       end
+
+(* {2 Stats poller}
+
+   The client side of the [metrics] verb: one scrape per round trip,
+   printed as received (Prometheus text or the Snap JSON line), so
+   [vic stats] composes with curl-style tooling and [--watch] makes a
+   live poller out of it. *)
+
+let fetch_metrics ~addr ~format =
+  match Client.connect ~timeout_ms:10_000 addr with
+  | Error m -> Error m
+  | Ok c ->
+      let req =
+        Jsonx.Obj
+          [
+            ("op", Jsonx.Str "metrics");
+            ( "format",
+              Jsonx.Str (match format with `Prom -> "prom" | `Json -> "json")
+            );
+            ("client", Jsonx.Str "vic-stats");
+          ]
+      in
+      let r = Client.request c req in
+      Client.close c;
+      (match r with
+      | Error _ as e -> e
+      | Ok j -> (
+          match Jsonx.member "ok" j with
+      | Some (Jsonx.Bool true) -> (
+          match format with
+          | `Prom -> (
+              match Option.bind (Jsonx.member "body" j) Jsonx.to_str with
+              | Some body -> Ok body
+              | None -> Error "metrics response carried no body")
+          | `Json -> (
+              match Jsonx.member "metrics" j with
+              | Some m -> Ok (Jsonx.to_string m ^ "\n")
+              | None -> Error "metrics response carried no metrics object"))
+          | _ -> (
+              match Option.bind (Jsonx.member "error" j) Jsonx.to_str with
+              | Some m -> Error m
+              | None -> Error "malformed metrics response")))
+
+let run_stats ~addr ~format ~watch ~interval_ms ~count () =
+  let interval = float_of_int (max 100 interval_ms) /. 1000. in
+  (* --watch: poll until interrupted (or --count scrapes); otherwise
+     one scrape, and a failed one is a failed command. *)
+  let rec go i =
+    let last = (not watch) || (count > 0 && i = count - 1) in
+    (match fetch_metrics ~addr ~format with
+    | Ok body ->
+        print_string body;
+        if watch && not last then print_newline ();
+        flush stdout
+    | Error m ->
+        Printf.eprintf "vic stats: %s\n%!" m;
+        if not watch then exit 1);
+    if not last then begin
+      Unix.sleepf interval;
+      go (i + 1)
+    end
+  in
+  go 0
 
 (* {2 Load generator}
 

@@ -11,8 +11,25 @@
 val run_cli : ?stats_json:bool -> ?quiet:bool -> Dlz_serve.Server.config -> unit
 (** Start, announce, drain on SIGTERM/SIGINT (or a [shutdown] request),
     join, report.  [stats_json] prints one machine-readable
-    [{"serve":..,"engine":..}] line on exit.  Exits the process with
-    code 1 when the server cannot start. *)
+    [{"version":..,"serve":..,"engine":..,"obs":..}] line on exit —
+    daemon counters, engine counters, and the full obs snapshot
+    (per-client attribution included) behind one flag.  Exits the
+    process with code 1 when the server cannot start. *)
+
+val run_stats :
+  addr:Dlz_serve.Addr.t ->
+  format:[ `Prom | `Json ] ->
+  watch:bool ->
+  interval_ms:int ->
+  count:int ->
+  unit ->
+  unit
+(** The client side of the [metrics] verb: one scrape per round trip,
+    printed as received (Prometheus text or the one-line Snap JSON).
+    [watch] polls every [interval_ms] (clamped to ≥ 100 ms) until
+    interrupted, or for [count] scrapes when [count > 0].  A failed
+    one-shot scrape exits with code 1; under [--watch] it is reported
+    and retried on the next tick. *)
 
 type workload = Ping | Query | Analyze | Mix
 (** [Mix] is query-heavy, like a compiler driving the daemon: 6/8

@@ -30,6 +30,23 @@ let exact = make ~name:"exact" [ Registry.exact; Registry.delinearize ]
 let presets = [ ("delin", delin); ("classic", classic); ("exact", exact) ]
 let preset name = List.assoc_opt name presets
 
+(* Per-strategy histogram handles, memoized by bare strategy name so
+   the per-attempt Timing path skips the ["strategy." ^ name]
+   concatenation (an allocation per attempt, on the hottest
+   telemetry path).  Same lock-free CAS idiom as the Trace registry. *)
+module Smap = Map.Make (String)
+
+let hist_memo : Trace.Hist.t Smap.t Atomic.t = Atomic.make Smap.empty
+
+let rec strategy_hist name =
+  let m = Atomic.get hist_memo in
+  match Smap.find_opt name m with
+  | Some h -> h
+  | None ->
+      let h = Trace.hist ("strategy." ^ name) in
+      if Atomic.compare_and_set hist_memo m (Smap.add name h m) then h
+      else strategy_hist name
+
 let reason_of_exn = function
   | Chaos.Injected kind -> "chaos:" ^ kind
   | Intx.Overflow op -> "overflow:" ^ op
@@ -69,18 +86,27 @@ let run ?(stats = Stats.global) ?(budget = Budget.unlimited) ?chaos ~env t
                  result will carry (decided:* ↔ decided_by, degraded:*
                  ↔ degraded_by), and the attempt latency feeds the
                  per-strategy histogram. *)
-              let sp = Trace.start ~cat:"strategy" s.name in
               let t0 = if Trace.timing_on () then Trace.now_ns () else 0L in
+              let sp =
+                if Trace.recording_on () then
+                  Trace.start ~cat:"strategy" ~ts:t0 s.name
+                else Trace.null_span
+              in
               (* [outcome] is a thunk: the attribute string is only
                  materialized when this span actually lands in the
-                 stream. *)
+                 stream (at export, not even at finish).  The settle
+                 clock read is shared between the histogram
+                 observation and the span's end timestamp. *)
               let attempted outcome =
-                if Trace.timing_on () then
-                  Trace.Hist.observe
-                    (Trace.hist ("strategy." ^ s.name))
-                    (Int64.sub (Trace.now_ns ()) t0);
-                if Trace.is_live sp then
-                  Trace.finish sp ~args:[ ("outcome", outcome ()) ]
+                if Trace.timing_on () then begin
+                  let t1 = Trace.now_ns () in
+                  Trace.Hist.observe (strategy_hist s.name)
+                    (Int64.sub t1 t0);
+                  if Trace.is_live sp then
+                    Trace.finish sp ~ts:t1
+                      ~lazy_args:(fun () -> [ ("outcome", outcome ()) ])
+                  else Trace.finish sp
+                end
                 else Trace.finish sp
               in
               match

@@ -94,19 +94,26 @@ let map_pairs ?pool ?chunk f accs =
       |> Array.to_list
       |> List.filter_map Fun.id
 
-let query ?(cascade = Cascade.delin) ?stats ?cache ?budget ?chaos ~env p =
-  Query.memoize ?stats ?cache ~cascade_name:cascade.Cascade.name ~env
+let query ?(cascade = Cascade.delin) ?stats ?cache ?budget ?chaos ?annot
+    ?observer ~env p =
+  Query.memoize ?stats ?cache ?annot ?observer
+    ~cascade_name:cascade.Cascade.name ~env
     (fun ~env p -> Cascade.run ?stats ?budget ?chaos ~env cascade p)
     p
 
-let query_all ?cascade ?stats ?cache ?budget ?chaos ?pool ?chunk ~env accs =
+let query_all ?cascade ?stats ?cache ?budget ?chaos ?annot ?observer ?pool
+    ?chunk ~env accs =
   map_pairs ?pool ?chunk
-    (fun pr -> (pr, query ?cascade ?stats ?cache ?budget ?chaos ~env pr.problem))
+    (fun pr ->
+      (pr, query ?cascade ?stats ?cache ?budget ?chaos ?annot ?observer ~env
+             pr.problem))
     accs
 
+(* Everything the obs registry knows how to reset — engine counters,
+   pool telemetry, trace histograms, and any serve-side collectors a
+   live daemon registered — plus the two stores the registry does not
+   own: the memo cache and the event rings. *)
 let reset_metrics () =
-  Stats.reset Stats.global;
   Query.clear Query.global_cache;
-  Pool.reset_metrics ();
-  Dlz_base.Trace.reset_hists ();
-  Dlz_base.Trace.clear ()
+  Dlz_base.Trace.clear ();
+  Dlz_obs.Registry.reset_all ()

@@ -60,6 +60,8 @@ val query :
   ?cache:Query.cache ->
   ?budget:Dlz_base.Budget.t ->
   ?chaos:Chaos.t ->
+  ?annot:(string * string) list ->
+  ?observer:(Query.disposition -> unit) ->
   env:Assume.t ->
   Problem.t ->
   Strategy.result
@@ -67,7 +69,10 @@ val query :
     {!Cascade.delin}; [stats]/[cache] default to the process-wide
     instances).  Safe to call concurrently from several domains.
     [budget] bounds the cascade (see {!Cascade.run}); degraded results
-    are never cached, so a faulted run cannot poison the memo table. *)
+    are never cached, so a faulted run cannot poison the memo table.
+    [annot] rides on the query's trace span (the daemon threads its
+    request id through here); [observer] receives the cache
+    {!Query.disposition} — see {!Query.memoize}. *)
 
 val query_all :
   ?cascade:Cascade.t ->
@@ -75,17 +80,21 @@ val query_all :
   ?cache:Query.cache ->
   ?budget:Dlz_base.Budget.t ->
   ?chaos:Chaos.t ->
+  ?annot:(string * string) list ->
+  ?observer:(Query.disposition -> unit) ->
   ?pool:Pool.t ->
   ?chunk:int ->
   env:Assume.t ->
   Access.t list ->
   (pair * Strategy.result) list
-(** {!map_pairs} composed with {!query}. *)
+(** {!map_pairs} composed with {!query}.  [observer] must be
+    domain-safe when a pool is given — it may fire from any worker. *)
 
 val reset_metrics : unit -> unit
-(** Clears the global stats (including the allocations-per-query
-    counters), the global cache, the pool's steal/auto-chunk telemetry,
-    the latency histograms (queue-wait included) and the trace buffers
-    (used by the CLI and the benches to scope their reports — every
-    reporting entry point must call this before the work it reports on,
-    so back-to-back [--stats] runs never accumulate). *)
+(** Clears the global cache and the trace event buffers, then runs
+    every reset hook in the {!Dlz_obs.Registry} — global stats
+    (including the allocations-per-query counters), pool steal/
+    auto-chunk telemetry, latency histograms (queue-wait included),
+    and any serve-side collectors a live daemon registered.  Every
+    reporting entry point calls this before the work it reports on,
+    so back-to-back [--stats] runs never accumulate. *)

@@ -375,52 +375,70 @@ let h_hit = Trace.hist "cache.hit"
 let h_miss = Trace.hist "cache.miss"
 let h_uncacheable = Trace.hist "cache.uncacheable"
 
+(* Where a query's answer came from, as seen by the cache — the
+   signal a per-client attribution layer wants without re-deriving it
+   from counters. *)
+type disposition = Hit_warm | Hit_cold | Miss | Uncacheable
+
 (* End-of-query bookkeeping, deliberately a top-level function (a
    closure here would put an allocation on the cache-hit path).  The
    allocation delta is taken {e first}, so the telemetry below —
-   boxed-int64 clock reads, span args — never pollutes the counter. *)
+   boxed-int64 clock reads, span args — never pollutes the counter.
+   One settle clock read is shared between the histogram observation
+   and the span's end timestamp, and the end-of-span attributes are a
+   thunk forced only at export. *)
 let settled stats sp t0 w0 ~hit disposition h (r : Strategy.result) =
   Stats.record_alloc stats ~hit (int_of_float (Gc.minor_words ()) - w0);
-  if Trace.timing_on () then
-    Trace.Hist.observe h (Int64.sub (Trace.now_ns ()) t0);
-  (if Trace.is_live sp then
-     Trace.finish sp
-       ~args:
-         (("cache", disposition)
-         :: ("decided_by", r.Strategy.decided_by)
-         ::
-         (match r.Strategy.degraded with
-         | [] -> []
-         | ds ->
-             [
-               ( "degraded_by",
-                 String.concat ";"
-                   (List.map (fun (s, why) -> s ^ ":" ^ why) ds) );
-             ]))
-   else Trace.finish sp);
+  if Trace.timing_on () then begin
+    let t1 = Trace.now_ns () in
+    Trace.Hist.observe h (Int64.sub t1 t0);
+    if Trace.is_live sp then
+      Trace.finish sp ~ts:t1
+        ~lazy_args:(fun () ->
+          ("cache", disposition)
+          :: ("decided_by", r.Strategy.decided_by)
+          ::
+          (match r.Strategy.degraded with
+          | [] -> []
+          | ds ->
+              [
+                ( "degraded_by",
+                  String.concat ";"
+                    (List.map (fun (s, why) -> s ^ ":" ^ why) ds) );
+              ]))
+    else Trace.finish sp
+  end
+  else Trace.finish sp;
   r
 
-let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
-    ~env run p =
+let notify observer d =
+  match observer with None -> () | Some f -> f d
+
+let memoize ?(stats = Stats.global) ?(cache = global_cache) ?(annot = [])
+    ?observer ~cascade_name ~env run p =
   Stats.record_query stats;
   (* One span per query (the high-volume span class — subject to the
      sampling knob); cache disposition and verdict provenance land as
      end-of-span attributes, latencies in the "query"/"cache.*"
      histograms.  A span sampled out here suppresses the nested
-     strategy spans too, so the stream never shows orphan children. *)
+     strategy spans too, so the stream never shows orphan children.
+     [annot] rides on the begin event — the serve daemon threads the
+     request id through here, correlating every span under a request
+     with the response the client saw. *)
+  let t0 = if Trace.timing_on () then Trace.now_ns () else 0L in
   let sp =
     if Trace.recording_on () then
-      Trace.start ~cat:"engine" ~sample:true
-        ~lazy_args:(fun () -> [ ("cascade", cascade_name) ])
+      Trace.start ~cat:"engine" ~sample:true ~ts:t0
+        ~lazy_args:(fun () -> ("cascade", cascade_name) :: annot)
         "query"
     else Trace.null_span
   in
-  let t0 = if Trace.timing_on () then Trace.now_ns () else 0L in
   let w0 = int_of_float (Gc.minor_words ()) in
   try
     let kb = Domain.DLS.get keybuf_key in
     if not (Problem.Keybuf.encode kb p) then begin
       Stats.record_uncacheable stats;
+      notify observer Uncacheable;
       settled stats sp t0 w0 ~hit:false "uncacheable" h_uncacheable
         (run ~env p)
     end
@@ -431,6 +449,7 @@ let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
       | e ->
           Stats.record_hit stats;
           if e.e_warm then Stats.record_warm_hit stats;
+          notify observer (if e.e_warm then Hit_warm else Hit_cold);
           settled stats sp t0 w0 ~hit:true "hit" h_hit e.e_res
       | exception Not_found ->
           (* Solve outside any lock: queries on other keys proceed
@@ -439,6 +458,7 @@ let memoize ?(stats = Stats.global) ?(cache = global_cache) ~cascade_name
              interchangeable, and each call still records exactly one
              of hit/miss/uncacheable. *)
           Stats.record_miss stats;
+          notify observer Miss;
           let r = run ~env p in
           if r.Strategy.degraded <> [] then
             (* A degraded result reflects a contained fault (budget,

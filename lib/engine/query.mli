@@ -83,9 +83,16 @@ val load_entries :
     skips keys already present; returns the number actually
     inserted. *)
 
+type disposition = Hit_warm | Hit_cold | Miss | Uncacheable
+(** Where a query's answer came from: a hit on a snapshot-loaded
+    entry, a hit on an entry solved this run, a fresh solve, or an
+    uncacheable (symbolic) problem solved afresh. *)
+
 val memoize :
   ?stats:Stats.t ->
   ?cache:cache ->
+  ?annot:(string * string) list ->
+  ?observer:(disposition -> unit) ->
   cascade_name:string ->
   env:Dlz_symbolic.Assume.t ->
   (env:Dlz_symbolic.Assume.t -> Problem.t -> Strategy.result) ->
@@ -96,4 +103,11 @@ val memoize :
     query/hit/miss/uncacheable counters and the query's minor-heap
     allocation delta ({!Stats.record_alloc}); the hit path itself
     allocates nothing — flat key encoding into a per-domain buffer,
-    in-place hash and compare, lock-free bucket load. *)
+    in-place hash and compare, lock-free bucket load.
+
+    [annot] appends attributes to the query span's begin event (the
+    serve daemon threads the request id through here); the list must
+    be immutable data fixed at call time, since span args render at
+    export.  [observer], when given, is called once per query with the
+    cache {!disposition} — the hook per-client attribution hangs off
+    without touching the shared counters. *)

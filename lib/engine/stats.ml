@@ -369,3 +369,85 @@ let to_json t =
     (divergence_rows t);
   Buffer.add_string buf "]}}";
   Buffer.contents buf
+
+(* Every counter above, rendered as one scrapeable collector.  The
+   samples are built at scrape time from the live atomics, so the
+   query path pays nothing for being exposed. *)
+let obs_samples t =
+  let open Dlz_obs.Registry in
+  let c ?labels name help v = sample ~help ?labels name (Counter v) in
+  let base =
+    [
+      c "vic_engine_queries_total" "dependence queries" (queries t);
+      c
+        ~labels:[ ("temp", "warm") ]
+        "vic_engine_cache_hits_total" "cache hits by temperature"
+        (warm_hits t);
+      c
+        ~labels:[ ("temp", "cold") ]
+        "vic_engine_cache_hits_total" "cache hits by temperature"
+        (cold_hits t);
+      c "vic_engine_cache_misses_total" "cache misses" (cache_misses t);
+      c "vic_engine_cache_uncacheable_total" "uncacheable queries"
+        (cache_uncacheable t);
+      c "vic_engine_cache_flushes_total" "shard flushes" (cache_flushes t);
+      c "vic_engine_snapshot_loaded_entries_total"
+        "entries bulk-loaded from snapshots" (snapshot_loaded t);
+      c "vic_engine_snapshot_loads_total" "snapshot files accepted"
+        (snapshot_loads t);
+      c "vic_engine_snapshot_rejects_total" "snapshot files refused"
+        (snapshot_rejects t);
+      c "vic_engine_snapshot_saves_total" "snapshot files written"
+        (snapshot_saves t);
+      c "vic_engine_snapshot_save_fails_total"
+        "snapshot writes that failed (contained)" (snapshot_save_fails t);
+      c "vic_engine_alloc_minor_words_total"
+        "minor words allocated inside queries" (alloc_words t);
+      c "vic_engine_hit_alloc_minor_words_total"
+        "minor words allocated by cache hits" (hit_alloc_words t);
+      c "vic_engine_oracle_checks_total" "differential oracle checks"
+        (oracle_checks t);
+    ]
+  in
+  let strategies =
+    List.concat_map
+      (fun (name, sc) ->
+        let l = [ ("strategy", name) ] in
+        [
+          c ~labels:l "vic_engine_strategy_attempts_total" "strategy attempts"
+            sc.attempts;
+          c
+            ~labels:(l @ [ ("verdict", "independent") ])
+            "vic_engine_strategy_decisions_total" "strategy decisions"
+            sc.independent;
+          c
+            ~labels:(l @ [ ("verdict", "dependent") ])
+            "vic_engine_strategy_decisions_total" "strategy decisions"
+            sc.dependent;
+          c ~labels:l "vic_engine_strategy_passes_total" "strategy passes"
+            sc.passed;
+        ])
+      (rows t)
+  in
+  let degradations =
+    List.map
+      (fun ((name, reason), n) ->
+        c
+          ~labels:[ ("strategy", name); ("reason", reason) ]
+          "vic_engine_degradations_total" "contained strategy faults" n)
+      (degradation_rows t)
+  in
+  let divergences =
+    List.map
+      (fun ((name, cls), n) ->
+        c
+          ~labels:[ ("strategy", name); ("class", cls) ]
+          "vic_engine_divergences_total" "oracle divergences" n)
+      (divergence_rows t)
+  in
+  base @ strategies @ degradations @ divergences
+
+let () =
+  Dlz_obs.Registry.register ~name:"engine"
+    ~reset:(fun () -> reset global)
+    (fun () -> obs_samples global)

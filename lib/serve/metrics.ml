@@ -61,6 +61,60 @@ let snapshot t =
     s_contained = Atomic.get t.contained;
   }
 
+(* Cumulative counters go back to zero; [active] is a live gauge
+   tracking connections currently being served, so a reset must not
+   touch it (zeroing it would make the next disconnect go negative). *)
+let reset t =
+  Atomic.set t.accepted 0;
+  Atomic.set t.shed 0;
+  Atomic.set t.rejected_draining 0;
+  Atomic.set t.requests 0;
+  Atomic.set t.responses 0;
+  Atomic.set t.errors 0;
+  Atomic.set t.malformed 0;
+  Atomic.set t.disconnects 0;
+  Atomic.set t.timeouts 0;
+  Atomic.set t.contained 0
+
+let obs_samples t =
+  let open Dlz_obs.Registry in
+  let counter ?labels help name v = sample ~help ?labels name (Counter v) in
+  [
+    counter ~labels:[ ("outcome", "accepted") ]
+      "connections by admission outcome" "vic_serve_connections_total"
+      (Atomic.get t.accepted);
+    counter ~labels:[ ("outcome", "shed") ]
+      "connections by admission outcome" "vic_serve_connections_total"
+      (Atomic.get t.shed);
+    counter ~labels:[ ("outcome", "rejected_draining") ]
+      "connections by admission outcome" "vic_serve_connections_total"
+      (Atomic.get t.rejected_draining);
+    sample ~help:"connections being served right now" "vic_serve_active"
+      (Gauge (float_of_int (Atomic.get t.active)));
+    counter "well-framed requests received" "vic_serve_requests_total"
+      (Atomic.get t.requests);
+    counter "ok:true frames sent" "vic_serve_responses_total"
+      (Atomic.get t.responses);
+    counter "ok:false frames sent" "vic_serve_errors_total"
+      (Atomic.get t.errors);
+    counter "frames violating framing or JSON" "vic_serve_malformed_total"
+      (Atomic.get t.malformed);
+    counter "connections lost mid-stream" "vic_serve_disconnects_total"
+      (Atomic.get t.disconnects);
+    counter "reads that hit the idle timeout" "vic_serve_timeouts_total"
+      (Atomic.get t.timeouts);
+    counter "dispatch faults contained to one error reply"
+      "vic_serve_contained_total" (Atomic.get t.contained);
+  ]
+
+(* Replace semantics in the registry: the latest daemon to start owns
+   the "serve" collector, which is exactly right for sequential test
+   servers.  The reset hook folds these counters into
+   [Engine.reset_metrics] coverage. *)
+let register_obs t =
+  Dlz_obs.Registry.register ~name:"serve" ~reset:(fun () -> reset t)
+    (fun () -> obs_samples t)
+
 let snapshot_to_json s =
   Printf.sprintf
     "{\"accepted\":%d,\"shed\":%d,\"rejected_draining\":%d,\"active\":%d,\

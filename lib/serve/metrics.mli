@@ -31,6 +31,17 @@ type snapshot = {
 }
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Zeroes the cumulative counters.  [active] is a live gauge (it
+    tracks connections currently being served) and is left alone. *)
+
+val register_obs : t -> unit
+(** Installs the ["serve"] collector in {!Dlz_obs.Registry} —
+    [vic_serve_*] counter/gauge samples — with {!reset} as the reset
+    hook, so [Engine.reset_metrics] covers the daemon's counters too.
+    Replace semantics: the latest server to start owns the name. *)
+
 val snapshot : t -> snapshot
 val snapshot_to_json : snapshot -> string
 val to_json : t -> string

@@ -10,6 +10,7 @@ module Strategy = Dlz_engine.Strategy
 type request =
   | Ping
   | Stats
+  | Metrics of { format : [ `Prom | `Json ] }
   | Shutdown
   | Query of { problem : Problem.t; fuel : int option; timeout_ms : int option }
   | Analyze of {
@@ -23,6 +24,7 @@ type request =
 let op_name = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics _ -> "metrics"
   | Shutdown -> "shutdown"
   | Query _ -> "query"
   | Analyze _ -> "analyze"
@@ -176,6 +178,14 @@ let problem_to_json (np : Problem.numeric) =
       ("eqs", Jsonx.List (List.map eq_to_json np.Problem.eqs));
     ]
 
+(* The self-declared client name riding on any request; the session
+   uses it to key per-client attribution.  Absent or non-string means
+   the default bucket. *)
+let client_of j =
+  match Option.bind (Jsonx.member "client" j) Jsonx.to_str with
+  | Some c when String.trim c <> "" -> c
+  | _ -> "anon"
+
 let parse_request j =
   let id = Option.value (Jsonx.member "id" j) ~default:Jsonx.Null in
   let req =
@@ -183,6 +193,12 @@ let parse_request j =
     | None -> fail "missing \"op\" field"
     | Some "ping" -> Ok Ping
     | Some "stats" -> Ok Stats
+    | Some "metrics" -> (
+        match Jsonx.member "format" j with
+        | None | Some (Jsonx.Str "prom") -> Ok (Metrics { format = `Prom })
+        | Some (Jsonx.Str "json") -> Ok (Metrics { format = `Json })
+        | Some (Jsonx.Str f) -> fail "unknown metrics format %S" f
+        | Some _ -> fail "field \"format\" must be \"prom\" or \"json\"")
     | Some "shutdown" -> Ok Shutdown
     | Some "query" -> (
         let* fuel = opt_int_field j "fuel" in
@@ -226,13 +242,22 @@ let parse_request j =
 
 (* {2 Responses} *)
 
-let response ~id fields = Jsonx.to_string (Jsonx.Obj (("id", id) :: fields))
+(* Every response echoes the client-chosen [id], and — when the
+   session assigned one — the server-side monotonic request id [rid].
+   The rid is what correlates a response with the daemon's trace spans
+   and logs; refusal paths (overload, draining) have no request to
+   number and omit it. *)
+let response ?rid ~id fields =
+  let rid_field =
+    match rid with None -> [] | Some n -> [ ("rid", Jsonx.Int n) ]
+  in
+  Jsonx.to_string (Jsonx.Obj ((("id", id) :: rid_field) @ fields))
 
-let ok ~id ~op fields =
-  response ~id (("ok", Jsonx.Bool true) :: ("op", Jsonx.Str op) :: fields)
+let ok ?rid ~id ~op fields =
+  response ?rid ~id (("ok", Jsonx.Bool true) :: ("op", Jsonx.Str op) :: fields)
 
-let error ~id ~reason ?retry_after_ms msg =
-  response ~id
+let error ?rid ~id ~reason ?retry_after_ms msg =
+  response ?rid ~id
     ([ ("ok", Jsonx.Bool false); ("reason", Jsonx.Str reason);
        ("error", Jsonx.Str msg) ]
     @

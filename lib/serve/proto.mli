@@ -11,6 +11,9 @@
 type request =
   | Ping
   | Stats
+  | Metrics of { format : [ `Prom | `Json ] }
+      (** Scrape the {!Dlz_obs.Registry}: Prometheus exposition text
+          (default) or the versioned {!Dlz_obs.Snap} JSON shape. *)
   | Shutdown
   | Query of {
       problem : Dlz_deptest.Problem.t;
@@ -31,6 +34,11 @@ val parse_request : Jsonx.t -> Jsonx.t * (request, string) result
 (** Returns the echoed [id] (Null when absent) alongside the decoded
     request. *)
 
+val client_of : Jsonx.t -> string
+(** The self-declared ["client"] name riding on a request, for
+    per-client attribution; ["anon"] when absent, non-string, or
+    blank. *)
+
 val problem_of_json : Jsonx.t -> (Dlz_deptest.Problem.t, string) result
 (** Decodes the native numeric-problem encoding: [{"n_common":N,
     "common_ubs":[..], "opaque_dims":N, "eqs":[{"c0":N, "terms":
@@ -40,14 +48,23 @@ val problem_of_json : Jsonx.t -> (Dlz_deptest.Problem.t, string) result
 val problem_to_json : Dlz_deptest.Problem.numeric -> Jsonx.t
 (** Inverse direction, for clients and the load generator. *)
 
-val ok : id:Jsonx.t -> op:string -> (string * Jsonx.t) list -> string
-(** One rendered [{"id":..,"ok":true,"op":..,...}] response payload. *)
+val ok : ?rid:int -> id:Jsonx.t -> op:string -> (string * Jsonx.t) list -> string
+(** One rendered [{"id":..,"ok":true,"op":..,...}] response payload.
+    [rid], when given, is echoed as a ["rid"] field — the server-side
+    monotonic request id that correlates the response with the
+    daemon's trace spans. *)
 
 val error :
-  id:Jsonx.t -> reason:string -> ?retry_after_ms:int -> string -> string
+  ?rid:int ->
+  id:Jsonx.t ->
+  reason:string ->
+  ?retry_after_ms:int ->
+  string ->
+  string
 (** One rendered [{"id":..,"ok":false,"reason":..,"error":..}] payload.
     [reason] is machine-readable: ["overloaded"], ["draining"],
-    ["bad-request"], ["protocol"], ["timeout"], or ["internal"]. *)
+    ["bad-request"], ["protocol"], ["timeout"], or ["internal"];
+    [rid] as in {!ok} (refusal paths have none). *)
 
 val result_fields : Dlz_engine.Strategy.result -> (string * Jsonx.t) list
 (** verdict / decided_by / dirvecs / distances / degraded fields of a

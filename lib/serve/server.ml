@@ -16,6 +16,8 @@ type config = {
   cascade : Cascade.t option;
   snapshot_load : string option;
   snapshot_save : string option;
+  metrics_dump : string option;  (* NDJSON time series of obs snapshots *)
+  metrics_dump_interval_ms : int;
 }
 
 let default_config address =
@@ -33,6 +35,8 @@ let default_config address =
     cascade = None;
     snapshot_load = None;
     snapshot_save = None;
+    metrics_dump = None;
+    metrics_dump_interval_ms = 1_000;
   }
 
 type summary = {
@@ -58,6 +62,7 @@ type t = {
   loaded : (int, string) result option;
   accept_dom : unit Domain.t;
   worker_doms : unit Domain.t list;
+  dump_dom : unit Domain.t option;
   mutable joined : summary option;
 }
 
@@ -149,6 +154,46 @@ let worker_loop sh ctx =
   in
   loop ()
 
+(* The metrics dumper: one NDJSON line per interval, each the full obs
+   snapshot (versioned Snap shape) — a flight recorder for the daemon's
+   whole metric plane.  Append mode: restarts extend the series.  The
+   drain flag is polled in 50 ms steps so shutdown never waits out a
+   long interval, and one final line lands after the drain so the
+   series always ends with the daemon's last state. *)
+let dump_loop sh path =
+  let interval = max 50 sh.cfg.metrics_dump_interval_ms in
+  match
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  with
+  | exception Sys_error _ -> ()
+  | oc ->
+      let emit () =
+        match Dlz_obs.Snap.to_json (Dlz_obs.Registry.collect ()) with
+        | line ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+        | exception _ -> ()
+      in
+      let rec wait remaining_ms =
+        if Atomic.get sh.draining || remaining_ms <= 0 then ()
+        else begin
+          Unix.sleepf (float_of_int (min 50 remaining_ms) /. 1000.);
+          wait (remaining_ms - 50)
+        end
+      in
+      let rec loop () =
+        if Atomic.get sh.draining then ()
+        else begin
+          emit ();
+          wait interval;
+          loop ()
+        end
+      in
+      loop ();
+      emit ();
+      close_out_noerr oc
+
 let start cfg =
   (* A client that disappears mid-write otherwise kills the process
      with SIGPIPE; writes then fail with EPIPE, which [Frame] contains. *)
@@ -175,9 +220,16 @@ let start cfg =
       let budget =
         Budget.create ?fuel:cfg.global_fuel ?timeout_ms:cfg.global_timeout_ms ()
       in
+      (* The live daemon owns the "serve" and "clients" collectors
+         (replace semantics — the latest server wins, which is what
+         sequential test servers need). *)
+      let attrib = Attrib.create () in
+      Metrics.register_obs sh.metrics;
+      Attrib.register_obs attrib;
       let ctx =
         {
           Session.metrics = sh.metrics;
+          attrib;
           budget;
           request_fuel = cfg.request_fuel;
           request_timeout_ms = cfg.request_timeout_ms;
@@ -192,7 +244,21 @@ let start cfg =
         List.init (max 1 cfg.workers) (fun _ ->
             Domain.spawn (fun () -> worker_loop sh ctx))
       in
-      Ok { sh; resolved; loaded; accept_dom; worker_doms; joined = None }
+      let dump_dom =
+        Option.map
+          (fun path -> Domain.spawn (fun () -> dump_loop sh path))
+          cfg.metrics_dump
+      in
+      Ok
+        {
+          sh;
+          resolved;
+          loaded;
+          accept_dom;
+          worker_doms;
+          dump_dom;
+          joined = None;
+        }
 
 let join t =
   match t.joined with
@@ -200,6 +266,7 @@ let join t =
   | None ->
       Domain.join t.accept_dom;
       List.iter Domain.join t.worker_doms;
+      Option.iter Domain.join t.dump_dom;
       (match t.resolved with
       | Addr.Unix_sock p -> ( try Sys.remove p with Sys_error _ -> ())
       | Addr.Tcp _ -> ());

@@ -31,11 +31,18 @@ type config = {
   cascade : Dlz_engine.Cascade.t option;
   snapshot_load : string option;
   snapshot_save : string option;
+  metrics_dump : string option;
+      (** Append one NDJSON line per interval to this path — the full
+          obs snapshot in the versioned {!Dlz_obs.Snap} shape — plus a
+          final line after the drain.  A flight recorder for the
+          metric plane; restarts extend the series. *)
+  metrics_dump_interval_ms : int;  (** Clamped to at least 50 ms. *)
 }
 
 val default_config : Addr.t -> config
 (** 2 workers, queue 64, 4 MiB frames, 10 s idle timeout, 2 s
-    per-request deadline, 50 ms retry hint, no snapshots. *)
+    per-request deadline, 50 ms retry hint, no snapshots, no metrics
+    dump (1 s interval when one is enabled). *)
 
 type summary = {
   sm_metrics : Metrics.snapshot;

@@ -18,6 +18,7 @@ module Parallel = Dlz_vec.Parallel
 
 type ctx = {
   metrics : Metrics.t;
+  attrib : Attrib.t;  (* per-client attribution tables *)
   budget : Budget.t;  (* the server-lifetime budget requests carve from *)
   request_fuel : int option;  (* per-request ceilings (client may ask lower) *)
   request_timeout_ms : int option;
@@ -26,6 +27,15 @@ type ctx = {
   draining : unit -> bool;
   request_shutdown : unit -> unit;
 }
+
+(* The server-side request id: one process-wide monotonic counter, so
+   a rid names a request uniquely across every connection and worker.
+   It is echoed as the response's ["rid"] field and rides on the
+   request's trace span (and, via [?annot], on the engine query spans
+   it causes) — the correlation key between a client-observed response
+   and the daemon's own telemetry. *)
+let next_rid = Atomic.make 1
+let fresh_rid () = Atomic.fetch_and_add next_rid 1
 
 exception Conn_dead
 
@@ -39,12 +49,12 @@ let send ctx fd payload =
       Atomic.incr ctx.metrics.Metrics.disconnects;
       raise Conn_dead
 
-let send_ok ctx fd ~id ~op fields =
-  send ctx fd (Proto.ok ~id ~op fields);
+let send_ok ctx fd ?rid ~id ~op fields =
+  send ctx fd (Proto.ok ?rid ~id ~op fields);
   Atomic.incr ctx.metrics.Metrics.responses
 
-let send_error ctx fd ~id ~reason ?retry_after_ms msg =
-  send ctx fd (Proto.error ~id ~reason ?retry_after_ms msg);
+let send_error ctx fd ?rid ~id ~reason ?retry_after_ms msg =
+  send ctx fd (Proto.error ?rid ~id ~reason ?retry_after_ms msg);
   Atomic.incr ctx.metrics.Metrics.errors
 
 (* A client may ask for less budget than the server's per-request
@@ -62,21 +72,31 @@ let request_budget ctx ~fuel ~timeout_ms =
     ?timeout_ms:(min_opt timeout_ms ctx.request_timeout_ms)
     ctx.budget
 
-let stats_payload ctx ~id =
+let stats_payload ctx ~rid ~id =
   (* Engine stats are already rendered JSON; splice the fragment in
      rather than round-tripping it through the parser. *)
   Printf.sprintf
-    "{\"id\":%s,\"ok\":true,\"op\":\"stats\",\"serve\":%s,\"engine\":%s}"
-    (Jsonx.to_string id)
+    "{\"id\":%s,\"rid\":%d,\"ok\":true,\"op\":\"stats\",\"serve\":%s,\"engine\":%s}"
+    (Jsonx.to_string id) rid
     (Metrics.to_json ctx.metrics)
     (Stats.to_json Stats.global)
+
+(* The JSON metrics body is the Snap codec's single line, spliced in
+   raw like the stats fragments; the Prometheus body travels as a JSON
+   string field so the frame stays one JSON object either way. *)
+let metrics_json_payload ~rid ~id samples =
+  Printf.sprintf
+    "{\"id\":%s,\"rid\":%d,\"ok\":true,\"op\":\"metrics\",\"format\":\"json\",\
+     \"metrics\":%s}"
+    (Jsonx.to_string id) rid
+    (Dlz_obs.Snap.to_json samples)
 
 let parse_program ~lang source =
   match lang with
   | `C -> Dlz_passes.Pointers.lower (Dlz_frontend.C_parser.parse source)
   | `F -> Dlz_passes.Inline.expand (Dlz_frontend.F77_parser.parse_units source)
 
-let run_analyze ctx fd ~id ~lang ~source ~assume ~budget =
+let run_analyze ctx fd ~rid ~client ~id ~lang ~source ~assume ~budget =
   let prog = Dlz_passes.Pipeline.prepare_program (parse_program ~lang source) in
   let env =
     List.fold_left (fun env (n, v) -> Assume.assume_ge n v env) Assume.empty
@@ -85,18 +105,25 @@ let run_analyze ctx fd ~id ~lang ~source ~assume ~budget =
   let accs, env = Access.of_program ~env prog in
   let cascade = Option.value ctx.cascade ~default:Cascade.delin in
   let indep = ref 0 and dep = ref 0 and inap = ref 0 and pairs = ref 0 in
+  (* One annot list and observer closure for the whole request; every
+     query span it spawns carries the request id. *)
+  let annot = [ ("rid", string_of_int rid); ("client", client) ] in
+  let observer = Attrib.record_disposition ctx.attrib ~client in
   (* Streamed: one frame per candidate pair as it is solved, then a
      summary.  Serial on purpose — the daemon's parallelism is across
      connections, and a worker must not re-enter a pool. *)
   Engine.iter_pairs
     (fun (p : Engine.pair) ->
-      let r = Engine.query ~cascade ~budget ~env p.Engine.problem in
+      let r = Engine.query ~cascade ~budget ~annot ~observer ~env
+          p.Engine.problem in
       incr pairs;
       (match r.Dlz_engine.Strategy.verdict with
       | Verdict.Independent -> incr indep
       | Verdict.Dependent -> incr dep
       | Verdict.Inapplicable -> incr inap);
-      send_ok ctx fd ~id ~op:"pair"
+      if r.Dlz_engine.Strategy.degraded <> [] then
+        Attrib.record_degraded ctx.attrib ~client;
+      send_ok ctx fd ~rid ~id ~op:"pair"
         ([
            ("src", Jsonx.Str p.Engine.src.Access.stmt_name);
            ("src_array", Jsonx.Str p.Engine.src.Access.array);
@@ -107,7 +134,7 @@ let run_analyze ctx fd ~id ~lang ~source ~assume ~budget =
     accs;
   let loops = Parallel.report ~cascade ~budget ~env prog in
   let par = List.length (List.filter (fun l -> l.Parallel.lr_parallel) loops) in
-  send_ok ctx fd ~id ~op:"analyze"
+  send_ok ctx fd ~rid ~id ~op:"analyze"
     [
       ("pairs", Jsonx.Int !pairs);
       ("independent", Jsonx.Int !indep);
@@ -120,17 +147,30 @@ let run_analyze ctx fd ~id ~lang ~source ~assume ~budget =
     ]
 
 (* [true] to keep reading from this connection. *)
-let dispatch ctx fd ~id req =
+let dispatch ctx fd ~rid ~client ~id req =
   match req with
   | Proto.Ping ->
-      send_ok ctx fd ~id ~op:"ping" [];
+      send_ok ctx fd ~rid ~id ~op:"ping" [];
       true
   | Proto.Stats ->
-      send ctx fd (stats_payload ctx ~id);
+      send ctx fd (stats_payload ctx ~rid ~id);
       Atomic.incr ctx.metrics.Metrics.responses;
       true
+  | Proto.Metrics { format } ->
+      let samples = Dlz_obs.Registry.collect () in
+      (match format with
+      | `Prom ->
+          send_ok ctx fd ~rid ~id ~op:"metrics"
+            [
+              ("format", Jsonx.Str "prom");
+              ("body", Jsonx.Str (Dlz_obs.Prom.to_string samples));
+            ]
+      | `Json ->
+          send ctx fd (metrics_json_payload ~rid ~id samples);
+          Atomic.incr ctx.metrics.Metrics.responses);
+      true
   | Proto.Shutdown ->
-      send_ok ctx fd ~id ~op:"shutdown" [ ("draining", Jsonx.Bool true) ];
+      send_ok ctx fd ~rid ~id ~op:"shutdown" [ ("draining", Jsonx.Bool true) ];
       ctx.request_shutdown ();
       false
   | Proto.Query { problem; fuel; timeout_ms } ->
@@ -138,13 +178,17 @@ let dispatch ctx fd ~id req =
       let r =
         Engine.query
           ?cascade:ctx.cascade
+          ~annot:[ ("rid", string_of_int rid); ("client", client) ]
+          ~observer:(Attrib.record_disposition ctx.attrib ~client)
           ~budget ~env:Assume.empty problem
       in
-      send_ok ctx fd ~id ~op:"query" (Proto.result_fields r);
+      if r.Dlz_engine.Strategy.degraded <> [] then
+        Attrib.record_degraded ctx.attrib ~client;
+      send_ok ctx fd ~rid ~id ~op:"query" (Proto.result_fields r);
       true
   | Proto.Analyze { lang; source; assume; fuel; timeout_ms } ->
       let budget = request_budget ctx ~fuel ~timeout_ms in
-      run_analyze ctx fd ~id ~lang ~source ~assume ~budget;
+      run_analyze ctx fd ~rid ~client ~id ~lang ~source ~assume ~budget;
       true
 
 (* Faults the frontend can legitimately raise on bad input: one
@@ -160,25 +204,40 @@ let describe_input_fault = function
   | Failure m -> Some m
   | _ -> None
 
-let handle_request ctx fd ~id req =
-  try dispatch ctx fd ~id req with
-  | Conn_dead -> false
-  | e -> (
-      Atomic.incr ctx.metrics.Metrics.contained;
-      let reply reason msg =
-        try
-          send_error ctx fd ~id ~reason msg;
-          true
-        with Conn_dead -> false
-      in
-      match describe_input_fault e with
-      | Some m -> reply "bad-request" m
-      | None -> (
-          match e with
-          | Budget.Exhausted r -> reply "timeout" ("budget exhausted: " ^ r)
-          | Out_of_memory -> reply "internal" "out of memory"
-          | Stack_overflow -> reply "internal" "stack overflow"
-          | e -> reply "internal" (Printexc.to_string e)))
+let handle_request ctx fd ~rid ~client ~id req =
+  (* The request span (empty category — never masked out): the rid on
+     its args is the same rid the response echoes, so a trace stream
+     and a client log correlate line by line.  The thunk closes over
+     immutable data only; it renders at export, not here. *)
+  let op = Proto.op_name req in
+  let sp =
+    Trace.start
+      ~lazy_args:(fun () ->
+        [ ("rid", string_of_int rid); ("op", op); ("client", client) ])
+      "serve.request"
+  in
+  Fun.protect
+    ~finally:(fun () -> Trace.finish sp)
+    (fun () ->
+      try dispatch ctx fd ~rid ~client ~id req with
+      | Conn_dead -> false
+      | e -> (
+          Atomic.incr ctx.metrics.Metrics.contained;
+          let reply reason msg =
+            Attrib.record_error ctx.attrib ~client ~reason;
+            try
+              send_error ctx fd ~rid ~id ~reason msg;
+              true
+            with Conn_dead -> false
+          in
+          match describe_input_fault e with
+          | Some m -> reply "bad-request" m
+          | None -> (
+              match e with
+              | Budget.Exhausted r -> reply "timeout" ("budget exhausted: " ^ r)
+              | Out_of_memory -> reply "internal" "out of memory"
+              | Stack_overflow -> reply "internal" "stack overflow"
+              | e -> reply "internal" (Printexc.to_string e))))
 
 let handle ctx fd =
   Atomic.incr ctx.metrics.Metrics.active;
@@ -208,28 +267,42 @@ let handle ctx fd =
       | Error (Frame.Io _) -> Atomic.incr ctx.metrics.Metrics.disconnects
       | Ok payload -> (
           Atomic.incr ctx.metrics.Metrics.requests;
+          (* Every well-framed request gets a rid, even one whose JSON
+             or shape turns out bad — the error reply still correlates. *)
+          let rid = fresh_rid () in
           let t0 = Trace.now_ns () in
+          let client = ref Attrib.default_client in
+          let verb = ref "invalid" in
           let continue =
             match Jsonx.parse payload with
             | Error m ->
                 (* The framing held, only the JSON inside is bad: one
                    error reply and the connection may continue. *)
                 Atomic.incr ctx.metrics.Metrics.malformed;
+                Attrib.record_error ctx.attrib ~client:!client
+                  ~reason:"bad-request";
                 (try
-                   send_error ctx fd ~id:Jsonx.Null ~reason:"bad-request"
+                   send_error ctx fd ~rid ~id:Jsonx.Null ~reason:"bad-request"
                      ("json: " ^ m);
                    true
                  with Conn_dead -> false)
             | Ok j -> (
+                client := Proto.client_of j;
                 match Proto.parse_request j with
                 | id, Error m -> (
+                    Attrib.record_error ctx.attrib ~client:!client
+                      ~reason:"bad-request";
                     try
-                      send_error ctx fd ~id ~reason:"bad-request" m;
+                      send_error ctx fd ~rid ~id ~reason:"bad-request" m;
                       true
                     with Conn_dead -> false)
-                | id, Ok req -> handle_request ctx fd ~id req)
+                | id, Ok req ->
+                    verb := Proto.op_name req;
+                    handle_request ctx fd ~rid ~client:!client ~id req)
           in
-          Trace.observe_ns "serve.request" (Int64.sub (Trace.now_ns ()) t0);
+          let dt = Int64.sub (Trace.now_ns ()) t0 in
+          Trace.observe_ns "serve.request" dt;
+          Attrib.observe_request ctx.attrib ~client:!client ~verb:!verb dt;
           if continue then loop ())
   in
   (try loop () with e ->

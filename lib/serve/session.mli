@@ -11,6 +11,10 @@
 
 type ctx = {
   metrics : Metrics.t;
+  attrib : Attrib.t;
+      (** Per-client attribution; every dispatched request records its
+          latency here, and engine queries report their cache
+          disposition through it. *)
   budget : Dlz_base.Budget.t;
       (** The server-lifetime budget; each request carves a child from
           it with [Budget.sub], so request deadlines can never outlive
@@ -26,6 +30,12 @@ type ctx = {
           in-flight request and closes. *)
   request_shutdown : unit -> unit;  (** Wired to the server's [stop]. *)
 }
+
+val fresh_rid : unit -> int
+(** The next server-side request id: one process-wide monotonic
+    counter, so a rid names a request uniquely across connections and
+    workers.  Echoed as the ["rid"] response field and attached to the
+    request's trace span and the engine query spans it causes. *)
 
 val handle : ctx -> Unix.file_descr -> unit
 (** Serve one connection to completion.  Never raises; does not close

@@ -523,6 +523,319 @@ let test_shutdown_drains_and_warm_restarts =
   | None -> Alcotest.fail "warm start not attempted");
   Sys.remove snap
 
+(* --- observability -------------------------------------------------------- *)
+
+let serve_counters r =
+  match Jsonx.member "serve" r with
+  | Some s -> s
+  | None -> Alcotest.failf "stats reply missing serve: %s" (Jsonx.to_string r)
+
+let stats_json id = obj [ ("op", Jsonx.Str "stats"); ("id", Jsonx.Int id) ]
+
+let with_client client = function
+  | Jsonx.Obj fields -> Jsonx.Obj (("client", Jsonx.Str client) :: fields)
+  | j -> j
+
+(* The stats verb as a regression instrument: a known request mix on
+   one connection must move the serve counters by exactly its own
+   weight.  Exactness is a same-connection property — the one worker
+   serving the connection orders every increment against the scrapes
+   it renders.  Counters owned by other domains (the accept loop's
+   [accepted]) are only eventually consistent with a scrape, so they
+   get a converge-poll, not a lockstep delta. *)
+let test_stats_exact_deltas =
+  without_chaos @@ fun () ->
+  let (deltas, total), _ =
+    with_server (fun addr ->
+        let c = connect addr in
+        let s0 = serve_counters (request c (stats_json 100)) in
+        (* The mix: 3 pings, a cold query + its cache hit, one
+           well-framed unknown op. *)
+        ping ~id:1 c;
+        ping ~id:2 c;
+        ping ~id:3 c;
+        let np = family_problem ~depth:2 ~extent:8 ~shifted:false in
+        let r = request c (query_json ~id:4 np) in
+        Alcotest.(check bool) "query ok" true (get_bool r "ok");
+        let r = request c (query_json ~id:5 np) in
+        Alcotest.(check bool) "repeat query ok" true (get_bool r "ok");
+        let r =
+          request c (obj [ ("op", Jsonx.Str "frobnicate"); ("id", Jsonx.Int 6) ])
+        in
+        Alcotest.(check bool) "unknown op refused" false (get_bool r "ok");
+        let s1 = serve_counters (request c (stats_json 101)) in
+        let deltas =
+          List.map
+            (fun k -> (k, get_int s1 k - get_int s0 k))
+            [ "requests"; "responses"; "errors"; "shed"; "malformed" ]
+        in
+        (* A second connection's admission is counted by the accept
+           loop's own domain: poll until it lands. *)
+        let c2 = connect addr in
+        ping ~id:7 c2;
+        Client.close c2;
+        let deadline = Int64.add (Trace.now_ns ()) 5_000_000_000L in
+        let rec settle () =
+          let s = serve_counters (request c (stats_json 102)) in
+          let a = get_int s "accepted" in
+          if a >= 2 || Trace.now_ns () > deadline then a else settle ()
+        in
+        let accepted = settle () in
+        Client.close c;
+        (deltas, accepted))
+  in
+  (* requests = 3 pings + 2 queries + 1 bad + the closing scrape itself
+     (a request is counted when its frame is read, so the scrape has
+     counted itself before it renders); responses = the opening
+     scrape's own reply + 3 pings + 2 queries (a response is counted
+     when sent, so each scrape's reply lands in the next window). *)
+  Alcotest.(check (list (pair string int)))
+    "same-connection deltas exact"
+    [
+      ("requests", 7); ("responses", 6); ("errors", 1); ("shed", 0);
+      ("malformed", 0);
+    ]
+    deltas;
+  Alcotest.(check int) "both connections eventually counted accepted" 2 total
+
+(* The same instrument under process-wide fault injection: exact
+   deltas are gone (a fault can eat a reply after its request was
+   counted), but the books must still balance — every reply this
+   client read implies a counted request, and the daemon never sends
+   more replies than it received requests. *)
+let test_stats_books_balance_under_chaos () =
+  let (), _ =
+    with_chaos ~seed:5L ~rate:0.05 @@ fun () ->
+    with_server (fun addr ->
+        let rec scrape id tries =
+          if tries = 0 then
+            Alcotest.fail "stats verb never answered under chaos"
+          else
+            match Client.connect ~timeout_ms:2_000 addr with
+            | Error _ -> scrape id (tries - 1)
+            | Ok c ->
+                let r = Client.request c (stats_json id) in
+                Client.close c;
+                (match r with
+                | Ok r when Jsonx.member "serve" r <> None -> serve_counters r
+                | _ -> scrape id (tries - 1))
+        in
+        let s0 = scrape 100 50 in
+        let oks = ref 0 and errs = ref 0 in
+        for i = 1 to 16 do
+          match Client.connect ~timeout_ms:2_000 addr with
+          | Error _ -> ()
+          | Ok c ->
+              let j =
+                if i mod 4 = 0 then
+                  obj [ ("op", Jsonx.Str "frobnicate"); ("id", Jsonx.Int i) ]
+                else obj [ ("op", Jsonx.Str "ping"); ("id", Jsonx.Int i) ]
+              in
+              (match Client.request c j with
+              | Ok r -> (
+                  match Jsonx.member "ok" r with
+                  | Some (Jsonx.Bool true) -> incr oks
+                  | Some (Jsonx.Bool false) -> incr errs
+                  | _ -> ())
+              | Error _ -> ());
+              Client.close c
+        done;
+        let s1 = scrape 101 50 in
+        let d k = get_int s1 k - get_int s0 k in
+        (* Every reply has a cause the daemon counted: a well-framed
+           request, or a framing/timeout fault it refused (a chaos-torn
+           frame draws a ["protocol"] reply with no request behind
+           it). *)
+        let causes = d "requests" + d "malformed" + d "timeouts" in
+        Alcotest.(check bool)
+          "every reply read implies a counted cause" true
+          (causes >= !oks + !errs);
+        Alcotest.(check bool)
+          "replies sent never exceed counted causes" true
+          (d "responses" + d "errors" <= causes);
+        List.iter
+          (fun k ->
+            Alcotest.(check bool)
+              (k ^ " counter is monotone") true (d k >= 0))
+          [
+            "requests"; "responses"; "errors"; "accepted"; "malformed";
+            "timeouts";
+          ])
+  in
+  ()
+
+(* The request-correlation contract: every response carries a rid,
+   rids are strictly monotonic, and the same rid appears on the
+   daemon's own "serve.request" trace span — and, for a query, on the
+   engine's "query" span it caused (threaded through [?annot]). *)
+let test_rid_roundtrip =
+  without_chaos @@ fun () ->
+  let saved_level = Trace.level () in
+  let saved_seed, saved_rate = Trace.sampling () in
+  Trace.set_level Trace.Full;
+  Trace.set_sampling ~seed:1L 1.0;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_level saved_level;
+      Trace.set_sampling ~seed:saved_seed saved_rate;
+      Trace.clear ())
+  @@ fun () ->
+  let rids, _ =
+    with_server (fun addr ->
+        let c = connect addr in
+        let r_ping =
+          request c (obj [ ("op", Jsonx.Str "ping"); ("id", Jsonx.Int 1) ])
+        in
+        let np = family_problem ~depth:2 ~extent:8 ~shifted:false in
+        let r_query = request c (query_json ~id:2 np) in
+        let r_stats = request c (stats_json 3) in
+        Client.close c;
+        List.map (fun r -> get_int r "rid") [ r_ping; r_query; r_stats ])
+  in
+  List.iter
+    (fun rid -> Alcotest.(check bool) "rid positive" true (rid >= 1))
+    rids;
+  (match rids with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "rids strictly monotonic" true (a < b && b < c)
+  | _ -> Alcotest.fail "expected three rids");
+  (* The server is joined: the ring buffers are quiescent. *)
+  let events = Trace.events () in
+  let span_with name rid =
+    List.exists
+      (fun ((_ : int), e) ->
+        e.Trace.ev_name = name
+        && List.assoc_opt "rid" e.Trace.ev_args = Some (string_of_int rid))
+      events
+  in
+  List.iter
+    (fun rid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rid %d on a serve.request span" rid)
+        true
+        (span_with "serve.request" rid))
+    rids;
+  Alcotest.(check bool)
+    "query rid rides the engine query span" true
+    (span_with "query" (List.nth rids 1))
+
+(* The metrics verb end to end: warm-start a server so the per-client
+   warm/cold hit split has both temperatures, drive a named client
+   through a known query mix, and check the Prometheus body — exact
+   attribution counters, derived per-client per-verb p50/p99 gauges,
+   sorted family order, and byte-identical rendering of unchanged
+   state. *)
+let test_metrics_verb_prom =
+  without_chaos @@ fun () ->
+  let snap = Filename.temp_file "dlz_serve" ".snap" in
+  let probs =
+    List.init 3 (fun k ->
+        family_problem ~depth:2 ~extent:(8 + (2 * k)) ~shifted:false)
+  in
+  let cfg_save =
+    { (Server.default_config loopback) with Server.snapshot_save = Some snap }
+  in
+  let (), _ =
+    with_server ~cfg:cfg_save (fun addr ->
+        let c = connect addr in
+        List.iteri
+          (fun i np ->
+            let r = request c (query_json ~id:i np) in
+            Alcotest.(check bool) "seed query ok" true (get_bool r "ok"))
+          probs;
+        let r =
+          request c (obj [ ("op", Jsonx.Str "shutdown"); ("id", Jsonx.Int 99) ])
+        in
+        Alcotest.(check bool) "shutdown acknowledged" true (get_bool r "ok");
+        Client.close c)
+  in
+  let cfg_load =
+    { (Server.default_config loopback) with Server.snapshot_load = Some snap }
+  in
+  let (), _ =
+    with_server ~cfg:cfg_load (fun addr ->
+        let c = connect addr in
+        let q id np =
+          let r = request c (with_client "t-obs" (query_json ~id np)) in
+          Alcotest.(check bool) "attributed query ok" true (get_bool r "ok")
+        in
+        (* 3 warm hits (snapshot entries), then a miss and its cold hit. *)
+        List.iteri (fun i np -> q i np) probs;
+        let fresh = family_problem ~depth:3 ~extent:6 ~shifted:true in
+        q 10 fresh;
+        q 11 fresh;
+        let fetch id =
+          let r =
+            request c
+              (obj
+                 [
+                   ("op", Jsonx.Str "metrics");
+                   ("id", Jsonx.Int id);
+                   ("format", Jsonx.Str "prom");
+                   ("client", Jsonx.Str "t-obs");
+                 ])
+          in
+          Alcotest.(check bool) "metrics ok" true (get_bool r "ok");
+          Alcotest.(check string) "format echoed" "prom" (get_str r "format");
+          get_str r "body"
+        in
+        let body = fetch 20 in
+        let body2 = fetch 21 in
+        let has needle b =
+          let nl = String.length needle and bl = String.length b in
+          let rec go i =
+            i + nl <= bl && (String.sub b i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        let expect line =
+          Alcotest.(check bool) ("body has " ^ line) true (has line body)
+        in
+        expect "vic_client_requests_total{client=\"t-obs\",verb=\"query\"} 5\n";
+        expect "vic_client_cache_hits_total{client=\"t-obs\",temp=\"warm\"} 3\n";
+        expect "vic_client_cache_hits_total{client=\"t-obs\",temp=\"cold\"} 1\n";
+        expect "vic_client_cache_misses_total{client=\"t-obs\"} 1\n";
+        expect "vic_client_request_ns_p50{client=\"t-obs\",verb=\"query\"} ";
+        expect "vic_client_request_ns_p99{client=\"t-obs\",verb=\"query\"} ";
+        (* Scraping must not move the attribution counters. *)
+        Alcotest.(check bool)
+          "second scrape sees the same counters" true
+          (has "vic_client_cache_hits_total{client=\"t-obs\",temp=\"warm\"} 3\n"
+             body2
+          && has "vic_client_requests_total{client=\"t-obs\",verb=\"query\"} 5\n"
+               body2);
+        (* Families arrive in sorted order on the wire. *)
+        let headers =
+          String.split_on_char '\n' body
+          |> List.filter_map (fun l ->
+                 if String.length l > 7 && String.sub l 0 7 = "# TYPE " then
+                   Some (List.hd (String.split_on_char ' '
+                                    (String.sub l 7 (String.length l - 7))))
+                 else None)
+        in
+        Alcotest.(check bool)
+          "family headers sorted" true
+          (List.sort compare headers = headers);
+        Alcotest.(check bool) "several families exposed" true
+          (List.length headers > 5);
+        Client.close c;
+        (* Unchanged state renders byte-identically.  The worker
+           records its last observation after its last reply, so
+           quiescence is eventual: scrape in-process until two
+           successive renders agree (if rendering of unchanged state
+           were nondeterministic, no fixpoint would ever land). *)
+        let deadline = Int64.add (Trace.now_ns ()) 5_000_000_000L in
+        let rec stabilize prev =
+          let cur = Dlz_obs.Prom.to_string (Dlz_obs.Registry.collect ()) in
+          if String.equal prev cur then ()
+          else if Trace.now_ns () > deadline then
+            Alcotest.fail "obs scrape never reached a byte-stable fixpoint"
+          else stabilize cur
+        in
+        stabilize "")
+  in
+  Sys.remove snap
+
 (* --- chaos battery ------------------------------------------------------- *)
 
 (* Process-wide injection at the socket boundary (torn frames,
@@ -608,6 +921,17 @@ let () =
         [
           Alcotest.test_case "shutdown drains, snapshots, restarts warm"
             `Quick test_shutdown_drains_and_warm_restarts;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "stats verb moves by exact deltas" `Quick
+            test_stats_exact_deltas;
+          Alcotest.test_case "stats books balance under chaos" `Quick
+            test_stats_books_balance_under_chaos;
+          Alcotest.test_case "rid round-trips response and trace spans" `Quick
+            test_rid_roundtrip;
+          Alcotest.test_case "metrics verb: attribution, order, determinism"
+            `Quick test_metrics_verb_prom;
         ] );
       ( "chaos",
         [
