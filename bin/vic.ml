@@ -761,8 +761,24 @@ let corpus_cmd =
          & info [ "dump" ] ~docv:"DIR"
              ~doc:"Also write the generated programs as .f files into DIR.")
   in
-  let run dump =
+  let polybench_arg =
+    Arg.(value & opt (some string) None
+         & info [ "polybench" ] ~docv:"DIR"
+             ~doc:"Also write the polybench-style mini-C kernels as .c\n\
+                   files into DIR (the generator behind\n\
+                   corpus/polybench/).")
+  in
+  let run dump polybench =
     with_diagnostics (fun () ->
+        (match polybench with
+        | Some dir ->
+            Dlz_corpus.Polybench.write_dir dir;
+            List.iter
+              (fun (k : Dlz_corpus.Polybench.kernel) ->
+                Printf.printf "wrote %s\n"
+                  (Filename.concat dir (k.k_name ^ ".c")))
+              Dlz_corpus.Polybench.kernels
+        | None -> ());
         (match dump with
         | Some dir ->
             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -784,7 +800,7 @@ let corpus_cmd =
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Generate and measure the synthetic corpus.")
-    Term.(const run $ dump_arg)
+    Term.(const run $ dump_arg $ polybench_arg)
 
 let fuzz_cmd =
   let module Eqgen = Dlz_oracle.Eqgen in
@@ -813,6 +829,12 @@ let fuzz_cmd =
              ~doc:"Also cross-check every testable reference pair of the\n\
                    synthetic RiCEPS corpus.")
   in
+  let polybench_flag =
+    Arg.(value & flag
+         & info [ "polybench" ]
+             ~doc:"Also cross-check every testable reference pair of the\n\
+                   polybench-style mini-C corpus.")
+  in
   let limit_arg =
     Arg.(value & opt int Dlz_oracle.Differ.default_limit
          & info [ "limit" ] ~docv:"POINTS"
@@ -832,8 +854,8 @@ let fuzz_cmd =
                    s-expression from FILE and cross-check just that\n\
                    system.")
   in
-  let run seed count shrink corpus limit out replay stats jobs fuel chaos
-      trace_out trace_sample sort =
+  let run seed count shrink corpus polybench limit out replay stats jobs fuel
+      chaos trace_out trace_sample sort =
     with_diagnostics (fun () ->
         let jobs = check_jobs jobs in
         set_chaos chaos;
@@ -853,6 +875,7 @@ let fuzz_cmd =
           | None ->
               Eqgen.all ~seed ~count
               @ (if corpus then Eqgen.corpus () else [])
+              @ (if polybench then Eqgen.polybench () else [])
         in
         let report =
           Differ.run ~stats:Dlz_engine.Stats.global ~jobs ?fuel ~limit ~shrink
@@ -892,8 +915,9 @@ let fuzz_cmd =
              strategy against a brute-force oracle (and against each\n\
              other) over generated dependence equations.")
     Term.(const run $ seed_arg $ count_arg $ shrink_arg $ corpus_flag
-          $ limit_arg $ out_arg $ replay_arg $ stats_arg $ jobs_arg $ fuel_arg
-          $ chaos_arg $ trace_out_arg $ trace_sample_arg $ sort_arg)
+          $ polybench_flag $ limit_arg $ out_arg $ replay_arg $ stats_arg
+          $ jobs_arg $ fuel_arg $ chaos_arg $ trace_out_arg $ trace_sample_arg
+          $ sort_arg)
 
 (* The per-user default socket path, shared by [serve] (listen side)
    and [stats] (scrape side) so `vic serve` + `vic stats` pair up with

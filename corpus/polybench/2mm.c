@@ -1,0 +1,31 @@
+/* 2mm: D = alpha*A*B*C + beta*D
+   Generated polybench-style kernel for the delinearization corpus. */
+#define NI 16
+#define NJ 18
+#define NK 20
+#define NL 22
+
+double tmp[NI][NJ];
+double A[NI][NK];
+double B[NK][NJ];
+double C[NJ][NL];
+double D[NI][NL];
+double alpha, beta;
+
+static void kernel_2mm() {
+  int i, j, k;
+  alpha = 1.5;
+  beta = 1.2;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++) {
+      D[i][j] = D[i][j] * beta;
+      for (k = 0; k < NJ; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}

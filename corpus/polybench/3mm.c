@@ -1,0 +1,37 @@
+/* 3mm: G = (A*B)*(C*D)
+   Generated polybench-style kernel for the delinearization corpus. */
+#define NI 12
+#define NJ 13
+#define NK 14
+#define NL 15
+#define NM 16
+
+double E[NI][NJ];
+double A[NI][NK];
+double B[NK][NJ];
+double F[NJ][NL];
+double C[NJ][NM];
+double D[NM][NL];
+double G[NI][NL];
+
+static void kernel_3mm() {
+  int i, j, k;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      E[i][j] = 0.0;
+      for (k = 0; k < NK; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  for (i = 0; i < NJ; i++)
+    for (j = 0; j < NL; j++) {
+      F[i][j] = 0.0;
+      for (k = 0; k < NM; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NL; j++) {
+      G[i][j] = 0.0;
+      for (k = 0; k < NJ; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}

@@ -1,0 +1,24 @@
+/* adi: alternating-direction implicit sweeps (simplified)
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 18
+#define TSTEPS 4
+
+double X[N][N];
+double A[N][N];
+double B[N][N];
+
+static void kernel_adi() {
+  int t, i, j;
+  for (t = 1; t <= TSTEPS; t++) {
+    for (i = 0; i < N; i++)
+      for (j = 1; j < N; j++) {
+        X[i][j] = X[i][j] - X[i][j - 1] * A[i][j] / B[i][j - 1];
+        B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j - 1];
+      }
+    for (i = 1; i < N; i++)
+      for (j = 0; j < N; j++) {
+        X[i][j] = X[i][j] - X[i - 1][j] * A[i][j] / B[i - 1][j];
+        B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i - 1][j];
+      }
+  }
+}

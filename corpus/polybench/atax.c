@@ -1,0 +1,22 @@
+/* atax: y = A'*(A*x)
+   Generated polybench-style kernel for the delinearization corpus. */
+#define M 19
+#define N 21
+
+double A[M][N];
+double x[N];
+double y[N];
+double tmp[M];
+
+static void kernel_atax() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    y[i] = 0.0;
+  for (i = 0; i < M; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < N; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (j = 0; j < N; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}

@@ -1,0 +1,23 @@
+/* bicg: s = A'*r; q = A*p
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 21
+#define M 19
+
+double A[N][M];
+double s[M];
+double q[N];
+double p[M];
+double r[N];
+
+static void kernel_bicg() {
+  int i, j;
+  for (i = 0; i < M; i++)
+    s[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < M; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}

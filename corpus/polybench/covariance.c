@@ -1,0 +1,22 @@
+/* covariance: column means and centering (rectangular part of covariance)
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 20
+#define M 24
+
+double data[N][M];
+double mean[M];
+double fn;
+
+static void kernel_covariance() {
+  int i, j;
+  fn = 20.0;
+  for (j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / fn;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++)
+      data[i][j] -= mean[j];
+}

@@ -1,0 +1,23 @@
+/* doitgen-linear: doitgen over a hand-linearized rank-3 array
+   Generated polybench-style kernel for the delinearization corpus. */
+#define NR 8
+#define NQ 9
+#define NP 10
+
+double A[720]; /* NR*NQ*NP, hand-linearized */
+double C4[NP][NP];
+double sum[NP];
+
+static void kernel_doitgen_linear() {
+  int r, q, p, s;
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+        for (s = 0; s < NP; s++)
+          sum[p] += A[(r * NQ + q) * NP + s] * C4[s][p];
+      }
+      for (p = 0; p < NP; p++)
+        A[(r * NQ + q) * NP + p] = sum[p];
+    }
+}

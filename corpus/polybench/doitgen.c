@@ -1,0 +1,23 @@
+/* doitgen: multiresolution sum: A[r][q][p] = sum_s A[r][q][s]*C4[s][p]
+   Generated polybench-style kernel for the delinearization corpus. */
+#define NR 8
+#define NQ 9
+#define NP 10
+
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NP];
+
+static void kernel_doitgen() {
+  int r, q, p, s;
+  for (r = 0; r < NR; r++)
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+        for (s = 0; s < NP; s++)
+          sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (p = 0; p < NP; p++)
+        A[r][q][p] = sum[p];
+    }
+}

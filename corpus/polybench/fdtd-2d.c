@@ -1,0 +1,27 @@
+/* fdtd-2d: 2-d finite-difference time-domain
+   Generated polybench-style kernel for the delinearization corpus. */
+#define TMAX 8
+#define NX 24
+#define NY 28
+
+double ex[NX][NY];
+double ey[NX][NY];
+double hz[NX][NY];
+double fict[TMAX];
+
+static void kernel_fdtd_2d() {
+  int t, i, j;
+  for (t = 0; t < TMAX; t++) {
+    for (j = 0; j < NY; j++)
+      ey[0][j] = fict[t];
+    for (i = 1; i < NX; i++)
+      for (j = 0; j < NY; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (i = 0; i < NX; i++)
+      for (j = 1; j < NY; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (i = 0; i < NX - 1; i++)
+      for (j = 0; j < NY - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+  }
+}

@@ -1,0 +1,22 @@
+/* gemm-linear: gemm over hand-linearized 1-d arrays (delinearization target)
+   Generated polybench-style kernel for the delinearization corpus. */
+#define NI 20
+#define NJ 25
+#define NK 30
+
+double C[500]; /* NI*NJ, hand-linearized */
+double A[600]; /* NI*NK */
+double B[750]; /* NK*NJ */
+double alpha, beta;
+
+static void kernel_gemm_linear() {
+  int i, j, k;
+  alpha = 1.5;
+  beta = 1.2;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      C[i * NJ + j] = C[i * NJ + j] * beta;
+      for (k = 0; k < NK; k++)
+        C[i * NJ + j] += alpha * A[i * NK + k] * B[k * NJ + j];
+    }
+}

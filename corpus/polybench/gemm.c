@@ -1,0 +1,22 @@
+/* gemm: C = alpha*A*B + beta*C
+   Generated polybench-style kernel for the delinearization corpus. */
+#define NI 20
+#define NJ 25
+#define NK 30
+
+double C[NI][NJ];
+double A[NI][NK];
+double B[NK][NJ];
+double alpha, beta;
+
+static void kernel_gemm() {
+  int i, j, k;
+  alpha = 1.5;
+  beta = 1.2;
+  for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+      C[i][j] = C[i][j] * beta;
+      for (k = 0; k < NK; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+}

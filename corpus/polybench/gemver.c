@@ -1,0 +1,31 @@
+/* gemver: A = A + u1*v1' + u2*v2'; x = beta*A'*y + z; w = alpha*A*x
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 26
+
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+double alpha, beta;
+
+static void kernel_gemver() {
+  int i, j;
+  alpha = 1.5;
+  beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+}

@@ -1,0 +1,25 @@
+/* gesummv: y = alpha*A*x + beta*B*x
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 30
+
+double A[N][N];
+double B[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+double alpha, beta;
+
+static void kernel_gesummv() {
+  int i, j;
+  alpha = 1.5;
+  beta = 1.2;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+}

@@ -1,0 +1,17 @@
+/* jacobi-1d: 1-d jacobi relaxation
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 120
+#define TSTEPS 10
+
+double A[N];
+double B[N];
+
+static void kernel_jacobi_1d() {
+  int t, i;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (i = 1; i < N - 1; i++)
+      A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+}

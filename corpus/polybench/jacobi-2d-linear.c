@@ -1,0 +1,19 @@
+/* jacobi-2d-linear: 2-d jacobi over a hand-linearized 1-d array
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 20
+#define TSTEPS 6
+
+double A[400]; /* N*N, hand-linearized */
+double B[400]; /* N*N */
+
+static void kernel_jacobi_2d_linear() {
+  int t, i, j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        B[i * N + j] = 0.2 * (A[i * N + j] + A[i * N + j - 1] + A[i * N + j + 1] + A[(i + 1) * N + j] + A[(i - 1) * N + j]);
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i * N + j] = 0.2 * (B[i * N + j] + B[i * N + j - 1] + B[i * N + j + 1] + B[(i + 1) * N + j] + B[(i - 1) * N + j]);
+  }
+}

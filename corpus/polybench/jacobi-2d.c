@@ -1,0 +1,19 @@
+/* jacobi-2d: 2-d jacobi relaxation
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 20
+#define TSTEPS 6
+
+double A[N][N];
+double B[N][N];
+
+static void kernel_jacobi_2d() {
+  int t, i, j;
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + B[i + 1][j] + B[i - 1][j]);
+  }
+}

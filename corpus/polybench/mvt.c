@@ -1,0 +1,19 @@
+/* mvt: x1 = x1 + A*y1; x2 = x2 + A'*y2
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 40
+
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+static void kernel_mvt() {
+  int i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+}

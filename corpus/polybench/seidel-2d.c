@@ -1,0 +1,14 @@
+/* seidel-2d: gauss-seidel 2-d sweep (loop-carried in both dimensions)
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 20
+#define TSTEPS 4
+
+double A[N][N];
+
+static void kernel_seidel_2d() {
+  int t, i, j;
+  for (t = 0; t <= TSTEPS - 1; t++)
+    for (i = 1; i <= N - 2; i++)
+      for (j = 1; j <= N - 2; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] + A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+}

@@ -1,0 +1,22 @@
+/* syr2k: C = alpha*A*B' + alpha*B*A' + beta*C
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 20
+#define M 16
+
+double C[N][N];
+double A[N][M];
+double B[N][M];
+double alpha, beta;
+
+static void kernel_syr2k() {
+  int i, j, k;
+  alpha = 1.5;
+  beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      C[i][j] = C[i][j] * beta;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < M; k++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+}

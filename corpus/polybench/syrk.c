@@ -1,0 +1,21 @@
+/* syrk: C = alpha*A*A' + beta*C
+   Generated polybench-style kernel for the delinearization corpus. */
+#define N 24
+#define M 18
+
+double C[N][N];
+double A[N][M];
+double alpha, beta;
+
+static void kernel_syrk() {
+  int i, j, k;
+  alpha = 1.5;
+  beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      C[i][j] = C[i][j] * beta;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < M; k++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+}

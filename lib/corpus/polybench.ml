@@ -1,0 +1,520 @@
+(* Polybench-style mini-C kernel corpus.
+
+   Each kernel is a deterministic, self-contained C source string in
+   the subset the mini-C frontend accepts: [#define] size macros,
+   global multi-dimensional array declarations, a transparent
+   [static void kernel_*() { ... }] wrapper, [/* */] comments, real
+   literals and [+=]/[-=] compound assignments.  The [-linear]
+   variants carry hand-linearized subscripts ([A[i * NJ + j]]) — the
+   delinearization targets the paper is about — next to their
+   multi-dimensional twins.  Sizes are polybench "mini"-scale so the
+   whole corpus analyzes in well under a second. *)
+
+type kernel = { k_name : string; k_family : string; k_source : string }
+
+let ident_of_name name =
+  String.map (fun c -> if c = '-' then '_' else c) name
+
+let kernel ~family ~name ~comment ~defines ~decls ~ivars body =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "/* %s: %s\n   Generated polybench-style kernel for the delinearization \
+     corpus. */\n"
+    name comment;
+  List.iter (fun (k, v) -> Printf.bprintf b "#define %s %d\n" k v) defines;
+  Buffer.add_char b '\n';
+  List.iter (fun d -> Printf.bprintf b "%s\n" d) decls;
+  Buffer.add_char b '\n';
+  Printf.bprintf b "static void kernel_%s() {\n" (ident_of_name name);
+  Printf.bprintf b "  int %s;\n" (String.concat ", " ivars);
+  List.iter (fun l -> Printf.bprintf b "  %s\n" l) body;
+  Buffer.add_string b "}\n";
+  { k_name = name; k_family = family; k_source = Buffer.contents b }
+
+(* --- linear algebra (blas-like) ----------------------------------------- *)
+
+let gemm =
+  kernel ~family:"blas" ~name:"gemm" ~comment:"C = alpha*A*B + beta*C"
+    ~defines:[ ("NI", 20); ("NJ", 25); ("NK", 30) ]
+    ~decls:
+      [
+        "double C[NI][NJ];"; "double A[NI][NK];"; "double B[NK][NJ];";
+        "double alpha, beta;";
+      ]
+    ~ivars:[ "i"; "j"; "k" ]
+    [
+      "alpha = 1.5;";
+      "beta = 1.2;";
+      "for (i = 0; i < NI; i++)";
+      "  for (j = 0; j < NJ; j++) {";
+      "    C[i][j] = C[i][j] * beta;";
+      "    for (k = 0; k < NK; k++)";
+      "      C[i][j] += alpha * A[i][k] * B[k][j];";
+      "  }";
+    ]
+
+let gemm_linear =
+  kernel ~family:"blas" ~name:"gemm-linear"
+    ~comment:"gemm over hand-linearized 1-d arrays (delinearization target)"
+    ~defines:[ ("NI", 20); ("NJ", 25); ("NK", 30) ]
+    ~decls:
+      [
+        "double C[500]; /* NI*NJ, hand-linearized */";
+        "double A[600]; /* NI*NK */";
+        "double B[750]; /* NK*NJ */";
+        "double alpha, beta;";
+      ]
+    ~ivars:[ "i"; "j"; "k" ]
+    [
+      "alpha = 1.5;";
+      "beta = 1.2;";
+      "for (i = 0; i < NI; i++)";
+      "  for (j = 0; j < NJ; j++) {";
+      "    C[i * NJ + j] = C[i * NJ + j] * beta;";
+      "    for (k = 0; k < NK; k++)";
+      "      C[i * NJ + j] += alpha * A[i * NK + k] * B[k * NJ + j];";
+      "  }";
+    ]
+
+let syrk =
+  kernel ~family:"blas" ~name:"syrk" ~comment:"C = alpha*A*A' + beta*C"
+    ~defines:[ ("N", 24); ("M", 18) ]
+    ~decls:
+      [ "double C[N][N];"; "double A[N][M];"; "double alpha, beta;" ]
+    ~ivars:[ "i"; "j"; "k" ]
+    [
+      "alpha = 1.5;";
+      "beta = 1.2;";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    C[i][j] = C[i][j] * beta;";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    for (k = 0; k < M; k++)";
+      "      C[i][j] += alpha * A[i][k] * A[j][k];";
+    ]
+
+let syr2k =
+  kernel ~family:"blas" ~name:"syr2k"
+    ~comment:"C = alpha*A*B' + alpha*B*A' + beta*C"
+    ~defines:[ ("N", 20); ("M", 16) ]
+    ~decls:
+      [
+        "double C[N][N];"; "double A[N][M];"; "double B[N][M];";
+        "double alpha, beta;";
+      ]
+    ~ivars:[ "i"; "j"; "k" ]
+    [
+      "alpha = 1.5;";
+      "beta = 1.2;";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    C[i][j] = C[i][j] * beta;";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    for (k = 0; k < M; k++)";
+      "      C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];";
+    ]
+
+let two_mm =
+  kernel ~family:"blas" ~name:"2mm" ~comment:"D = alpha*A*B*C + beta*D"
+    ~defines:[ ("NI", 16); ("NJ", 18); ("NK", 20); ("NL", 22) ]
+    ~decls:
+      [
+        "double tmp[NI][NJ];"; "double A[NI][NK];"; "double B[NK][NJ];";
+        "double C[NJ][NL];"; "double D[NI][NL];"; "double alpha, beta;";
+      ]
+    ~ivars:[ "i"; "j"; "k" ]
+    [
+      "alpha = 1.5;";
+      "beta = 1.2;";
+      "for (i = 0; i < NI; i++)";
+      "  for (j = 0; j < NJ; j++) {";
+      "    tmp[i][j] = 0.0;";
+      "    for (k = 0; k < NK; k++)";
+      "      tmp[i][j] += alpha * A[i][k] * B[k][j];";
+      "  }";
+      "for (i = 0; i < NI; i++)";
+      "  for (j = 0; j < NL; j++) {";
+      "    D[i][j] = D[i][j] * beta;";
+      "    for (k = 0; k < NJ; k++)";
+      "      D[i][j] += tmp[i][k] * C[k][j];";
+      "  }";
+    ]
+
+let three_mm =
+  kernel ~family:"blas" ~name:"3mm" ~comment:"G = (A*B)*(C*D)"
+    ~defines:[ ("NI", 12); ("NJ", 13); ("NK", 14); ("NL", 15); ("NM", 16) ]
+    ~decls:
+      [
+        "double E[NI][NJ];"; "double A[NI][NK];"; "double B[NK][NJ];";
+        "double F[NJ][NL];"; "double C[NJ][NM];"; "double D[NM][NL];";
+        "double G[NI][NL];";
+      ]
+    ~ivars:[ "i"; "j"; "k" ]
+    [
+      "for (i = 0; i < NI; i++)";
+      "  for (j = 0; j < NJ; j++) {";
+      "    E[i][j] = 0.0;";
+      "    for (k = 0; k < NK; k++)";
+      "      E[i][j] += A[i][k] * B[k][j];";
+      "  }";
+      "for (i = 0; i < NJ; i++)";
+      "  for (j = 0; j < NL; j++) {";
+      "    F[i][j] = 0.0;";
+      "    for (k = 0; k < NM; k++)";
+      "      F[i][j] += C[i][k] * D[k][j];";
+      "  }";
+      "for (i = 0; i < NI; i++)";
+      "  for (j = 0; j < NL; j++) {";
+      "    G[i][j] = 0.0;";
+      "    for (k = 0; k < NJ; k++)";
+      "      G[i][j] += E[i][k] * F[k][j];";
+      "  }";
+    ]
+
+let mvt =
+  kernel ~family:"blas" ~name:"mvt"
+    ~comment:"x1 = x1 + A*y1; x2 = x2 + A'*y2"
+    ~defines:[ ("N", 40) ]
+    ~decls:
+      [
+        "double A[N][N];"; "double x1[N];"; "double x2[N];";
+        "double y1[N];"; "double y2[N];";
+      ]
+    ~ivars:[ "i"; "j" ]
+    [
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    x1[i] = x1[i] + A[i][j] * y1[j];";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    x2[i] = x2[i] + A[j][i] * y2[j];";
+    ]
+
+let atax =
+  kernel ~family:"blas" ~name:"atax" ~comment:"y = A'*(A*x)"
+    ~defines:[ ("M", 19); ("N", 21) ]
+    ~decls:
+      [
+        "double A[M][N];"; "double x[N];"; "double y[N];"; "double tmp[M];";
+      ]
+    ~ivars:[ "i"; "j" ]
+    [
+      "for (i = 0; i < N; i++)";
+      "  y[i] = 0.0;";
+      "for (i = 0; i < M; i++) {";
+      "  tmp[i] = 0.0;";
+      "  for (j = 0; j < N; j++)";
+      "    tmp[i] = tmp[i] + A[i][j] * x[j];";
+      "  for (j = 0; j < N; j++)";
+      "    y[j] = y[j] + A[i][j] * tmp[i];";
+      "}";
+    ]
+
+let bicg =
+  kernel ~family:"blas" ~name:"bicg" ~comment:"s = A'*r; q = A*p"
+    ~defines:[ ("N", 21); ("M", 19) ]
+    ~decls:
+      [
+        "double A[N][M];"; "double s[M];"; "double q[N];"; "double p[M];";
+        "double r[N];";
+      ]
+    ~ivars:[ "i"; "j" ]
+    [
+      "for (i = 0; i < M; i++)";
+      "  s[i] = 0.0;";
+      "for (i = 0; i < N; i++) {";
+      "  q[i] = 0.0;";
+      "  for (j = 0; j < M; j++) {";
+      "    s[j] = s[j] + r[i] * A[i][j];";
+      "    q[i] = q[i] + A[i][j] * p[j];";
+      "  }";
+      "}";
+    ]
+
+let gesummv =
+  kernel ~family:"blas" ~name:"gesummv" ~comment:"y = alpha*A*x + beta*B*x"
+    ~defines:[ ("N", 30) ]
+    ~decls:
+      [
+        "double A[N][N];"; "double B[N][N];"; "double x[N];"; "double y[N];";
+        "double tmp[N];"; "double alpha, beta;";
+      ]
+    ~ivars:[ "i"; "j" ]
+    [
+      "alpha = 1.5;";
+      "beta = 1.2;";
+      "for (i = 0; i < N; i++) {";
+      "  tmp[i] = 0.0;";
+      "  y[i] = 0.0;";
+      "  for (j = 0; j < N; j++) {";
+      "    tmp[i] = A[i][j] * x[j] + tmp[i];";
+      "    y[i] = B[i][j] * x[j] + y[i];";
+      "  }";
+      "  y[i] = alpha * tmp[i] + beta * y[i];";
+      "}";
+    ]
+
+let gemver =
+  kernel ~family:"blas" ~name:"gemver"
+    ~comment:"A = A + u1*v1' + u2*v2'; x = beta*A'*y + z; w = alpha*A*x"
+    ~defines:[ ("N", 26) ]
+    ~decls:
+      [
+        "double A[N][N];"; "double u1[N];"; "double v1[N];";
+        "double u2[N];"; "double v2[N];"; "double w[N];"; "double x[N];";
+        "double y[N];"; "double z[N];"; "double alpha, beta;";
+      ]
+    ~ivars:[ "i"; "j" ]
+    [
+      "alpha = 1.5;";
+      "beta = 1.2;";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    x[i] = x[i] + beta * A[j][i] * y[j];";
+      "for (i = 0; i < N; i++)";
+      "  x[i] = x[i] + z[i];";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < N; j++)";
+      "    w[i] = w[i] + alpha * A[i][j] * x[j];";
+    ]
+
+(* --- tensor kernels ------------------------------------------------------ *)
+
+let doitgen =
+  kernel ~family:"tensor" ~name:"doitgen"
+    ~comment:"multiresolution sum: A[r][q][p] = sum_s A[r][q][s]*C4[s][p]"
+    ~defines:[ ("NR", 8); ("NQ", 9); ("NP", 10) ]
+    ~decls:
+      [ "double A[NR][NQ][NP];"; "double C4[NP][NP];"; "double sum[NP];" ]
+    ~ivars:[ "r"; "q"; "p"; "s" ]
+    [
+      "for (r = 0; r < NR; r++)";
+      "  for (q = 0; q < NQ; q++) {";
+      "    for (p = 0; p < NP; p++) {";
+      "      sum[p] = 0.0;";
+      "      for (s = 0; s < NP; s++)";
+      "        sum[p] += A[r][q][s] * C4[s][p];";
+      "    }";
+      "    for (p = 0; p < NP; p++)";
+      "      A[r][q][p] = sum[p];";
+      "  }";
+    ]
+
+let doitgen_linear =
+  kernel ~family:"tensor" ~name:"doitgen-linear"
+    ~comment:"doitgen over a hand-linearized rank-3 array"
+    ~defines:[ ("NR", 8); ("NQ", 9); ("NP", 10) ]
+    ~decls:
+      [
+        "double A[720]; /* NR*NQ*NP, hand-linearized */";
+        "double C4[NP][NP];";
+        "double sum[NP];";
+      ]
+    ~ivars:[ "r"; "q"; "p"; "s" ]
+    [
+      "for (r = 0; r < NR; r++)";
+      "  for (q = 0; q < NQ; q++) {";
+      "    for (p = 0; p < NP; p++) {";
+      "      sum[p] = 0.0;";
+      "      for (s = 0; s < NP; s++)";
+      "        sum[p] += A[(r * NQ + q) * NP + s] * C4[s][p];";
+      "    }";
+      "    for (p = 0; p < NP; p++)";
+      "      A[(r * NQ + q) * NP + p] = sum[p];";
+      "  }";
+    ]
+
+(* --- stencils ------------------------------------------------------------ *)
+
+let jacobi_1d =
+  kernel ~family:"stencil" ~name:"jacobi-1d" ~comment:"1-d jacobi relaxation"
+    ~defines:[ ("N", 120); ("TSTEPS", 10) ]
+    ~decls:[ "double A[N];"; "double B[N];" ]
+    ~ivars:[ "t"; "i" ]
+    [
+      "for (t = 0; t < TSTEPS; t++) {";
+      "  for (i = 1; i < N - 1; i++)";
+      "    B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);";
+      "  for (i = 1; i < N - 1; i++)";
+      "    A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);";
+      "}";
+    ]
+
+let jacobi_2d =
+  kernel ~family:"stencil" ~name:"jacobi-2d" ~comment:"2-d jacobi relaxation"
+    ~defines:[ ("N", 20); ("TSTEPS", 6) ]
+    ~decls:[ "double A[N][N];"; "double B[N][N];" ]
+    ~ivars:[ "t"; "i"; "j" ]
+    [
+      "for (t = 0; t < TSTEPS; t++) {";
+      "  for (i = 1; i < N - 1; i++)";
+      "    for (j = 1; j < N - 1; j++)";
+      "      B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + \
+       A[i + 1][j] + A[i - 1][j]);";
+      "  for (i = 1; i < N - 1; i++)";
+      "    for (j = 1; j < N - 1; j++)";
+      "      A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + \
+       B[i + 1][j] + B[i - 1][j]);";
+      "}";
+    ]
+
+let jacobi_2d_linear =
+  kernel ~family:"stencil" ~name:"jacobi-2d-linear"
+    ~comment:"2-d jacobi over a hand-linearized 1-d array"
+    ~defines:[ ("N", 20); ("TSTEPS", 6) ]
+    ~decls:
+      [
+        "double A[400]; /* N*N, hand-linearized */";
+        "double B[400]; /* N*N */";
+      ]
+    ~ivars:[ "t"; "i"; "j" ]
+    [
+      "for (t = 0; t < TSTEPS; t++) {";
+      "  for (i = 1; i < N - 1; i++)";
+      "    for (j = 1; j < N - 1; j++)";
+      "      B[i * N + j] = 0.2 * (A[i * N + j] + A[i * N + j - 1] + \
+       A[i * N + j + 1] + A[(i + 1) * N + j] + A[(i - 1) * N + j]);";
+      "  for (i = 1; i < N - 1; i++)";
+      "    for (j = 1; j < N - 1; j++)";
+      "      A[i * N + j] = 0.2 * (B[i * N + j] + B[i * N + j - 1] + \
+       B[i * N + j + 1] + B[(i + 1) * N + j] + B[(i - 1) * N + j]);";
+      "}";
+    ]
+
+let seidel_2d =
+  kernel ~family:"stencil" ~name:"seidel-2d"
+    ~comment:"gauss-seidel 2-d sweep (loop-carried in both dimensions)"
+    ~defines:[ ("N", 20); ("TSTEPS", 4) ]
+    ~decls:[ "double A[N][N];" ]
+    ~ivars:[ "t"; "i"; "j" ]
+    [
+      "for (t = 0; t <= TSTEPS - 1; t++)";
+      "  for (i = 1; i <= N - 2; i++)";
+      "    for (j = 1; j <= N - 2; j++)";
+      "      A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] + \
+       A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1] + A[i + 1][j] \
+       + A[i + 1][j + 1]) / 9.0;";
+    ]
+
+let fdtd_2d =
+  kernel ~family:"stencil" ~name:"fdtd-2d"
+    ~comment:"2-d finite-difference time-domain"
+    ~defines:[ ("TMAX", 8); ("NX", 24); ("NY", 28) ]
+    ~decls:
+      [
+        "double ex[NX][NY];"; "double ey[NX][NY];"; "double hz[NX][NY];";
+        "double fict[TMAX];";
+      ]
+    ~ivars:[ "t"; "i"; "j" ]
+    [
+      "for (t = 0; t < TMAX; t++) {";
+      "  for (j = 0; j < NY; j++)";
+      "    ey[0][j] = fict[t];";
+      "  for (i = 1; i < NX; i++)";
+      "    for (j = 0; j < NY; j++)";
+      "      ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);";
+      "  for (i = 0; i < NX; i++)";
+      "    for (j = 1; j < NY; j++)";
+      "      ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);";
+      "  for (i = 0; i < NX - 1; i++)";
+      "    for (j = 0; j < NY - 1; j++)";
+      "      hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + \
+       ey[i + 1][j] - ey[i][j]);";
+      "}";
+    ]
+
+let heat_3d =
+  kernel ~family:"stencil" ~name:"heat-3d" ~comment:"3-d heat equation"
+    ~defines:[ ("N", 10); ("TSTEPS", 4) ]
+    ~decls:[ "double A[N][N][N];"; "double B[N][N][N];" ]
+    ~ivars:[ "t"; "i"; "j"; "k" ]
+    [
+      "for (t = 1; t <= TSTEPS; t++) {";
+      "  for (i = 1; i < N - 1; i++)";
+      "    for (j = 1; j < N - 1; j++)";
+      "      for (k = 1; k < N - 1; k++)";
+      "        B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + \
+       A[i - 1][j][k]) + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + \
+       A[i][j - 1][k]) + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + \
+       A[i][j][k - 1]) + A[i][j][k];";
+      "  for (i = 1; i < N - 1; i++)";
+      "    for (j = 1; j < N - 1; j++)";
+      "      for (k = 1; k < N - 1; k++)";
+      "        A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k] + \
+       B[i - 1][j][k]) + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k] + \
+       B[i][j - 1][k]) + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k] + \
+       B[i][j][k - 1]) + B[i][j][k];";
+      "}";
+    ]
+
+let adi =
+  kernel ~family:"stencil" ~name:"adi"
+    ~comment:"alternating-direction implicit sweeps (simplified)"
+    ~defines:[ ("N", 18); ("TSTEPS", 4) ]
+    ~decls:[ "double X[N][N];"; "double A[N][N];"; "double B[N][N];" ]
+    ~ivars:[ "t"; "i"; "j" ]
+    [
+      "for (t = 1; t <= TSTEPS; t++) {";
+      "  for (i = 0; i < N; i++)";
+      "    for (j = 1; j < N; j++) {";
+      "      X[i][j] = X[i][j] - X[i][j - 1] * A[i][j] / B[i][j - 1];";
+      "      B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j - 1];";
+      "    }";
+      "  for (i = 1; i < N; i++)";
+      "    for (j = 0; j < N; j++) {";
+      "      X[i][j] = X[i][j] - X[i - 1][j] * A[i][j] / B[i - 1][j];";
+      "      B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i - 1][j];";
+      "    }";
+      "}";
+    ]
+
+(* --- data mining --------------------------------------------------------- *)
+
+let covariance =
+  kernel ~family:"datamining" ~name:"covariance"
+    ~comment:"column means and centering (rectangular part of covariance)"
+    ~defines:[ ("N", 20); ("M", 24) ]
+    ~decls:[ "double data[N][M];"; "double mean[M];"; "double fn;" ]
+    ~ivars:[ "i"; "j" ]
+    [
+      "fn = 20.0;";
+      "for (j = 0; j < M; j++) {";
+      "  mean[j] = 0.0;";
+      "  for (i = 0; i < N; i++)";
+      "    mean[j] += data[i][j];";
+      "  mean[j] = mean[j] / fn;";
+      "}";
+      "for (i = 0; i < N; i++)";
+      "  for (j = 0; j < M; j++)";
+      "    data[i][j] -= mean[j];";
+    ]
+
+let kernels =
+  List.sort
+    (fun a b -> String.compare a.k_name b.k_name)
+    [
+      gemm; gemm_linear; syrk; syr2k; two_mm; three_mm; mvt; atax; bicg;
+      gesummv; gemver; doitgen; doitgen_linear; jacobi_1d; jacobi_2d;
+      jacobi_2d_linear; seidel_2d; fdtd_2d; heat_3d; adi; covariance;
+    ]
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_dir dir =
+  mkdir_p dir;
+  List.iter
+    (fun k ->
+      let path = Filename.concat dir (k.k_name ^ ".c") in
+      let oc = open_out_bin path in
+      output_string oc k.k_source;
+      close_out oc)
+    kernels

@@ -1,0 +1,22 @@
+(** Polybench-style mini-C kernel corpus.
+
+    ~20 deterministic, self-contained kernels (gemm, syrk, seidel-2d,
+    jacobi-1d/2d, adi, ... families) rendered as C source strings in
+    the subset the mini-C frontend accepts, including hand-linearized
+    [-linear] variants — the delinearization targets the paper is
+    about — next to their multi-dimensional twins.  The vendored
+    copies live under [corpus/polybench/]; [@corpus-ci] checks they
+    byte-match this generator. *)
+
+type kernel = {
+  k_name : string;  (** File basename without the [.c] extension. *)
+  k_family : string;  (** blas / tensor / stencil / datamining. *)
+  k_source : string;  (** Full C source text, byte-deterministic. *)
+}
+
+val kernels : kernel list
+(** Sorted by [k_name]. *)
+
+val write_dir : string -> unit
+(** [write_dir dir] writes each kernel to [dir/<name>.c], creating
+    [dir] (and parents) as needed. *)

@@ -229,10 +229,8 @@ let summary_line ~timings ~dir ~elapsed_ns frs =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let run ?(mode = Analyze.Delinearize) ?cascade ?budget ?pool ?env
-    ?(timings = false) dir =
+let reports ?(mode = Analyze.Delinearize) ?cascade ?budget ?pool ?env dir =
   let env = Option.value env ~default:Assume.empty in
-  let t0 = Trace.now_ns () in
   Trace.with_span ~cat:"bulk" ~args:[ ("dir", dir) ] "bulk.dir" @@ fun () ->
   let files = Array.of_list (kernels dir) in
   let worker rel = analyze_file ~mode ~cascade ~budget ~env dir rel in
@@ -243,7 +241,11 @@ let run ?(mode = Analyze.Delinearize) ?cascade ?budget ?pool ?env
     | Some p -> Pool.map p ~chunk:1 worker files
     | None -> Array.map worker files
   in
-  let reports = Array.to_list reports in
+  Array.to_list reports
+
+let run ?mode ?cascade ?budget ?pool ?env ?(timings = false) dir =
+  let t0 = Trace.now_ns () in
+  let reports = reports ?mode ?cascade ?budget ?pool ?env dir in
   let elapsed_ns = Int64.sub (Trace.now_ns ()) t0 in
   List.map (file_line ~timings) reports
   @ [ summary_line ~timings ~dir ~elapsed_ns reports ]

@@ -1,9 +1,12 @@
 type base_type = Float | Int
 
-type declarator = { d_ptr : bool; d_name : string; d_size : int option }
+(* [d_dims] lists the constant extents of each array dimension, outermost
+   first ([] = scalar): [double A[N][M]] carries [[N; M]]. *)
+type declarator = { d_ptr : bool; d_name : string; d_dims : int list }
 
 type expr =
   | EInt of int
+  | EFloat of string  (** opaque real literal, kept as written *)
   | EVar of string
   | ENeg of expr
   | EDeref of expr
@@ -24,6 +27,7 @@ type program = stmt list
 
 let rec pp_expr ppf = function
   | EInt k -> Format.fprintf ppf "%d" k
+  | EFloat s -> Format.pp_print_string ppf s
   | EVar v -> Format.pp_print_string ppf v
   | ENeg e -> Format.fprintf ppf "-(%a)" pp_expr e
   | EDeref e -> Format.fprintf ppf "*(%a)" pp_expr e
@@ -49,9 +53,8 @@ let rec pp_stmt ppf = function
               (fun d ->
                 (if d.d_ptr then "*" else "")
                 ^ d.d_name
-                ^ match d.d_size with
-                  | Some n -> Printf.sprintf "[%d]" n
-                  | None -> "")
+                ^ String.concat ""
+                    (List.map (Printf.sprintf "[%d]") d.d_dims))
               ds))
   | Assign (l, r) -> Format.fprintf ppf "%a = %a;" pp_expr l pp_expr r
   | For { init; cond; step; body } ->

@@ -11,11 +11,14 @@ type base_type = Float | Int
 type declarator = {
   d_ptr : bool;  (** Declared as [*name]. *)
   d_name : string;
-  d_size : int option;  (** Declared as [name\[size\]]. *)
+  d_dims : int list;
+      (** Constant extents, outermost first; [\[\]] for scalars, so
+          [double A\[N\]\[M\]] carries [\[N; M\]]. *)
 }
 
 type expr =
   | EInt of int
+  | EFloat of string  (** Opaque real literal, kept as written. *)
   | EVar of string
   | ENeg of expr
   | EDeref of expr  (** [*e] *)

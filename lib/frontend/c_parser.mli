@@ -1,10 +1,22 @@
 (** Recursive-descent parser for the mini-C subset.
 
-    Handles declarations ([float d[100];], [float *i, *j;], [int i;]),
-    [for] loops whose condition is a single linear comparison and whose
-    step is [v++], [v--], [v+=k] or [v-=k], assignments through [*e] and
-    [e1[e2]] lvalues, and arithmetic expressions with calls.  Braces are
-    optional around single-statement bodies. *)
+    Handles declarations ([float d[100];], [double A[N][M];],
+    [float *i, *j;], [int i;]), [for] loops whose condition is a single
+    linear comparison and whose step is [v++], [v--], [v+=k] or [v-=k],
+    assignments (plain, [+=] and [-=], the compound forms desugared)
+    through [*e] and multi-dimensional [e1[e2]...[ek]] lvalues, and
+    arithmetic expressions with calls and real literals.  Braces are
+    optional around single-statement bodies.
+
+    Polybench-style files load without hand-editing: [/* */] block
+    comments and [//] line comments are skipped (an unterminated block
+    comment is a located parse error; a line comment may end at EOF),
+    [#define NAME <int>] is a one-pass constant substitution mirroring
+    the F77 PARAMETER handling (define-before-use, no redefinition, the
+    value an optionally parenthesized/negated integer or prior macro),
+    other [#] directives are skipped to end of line, and a function
+    wrapper [static? void|int|float|double name(...) { ... }] is
+    transparent — its body is inlined into the program. *)
 
 val parse : string -> C_ast.program
 (** Raises {!Diag.Parse_error} on malformed input. *)

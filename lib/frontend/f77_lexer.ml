@@ -85,7 +85,14 @@ let tokenize src =
       end
       else begin
         let text = String.sub src start (!i - start) in
-        emit (INT (int_of_string text));
+        (* Typed failure on oversized literals: a bare [int_of_string]
+           Failure would escape the Diag.Parse_error taxonomy. *)
+        (match int_of_string_opt text with
+        | Some k -> emit (INT k)
+        | None ->
+            Diag.error
+              { Diag.line = !line; col = !col }
+              "integer literal %s does not fit in a native int" text);
         col := !col + (!i - start)
       end
     end

@@ -46,6 +46,11 @@ val corpus : unit -> case list
 (** Every testable pair of the synthetic RiCEPS corpus; symbolic pairs
     are grounded at their assumption lower bounds. *)
 
+val polybench : unit -> case list
+(** Every testable pair of the vendored polybench-style mini-C corpus
+    ({!Dlz_corpus.Polybench}), lowered through the pointer-conversion
+    pass and the real pipeline. *)
+
 val all : seed:int64 -> count:int -> case list
 (** The default mixed batch: 40% random, 25% linearized, 15% symbolic,
     10% near-overflow, the rest whole programs. *)

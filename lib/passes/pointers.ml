@@ -9,14 +9,29 @@ let unsupported fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
 type pvalue = { base : string; off : Expr.t }
 
 type env = {
-  mutable arrays : (string * int) list;
+  mutable arrays : (string * int list) list;
+      (** Declared arrays with their constant extents, outermost
+          first. *)
   mutable ints : string list;
   mutable pointers : (string * pvalue option) list;
       (** [None] until first assigned. *)
 }
 
 let is_array env n = List.mem_assoc n env.arrays
+let array_rank env n =
+  match List.assoc_opt n env.arrays with
+  | Some dims -> List.length dims
+  | None -> 0
+
 let is_pointer env n = List.mem_assoc n env.pointers
+
+(* [A[i][j]] parses as [EIndex (EIndex (EVar A, i), j)]; peel the chain
+   down to the base variable and the subscript list, outermost first. *)
+let rec peel_index (e : C.expr) acc =
+  match e with
+  | C.EIndex (a, i) -> peel_index a (i :: acc)
+  | C.EVar v -> Some (v, acc)
+  | _ -> None
 
 let set_pointer env n v =
   env.pointers <-
@@ -31,6 +46,10 @@ let pointer_value env n =
 let rec conv_int env (e : C.expr) : Expr.t =
   match e with
   | C.EInt k -> Expr.Const k
+  | C.EFloat s ->
+      (* Same idiom the F77 parser uses for real literals: an opaque
+         %REAL call keeps the literal text out of the affine domain. *)
+      Expr.Call ("%REAL", [ Expr.Var s ])
   | C.EVar v ->
       if is_pointer env v then
         unsupported "pointer %s used as an integer" v
@@ -48,20 +67,47 @@ let rec conv_int env (e : C.expr) : Expr.t =
   | C.EDeref a ->
       let pv = conv_ptr env a in
       Expr.Call (pv.base, [ Expr.fold_consts pv.off ])
-  | C.EIndex (a, i) ->
-      let pv = conv_ptr env a in
-      Expr.Call
-        ( pv.base,
-          [
-            Expr.fold_consts
-              (Expr.Bin (Expr.Add, pv.off, conv_int env i));
-          ] )
+  | C.EIndex (a, i) -> (
+      match multi_index env (C.EIndex (a, i)) with
+      | Some (base, subs) -> Expr.Call (base, subs)
+      | None ->
+          let pv = conv_ptr env a in
+          Expr.Call
+            ( pv.base,
+              [
+                Expr.fold_consts
+                  (Expr.Bin (Expr.Add, pv.off, conv_int env i));
+              ] ))
   | C.ECall (f, args) -> Expr.Call (f, List.map (conv_int env) args)
+
+(* A fully-subscripted access to a declared multi-dimensional array:
+   [A[i][j]] with [double A[N][M]] maps to the multi-subscript aref
+   [A(i, j)] (delinearization's native form).  Rank-1 arrays keep the
+   pointer-offset path below so pointer/array mixing still works.
+   Partially subscripting a multi-dimensional array has no meaning in
+   the subset and is rejected. *)
+and multi_index env (e : C.expr) : (string * Expr.t list) option =
+  match peel_index e [] with
+  | Some (base, subs) -> (
+      let rank = array_rank env base in
+      if rank < 2 then None
+      else
+        let k = List.length subs in
+        if k = rank then
+          Some
+            (base, List.map (fun s -> Expr.fold_consts (conv_int env s)) subs)
+        else
+          unsupported "array %s has rank %d but is indexed with %d subscripts"
+            base rank k)
+  | None -> None
 
 and conv_ptr env (e : C.expr) : pvalue =
   match e with
   | C.EVar v ->
-      if is_array env v then { base = v; off = Expr.Const 0 }
+      if is_array env v then
+        if array_rank env v >= 2 then
+          unsupported "pointer arithmetic over multi-dimensional array %s" v
+        else { base = v; off = Expr.Const 0 }
       else if is_pointer env v then pointer_value env v
       else unsupported "%s is neither an array nor a pointer" v
   | C.EBin (`Add, a, b) -> (
@@ -75,8 +121,9 @@ and conv_ptr env (e : C.expr) : pvalue =
       let pv = conv_ptr env a in
       { pv with off = Expr.Bin (Expr.Sub, pv.off, conv_int env b) }
   | C.EIndex (a, i) ->
-      (* &-free subset: e1[e2] as a pointer only via arrays of arrays,
-         which the subset does not declare. *)
+      (* &-free subset: fully-subscripted multi-dimensional accesses
+         are handled by [multi_index] before this path is reached, so
+         a subscript here is rank-1 pointer-style arithmetic. *)
       let pv = conv_ptr env a in
       { pv with off = Expr.Bin (Expr.Add, pv.off, conv_int env i) }
   | _ -> unsupported "expression is not a recognizable pointer"
@@ -88,13 +135,18 @@ let lvalue env (e : C.expr) : Ast.aref =
   | C.EDeref a ->
       let pv = conv_ptr env a in
       { Ast.name = pv.base; subs = [ Expr.fold_consts pv.off ] }
-  | C.EIndex (a, i) ->
-      let pv = conv_ptr env a in
-      {
-        Ast.name = pv.base;
-        subs =
-          [ Expr.fold_consts (Expr.Bin (Expr.Add, pv.off, conv_int env i)) ];
-      }
+  | C.EIndex (a, i) -> (
+      match multi_index env (C.EIndex (a, i)) with
+      | Some (base, subs) -> { Ast.name = base; subs }
+      | None ->
+          let pv = conv_ptr env a in
+          {
+            Ast.name = pv.base;
+            subs =
+              [
+                Expr.fold_consts (Expr.Bin (Expr.Add, pv.off, conv_int env i));
+              ];
+          })
   | C.EVar v ->
       if is_pointer env v || is_array env v then
         unsupported "assignment to pointer %s outside a for-init" v
@@ -106,19 +158,23 @@ let rec lower_stmt env decls (s : C.stmt) : Ast.stmt list =
   | C.Decl (bt, ds) ->
       List.iter
         (fun (d : C.declarator) ->
-          match (d.d_ptr, d.d_size) with
+          match (d.d_ptr, d.d_dims) with
           | true, _ -> env.pointers <- (d.d_name, None) :: env.pointers
-          | false, Some n ->
-              env.arrays <- (d.d_name, n) :: env.arrays;
+          | false, (_ :: _ as dims) ->
+              env.arrays <- (d.d_name, dims) :: env.arrays;
               decls :=
                 Ast.Array
                   {
                     a_name = d.d_name;
                     a_kind = (match bt with C.Float -> Ast.Real | C.Int -> Ast.Integer);
-                    a_dims = [ { lo = Expr.Const 0; hi = Expr.Const (n - 1) } ];
+                    a_dims =
+                      List.map
+                        (fun n ->
+                          { Ast.lo = Expr.Const 0; hi = Expr.Const (n - 1) })
+                        dims;
                   }
                 :: !decls
-          | false, None ->
+          | false, [] ->
               env.ints <- d.d_name :: env.ints;
               decls :=
                 Ast.Scalar

@@ -194,7 +194,7 @@ let c_units =
         Alcotest.(check int) "three stmts" 3 (List.length p);
         match p with
         | [ C.Decl (C.Float, [ d ]); C.Decl (C.Float, ptrs); C.For f ] ->
-            Alcotest.(check (option int)) "d[100]" (Some 100) d.C.d_size;
+            Alcotest.(check (list int)) "d[100]" [ 100 ] d.C.d_dims;
             Alcotest.(check int) "two pointers" 2 (List.length ptrs);
             Alcotest.(check bool) "both are pointers" true
               (List.for_all (fun (x : C.declarator) -> x.C.d_ptr) ptrs);
@@ -227,6 +227,190 @@ let c_units =
         match C_parser.parse "for (;;)" with
         | exception Diag.Parse_error _ -> ()
         | _ -> Alcotest.fail "expected parse error");
+  ]
+
+(* --- C failure battery -------------------------------------------------- *)
+
+(* Golden line:col assertions: every diagnostic must point at the
+   offending token, not the statement start (the shadowing bug), and
+   malformed input must never escape the Diag.Parse_error taxonomy. *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let c_fails_at name src line col =
+  Alcotest.test_case name `Quick (fun () ->
+      match C_parser.parse src with
+      | exception Diag.Parse_error (loc, _) ->
+          Alcotest.(check int) "line" line loc.Diag.line;
+          Alcotest.(check int) "col" col loc.Diag.col
+      | _ -> Alcotest.fail "expected a parse error")
+
+let c_failure_units =
+  [
+    c_fails_at "loop condition diagnostic points at the offending token"
+      "int i;\nfor (i = 0; i + 10; i++) i = 0;\n" 2 19;
+    c_fails_at "step diagnostic points at the offending token"
+      "int i;\nfor (i = 0; i < 5; i = 2) i = 0;\n" 2 22;
+    c_fails_at "non-constant step points at the step expression"
+      "for (i = 0; i < 5; i += j) i = 0;\n" 1 25;
+    c_fails_at "oversized integer literal is a located parse error"
+      "int x;\nx = 99999999999999999999;\n" 2 5;
+    c_fails_at "macro redefinition points at the name"
+      "#define N 4\n#define N 5\n" 2 9;
+    c_fails_at "undefined macro in #define value"
+      "#define N M\n" 1 11;
+    c_fails_at "unterminated block comment located at its opening"
+      "int x;\n/* never closed\nx = 1;\n" 2 1;
+    Alcotest.test_case "oversized literal message is descriptive" `Quick
+      (fun () ->
+        match C_parser.parse "x = 99999999999999999999;\n" with
+        | exception Diag.Parse_error (_, msg) ->
+            Alcotest.(check bool) "mentions fit" true
+              (contains ~sub:"does not fit" msg)
+        | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "F77 oversized literal is a located parse error" `Quick
+      (fun () ->
+        match F77.parse "      X = 99999999999999999999\n      END\n" with
+        | exception Diag.Parse_error (loc, _) ->
+            Alcotest.(check int) "line" 1 loc.Diag.line;
+            Alcotest.(check int) "col" 11 loc.Diag.col
+        | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "line comment at EOF without newline is clean" `Quick
+      (fun () ->
+        let p = C_parser.parse "int x;\nx = 1; // trailing" in
+        Alcotest.(check int) "two stmts" 2 (List.length p));
+  ]
+
+(* --- polybench-style C features ------------------------------------------ *)
+
+let c_polybench_units =
+  [
+    Alcotest.test_case "block comments and macros" `Quick (fun () ->
+        let p =
+          C_parser.parse
+            "/* header\n   comment */\n#define N 8\n#define M N\n#include \
+             <stdio.h>\ndouble A[N][M];\nint i, j;\nfor (i = 0; i < N; i++)\n\
+            \  for (j = 0; j < M; j++)\n    A[i][j] = A[i][j] + 1.5;\n"
+        in
+        match p with
+        | [ C.Decl (C.Float, [ a ]); C.Decl (C.Int, ij); C.For _ ] ->
+            Alcotest.(check (list int)) "A[8][8]" [ 8; 8 ] a.C.d_dims;
+            Alcotest.(check int) "i, j" 2 (List.length ij)
+        | _ -> Alcotest.fail "unexpected structure");
+    Alcotest.test_case "parenthesized and negative macro values" `Quick
+      (fun () ->
+        match C_parser.parse "#define S (-3)\nint x;\nx = S;\n" with
+        | [ _; C.Assign (_, C.EInt (-3)) ] -> ()
+        | _ -> Alcotest.fail "macro value not substituted");
+    Alcotest.test_case "kernel wrapper is transparent" `Quick (fun () ->
+        let p =
+          C_parser.parse
+            "static void kernel_gemm(double alpha, double beta) {\n\
+            \  int i;\n  i = 0;\n}\n"
+        in
+        match p with
+        | [ C.Decl (C.Int, _); C.Assign _ ] -> ()
+        | _ -> Alcotest.fail "wrapper body not inlined");
+    Alcotest.test_case "compound assignment desugars" `Quick (fun () ->
+        match C_parser.parse "x += y * 2;\nz -= 1;\n" with
+        | [
+         C.Assign (C.EVar "x", C.EBin (`Add, C.EVar "x", _));
+         C.Assign (C.EVar "z", C.EBin (`Sub, C.EVar "z", C.EInt 1));
+        ] -> ()
+        | _ -> Alcotest.fail "compound assignment mis-desugared");
+    Alcotest.test_case "3-d subscripts round-trip and lower to rank 3" `Quick
+      (fun () ->
+        let src =
+          "float A[4][5][6];\nint i, j, k;\nfor (i = 0; i < 4; i++)\n\
+          \  for (j = 0; j < 5; j++)\n    for (k = 0; k < 6; k++)\n\
+          \      A[i][j][k] = A[i][j][k] + 1.0;\n"
+        in
+        let p1 = C_parser.parse src in
+        let s1 = Format.asprintf "%a" C.pp p1 in
+        let s2 = Format.asprintf "%a" C.pp (C_parser.parse s1) in
+        Alcotest.(check string) "pp fixpoint" s1 s2;
+        let prog = Dlz_passes.Pointers.lower p1 in
+        let a =
+          List.find_map
+            (function Ast.Array a -> Some a | _ -> None)
+            prog.Ast.decls
+        in
+        (match a with
+        | Some a -> Alcotest.(check int) "rank 3" 3 (List.length a.Ast.a_dims)
+        | None -> Alcotest.fail "array A not declared");
+        let subs = ref (-1) in
+        Ast.iter_assigns prog ~f:(fun ~loops:_ -> function
+          | Ast.Assign { lhs; _ } -> subs := List.length lhs.Ast.subs
+          | _ -> ());
+        Alcotest.(check int) "3 subscripts" 3 !subs);
+    Alcotest.test_case "partial subscripting of a rank-2 array rejected"
+      `Quick (fun () ->
+        let src = "double A[4][5];\nint i;\nfor (i = 0; i < 4; i++)\n  A[i] = 1.0;\n" in
+        match Dlz_passes.Pointers.lower (C_parser.parse src) with
+        | exception Dlz_passes.Pointers.Unsupported _ -> ()
+        | _ -> Alcotest.fail "expected Unsupported");
+  ]
+
+(* --- vendored corpus determinism ----------------------------------------- *)
+
+let corpus_units =
+  [
+    Alcotest.test_case "polybench bulk NDJSON identical at jobs 1/2/8" `Quick
+      (fun () ->
+        let dir = Filename.temp_file "dlz_polybench_test" "" in
+        Sys.remove dir;
+        Dlz_corpus.Polybench.write_dir dir;
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun (k : Dlz_corpus.Polybench.kernel) ->
+                try Sys.remove (Filename.concat dir (k.k_name ^ ".c"))
+                with Sys_error _ -> ())
+              Dlz_corpus.Polybench.kernels;
+            try Sys.rmdir dir with Sys_error _ -> ())
+          (fun () ->
+            let run jobs =
+              Dlz_base.Pool.with_jobs ~jobs (fun pool ->
+                  Dlz_driver.Bulk.run ?pool dir)
+            in
+            let r1 = run 1 in
+            Alcotest.(check int) "21 kernels + summary" 22 (List.length r1);
+            Alcotest.(check bool) "no ok:false rows" false
+              (List.exists (contains ~sub:"\"ok\":false") r1);
+            Alcotest.(check (list string)) "jobs 2 identical" r1 (run 2);
+            Alcotest.(check (list string)) "jobs 8 identical" r1 (run 8)));
+    Alcotest.test_case "bulk reports a malformed kernel as a row" `Quick
+      (fun () ->
+        (* An oversized literal must become an ok:false row (typed
+           Parse_error), never kill the directory walk. *)
+        let dir = Filename.temp_file "dlz_badkernel_test" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let bad = Filename.concat dir "bad.c" in
+        let good = Filename.concat dir "good.c" in
+        let write path s =
+          let oc = open_out_bin path in
+          output_string oc s;
+          close_out oc
+        in
+        write bad "int x;\nx = 99999999999999999999;\n";
+        write good "float d[10];\nint i;\nfor (i = 0; i < 10; i++) d[i] = 0.5;\n";
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.remove bad;
+            Sys.remove good;
+            try Sys.rmdir dir with Sys_error _ -> ())
+          (fun () ->
+            let lines = Dlz_driver.Bulk.run dir in
+            Alcotest.(check int) "two rows + summary" 3 (List.length lines);
+            let bad_line = List.nth lines 0 in
+            Alcotest.(check bool) "bad row flagged" true
+              (contains ~sub:"\"ok\":false" bad_line
+              && contains ~sub:"does not fit" bad_line);
+            Alcotest.(check bool) "good row ok" true
+              (contains ~sub:"\"ok\":true" (List.nth lines 1))));
   ]
 
 (* Round-trip: pretty-printed F77 programs re-parse to the same tree. *)
@@ -267,6 +451,9 @@ let () =
       ("f77-expr", f77_expr_units);
       ("f77-program", f77_program_units);
       ("c", c_units);
+      ("c-failures", c_failure_units);
+      ("c-polybench", c_polybench_units);
+      ("corpus", corpus_units);
       ("roundtrip", roundtrip_units);
       ("roundtrip-props", List.map QCheck_alcotest.to_alcotest roundtrip_props);
     ]

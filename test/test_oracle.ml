@@ -384,6 +384,18 @@ let sweep_units =
           (Differ.count_class report Differ.Unsound);
         Alcotest.(check int) "no INTERNAL" 0
           (Differ.count_class report Differ.Internal));
+    Alcotest.test_case "polybench cross-check is clean" `Quick (fun () ->
+        (* Every pair of every vendored polybench kernel, sampled at the
+           same rate as the synthetic corpus above; the full set is the
+           `vic fuzz --polybench` run's job. *)
+        let cases = Eqgen.polybench () in
+        let cases = List.filteri (fun i _ -> i mod 7 = 0) cases in
+        Alcotest.(check bool) "cases generated" true (List.length cases > 10);
+        let report = Differ.run ~jobs:sweep_jobs cases in
+        Alcotest.(check int) "no UNSOUND" 0
+          (Differ.count_class report Differ.Unsound);
+        Alcotest.(check int) "no INTERNAL" 0
+          (Differ.count_class report Differ.Internal));
     Alcotest.test_case "report is identical for any job count" `Quick
       (fun () ->
         let cases = Eqgen.all ~seed:sweep_seed ~count:120 in
